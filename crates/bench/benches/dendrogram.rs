@@ -1,0 +1,89 @@
+//! Criterion benches for ordered-dendrogram construction (Figure 9's
+//! comparison at microbenchmark scale), plus the downstream consumers
+//! (reachability plots and flat cuts) and the heavy-fraction ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parclust::{
+    dbscan_star_labels, dendrogram_par, dendrogram_par_with, dendrogram_seq, emst_memogfk,
+    hdbscan_memogfk, reachability_plot, single_linkage_k, DendrogramParams, Point,
+};
+use parclust_data::seed_spreader;
+use std::time::Duration;
+
+fn bench_construction(c: &mut Criterion) {
+    let n = 100_000;
+    let pts: Vec<Point<2>> = seed_spreader(n, 42);
+    let slc = emst_memogfk(&pts);
+    let hdb = hdbscan_memogfk(&pts, 10);
+
+    let mut g = c.benchmark_group("dendrogram_100k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("seq_single_linkage", |b| {
+        b.iter(|| dendrogram_seq(n, &slc.edges, 0).root)
+    });
+    g.bench_function("par_single_linkage", |b| {
+        b.iter(|| dendrogram_par(n, &slc.edges, 0).root)
+    });
+    g.bench_function("seq_hdbscan_minpts10", |b| {
+        b.iter(|| dendrogram_seq(n, &hdb.edges, 0).root)
+    });
+    g.bench_function("par_hdbscan_minpts10", |b| {
+        b.iter(|| dendrogram_par(n, &hdb.edges, 0).root)
+    });
+    g.finish();
+}
+
+fn bench_heavy_fraction_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the paper fixes the heavy fraction at n/10 after
+    // trying alternatives ("we found that using n/10 heavy edges works
+    // reasonably well in all cases").
+    let n = 100_000;
+    let pts: Vec<Point<2>> = seed_spreader(n, 43);
+    let mst = emst_memogfk(&pts);
+    let mut g = c.benchmark_group("dendrogram_heavy_fraction_100k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for frac in [0.02f64, 0.1, 0.3, 0.5] {
+        g.bench_function(BenchmarkId::from_parameter(frac), |b| {
+            b.iter(|| {
+                dendrogram_par_with(
+                    n,
+                    &mst.edges,
+                    0,
+                    DendrogramParams {
+                        heavy_fraction: frac,
+                        seq_threshold_fraction: 0.5,
+                    },
+                )
+                .root
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_consumers(c: &mut Criterion) {
+    let n = 100_000;
+    let pts: Vec<Point<2>> = seed_spreader(n, 44);
+    let hdb = hdbscan_memogfk(&pts, 10);
+    let dend = dendrogram_par(n, &hdb.edges, 0);
+    let mut g = c.benchmark_group("dendrogram_consumers_100k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("reachability_plot", |b| {
+        b.iter(|| reachability_plot(&dend).0.len())
+    });
+    g.bench_function("single_linkage_k16", |b| {
+        b.iter(|| single_linkage_k(&dend, 16).len())
+    });
+    g.bench_function("dbscan_star_cut", |b| {
+        b.iter(|| dbscan_star_labels(&dend, &hdb.core_distances, 1.0).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_heavy_fraction_ablation,
+    bench_consumers
+);
+criterion_main!(benches);

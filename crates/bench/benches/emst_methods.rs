@@ -1,0 +1,62 @@
+//! Criterion benches for the EMST method lineup (the §5 comparison at
+//! microbenchmark scale): Naive vs GFK vs MemoGFK vs Delaunay vs Boruvka.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parclust::{emst_boruvka, emst_delaunay, emst_gfk, emst_memogfk, emst_naive, Point};
+use parclust_data::{seed_spreader, uniform_fill};
+use std::time::Duration;
+
+fn bench_2d(c: &mut Criterion) {
+    let n = 20_000;
+    let pts: Vec<Point<2>> = seed_spreader(n, 42);
+    let mut g = c.benchmark_group("emst_2d_ssvarden_20k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function(BenchmarkId::new("naive", n), |b| {
+        b.iter(|| emst_naive(&pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("gfk", n), |b| {
+        b.iter(|| emst_gfk(&pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("memogfk", n), |b| {
+        b.iter(|| emst_memogfk(&pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("delaunay", n), |b| {
+        b.iter(|| emst_delaunay(&pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("boruvka", n), |b| {
+        b.iter(|| emst_boruvka(&pts).total_weight)
+    });
+    g.finish();
+}
+
+fn bench_5d(c: &mut Criterion) {
+    let n = 10_000;
+    let pts: Vec<Point<5>> = uniform_fill(n, 42);
+    let mut g = c.benchmark_group("emst_5d_uniform_10k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function(BenchmarkId::new("naive", n), |b| {
+        b.iter(|| emst_naive(&pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("memogfk", n), |b| {
+        b.iter(|| emst_memogfk(&pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("boruvka", n), |b| {
+        b.iter(|| emst_boruvka(&pts).total_weight)
+    });
+    g.finish();
+}
+
+fn bench_memogfk_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emst_memogfk_scaling_2d");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for n in [10_000usize, 40_000, 160_000] {
+        let pts: Vec<Point<2>> = seed_spreader(n, 7);
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| emst_memogfk(&pts).total_weight)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_2d, bench_5d, bench_memogfk_scaling);
+criterion_main!(benches);

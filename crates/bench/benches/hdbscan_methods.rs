@@ -1,0 +1,56 @@
+//! Criterion benches for the HDBSCAN* lineup: the improved well-separation
+//! (MemoGFK) vs the exact Gan–Tao baseline vs approximate OPTICS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parclust::{hdbscan_gantao, hdbscan_memogfk, optics_approx, Point};
+use parclust_data::{seed_spreader, sensor_like};
+use std::time::Duration;
+
+fn bench_2d(c: &mut Criterion) {
+    let n = 20_000;
+    let min_pts = 10;
+    let pts: Vec<Point<2>> = seed_spreader(n, 42);
+    let mut g = c.benchmark_group("hdbscan_2d_ssvarden_20k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function(BenchmarkId::new("memogfk", n), |b| {
+        b.iter(|| hdbscan_memogfk(&pts, min_pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("gantao", n), |b| {
+        b.iter(|| hdbscan_gantao(&pts, min_pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("optics_rho0.125", n), |b| {
+        b.iter(|| optics_approx(&pts, min_pts, 0.125).total_weight)
+    });
+    g.finish();
+}
+
+fn bench_7d(c: &mut Criterion) {
+    let n = 8_000;
+    let min_pts = 10;
+    let pts: Vec<Point<7>> = sensor_like(n, 42, 8);
+    let mut g = c.benchmark_group("hdbscan_7d_sensor_8k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function(BenchmarkId::new("memogfk", n), |b| {
+        b.iter(|| hdbscan_memogfk(&pts, min_pts).total_weight)
+    });
+    g.bench_function(BenchmarkId::new("gantao", n), |b| {
+        b.iter(|| hdbscan_gantao(&pts, min_pts).total_weight)
+    });
+    g.finish();
+}
+
+fn bench_minpts_sweep(c: &mut Criterion) {
+    let n = 20_000;
+    let pts: Vec<Point<3>> = seed_spreader(n, 9);
+    let mut g = c.benchmark_group("hdbscan_minpts_sweep_3d_20k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for min_pts in [10usize, 30, 50] {
+        g.bench_function(BenchmarkId::from_parameter(min_pts), |b| {
+            b.iter(|| hdbscan_memogfk(&pts, min_pts).total_weight)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_2d, bench_7d, bench_minpts_sweep);
+criterion_main!(benches);

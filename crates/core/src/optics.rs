@@ -1,0 +1,203 @@
+//! Parallel approximate OPTICS (Appendix C).
+//!
+//! Gan and Tao's approximate algorithm [28] takes an extra parameter
+//! `ρ ≥ 0` and builds a *base graph* instead of computing exact BCCP\*s: a
+//! WSPD with separation `s = sqrt(8/ρ)` is materialized, each pair
+//! contributes edges according to the sizes of its sides relative to
+//! `minPts` (cases (a)–(d) below), and edge weights are
+//! `max{cd(u), cd(v), d(u, v)/(1+ρ)}`. The MST of the base graph yields an
+//! approximate OPTICS / HDBSCAN\* hierarchy with reachability values within
+//! a `(1+ρ)` factor.
+//!
+//! Following the authors' implementation note, the *representative* of a
+//! side is a pseudo-random point of the pair (deterministic per pair here,
+//! for reproducibility), and the base graph is fed to the same parallel
+//! Kruskal used everywhere else. The graph has `O(n · minPts²)` edges —
+//! the space blow-up that motivates the paper's improved exact algorithm.
+
+use parclust_geom::Point;
+use parclust_kdtree::KdTree;
+use parclust_mst::{kruskal_batch, total_weight, Edge};
+use parclust_primitives::collector::Collector;
+use parclust_primitives::unionfind::UnionFind;
+use parclust_wspd::{wspd_traverse, GeometricSep};
+
+use crate::drivers::edges_to_original;
+use crate::hdbscan::HdbscanMst;
+use crate::stats::Stats;
+
+/// Approximate OPTICS MST (Appendix C) with approximation parameter `rho`.
+///
+/// Returns the same [`HdbscanMst`] shape as the exact drivers; weights are
+/// approximate mutual reachability distances.
+pub fn optics_approx<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    rho: f64,
+) -> HdbscanMst {
+    assert!(min_pts >= 1, "minPts must be at least 1");
+    assert!(rho > 0.0, "rho must be positive");
+    let t0 = std::time::Instant::now();
+    let mut stats = Stats::default();
+    let n = points.len();
+    if n < 2 {
+        stats.total = t0.elapsed().as_secs_f64();
+        return HdbscanMst {
+            min_pts,
+            edges: Vec::new(),
+            core_distances: vec![0.0; n],
+            total_weight: 0.0,
+            stats,
+        };
+    }
+
+    let tree = Stats::time(&mut stats.build_tree, || KdTree::build(points));
+    let cd_orig = Stats::time(&mut stats.core_dist, || {
+        let knn = tree.knn_all(min_pts);
+        (0..n).map(|i| knn.kth_dist(i)).collect::<Vec<f64>>()
+    });
+    let cd_pos: Vec<f64> = tree.idx.iter().map(|&o| cd_orig[o as usize]).collect();
+
+    // Base-graph construction over the s = sqrt(8/ρ) WSPD.
+    let policy = GeometricSep::for_optics_rho(rho);
+    let weight = |u: u32, v: u32| -> f64 {
+        let d = tree.points[u as usize].dist(&tree.points[v as usize]);
+        (d / (1.0 + rho))
+            .max(cd_pos[u as usize])
+            .max(cd_pos[v as usize])
+    };
+    // Deterministic pseudo-random representative of a node's point range.
+    let representative = |a: parclust_kdtree::NodeId| -> u32 {
+        let node = tree.node(a);
+        let span = node.end - node.start;
+        let h = (a as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 33;
+        node.start + (h as u32) % span
+    };
+
+    let edges_c: Collector<Edge> = Collector::new();
+    let pair_count = std::sync::atomic::AtomicU64::new(0);
+    Stats::time(&mut stats.wspd, || {
+        wspd_traverse(&tree, &policy, &|_, _| false, &|a, b| {
+            pair_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let (na, nb) = (tree.node(a), tree.node(b));
+            let (sa, sb) = (na.size(), nb.size());
+            // Cases (a)-(d) of Appendix C.
+            match (sa >= min_pts, sb >= min_pts) {
+                (false, false) => {
+                    // (a): all pairs of points between A and B.
+                    for u in na.start..na.end {
+                        for v in nb.start..nb.end {
+                            edges_c.push(Edge::new(u, v, weight(u, v)));
+                        }
+                    }
+                }
+                (true, false) => {
+                    // (b): representative of A to all of B.
+                    let u = representative(a);
+                    for v in nb.start..nb.end {
+                        edges_c.push(Edge::new(u, v, weight(u, v)));
+                    }
+                }
+                (false, true) => {
+                    // (c): symmetric.
+                    let v = representative(b);
+                    for u in na.start..na.end {
+                        edges_c.push(Edge::new(u, v, weight(u, v)));
+                    }
+                }
+                (true, true) => {
+                    // (d): representatives only.
+                    let (u, v) = (representative(a), representative(b));
+                    edges_c.push(Edge::new(u, v, weight(u, v)));
+                }
+            }
+        });
+    });
+    let mut base_edges = edges_c.into_vec();
+    stats.pairs_materialized = pair_count.into_inner();
+    stats.peak_live_pairs = base_edges.len() as u64;
+    stats.peak_pair_bytes = (base_edges.len() * std::mem::size_of::<Edge>()) as u64;
+    stats.rounds = 1;
+
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::with_capacity(n - 1);
+    Stats::time(&mut stats.kruskal, || {
+        kruskal_batch(&mut base_edges, &mut uf, &mut out)
+    });
+    debug_assert_eq!(out.len(), n - 1, "base graph must be connected");
+
+    let edges = edges_to_original(&tree, out);
+    stats.total = t0.elapsed().as_secs_f64();
+    HdbscanMst {
+        min_pts,
+        total_weight: total_weight(&edges),
+        edges,
+        core_distances: cd_orig,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdbscan::hdbscan_memogfk;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn spans_all_points() {
+        let pts = random_points(300, 1);
+        let o = optics_approx(&pts, 10, 0.125);
+        assert_eq!(o.edges.len(), 299);
+    }
+
+    #[test]
+    fn weight_within_rho_factor_of_exact() {
+        let pts = random_points(250, 2);
+        for rho in [0.125, 0.5] {
+            let exact = hdbscan_memogfk(&pts, 10).total_weight;
+            let approx = optics_approx(&pts, 10, rho).total_weight;
+            // Per-edge weights are within a (1+ρ) factor of the true mutual
+            // reachability distances, so the MST totals are too.
+            assert!(
+                approx <= exact * (1.0 + rho) + 1e-9,
+                "rho={rho}: approximate MST above the (1+rho) guarantee ({approx} vs {exact})"
+            );
+            assert!(
+                approx >= exact / (1.0 + rho) - 1e-9,
+                "rho={rho}: approximate MST below the (1+rho) guarantee ({approx} vs {exact})"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_rho_needs_more_pairs() {
+        // s = sqrt(8/ρ): tighter approximation → larger separation → more
+        // well-separated pairs (Figure 10's explanation).
+        let pts = random_points(400, 3);
+        let tight = optics_approx(&pts, 10, 0.125);
+        let loose = optics_approx(&pts, 10, 1.0);
+        assert!(
+            tight.stats.pairs_materialized > loose.stats.pairs_materialized,
+            "tight {} vs loose {}",
+            tight.stats.pairs_materialized,
+            loose.stats.pairs_materialized
+        );
+    }
+
+    #[test]
+    fn more_edges_than_exact_pairs() {
+        // O(minPts^2) edges per pair vs 1 edge per pair for the exact
+        // algorithms: the base graph must be much larger.
+        let pts = random_points(400, 4);
+        let o = optics_approx(&pts, 10, 0.125);
+        let exact = hdbscan_memogfk(&pts, 10);
+        assert!(o.stats.peak_live_pairs > exact.stats.peak_live_pairs);
+    }
+}

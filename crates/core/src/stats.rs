@@ -1,0 +1,105 @@
+//! Per-phase timing and memory/work counters.
+//!
+//! Figure 8 of the paper decomposes running time into build-tree,
+//! core-dist, wspd, kruskal, and dendrogram phases; the §5 memory study
+//! reports materialized-pair counts. Every driver in this crate fills in a
+//! [`Stats`] so the bench harness can regenerate those artifacts.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Wall-clock seconds per phase plus work/memory counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Stats {
+    /// kd-tree construction time (s).
+    pub build_tree: f64,
+    /// k-NN core-distance computation time (s) — HDBSCAN\* only.
+    pub core_dist: f64,
+    /// WSPD work: full materialization (Naive/GFK) or the sum of the
+    /// GetRho/GetPairs traversals across rounds (MemoGFK) (s).
+    pub wspd: f64,
+    /// Kruskal time across batches, including batch sorting (s).
+    pub kruskal: f64,
+    /// Ordered dendrogram construction time (s).
+    pub dendrogram: f64,
+    /// End-to-end time of the driver (s).
+    pub total: f64,
+
+    /// Number of GFK/MemoGFK rounds executed.
+    pub rounds: u64,
+    /// Exact BCCP computations performed (cache misses for MemoGFK).
+    pub bccp_calls: u64,
+    /// Total well-separated pairs materialized across the run. For the
+    /// fully-materializing algorithms this is |WSPD|; for MemoGFK it is the
+    /// number of pairs retrieved by GetPairs.
+    pub pairs_materialized: u64,
+    /// Largest number of pairs live at once — the memory-study metric
+    /// (§5 "MemoGFK Memory Usage").
+    pub peak_live_pairs: u64,
+    /// Approximate peak bytes attributable to materialized pairs.
+    pub peak_pair_bytes: u64,
+}
+
+impl Stats {
+    /// Time `f`, adding the elapsed seconds to the field selected by `slot`.
+    pub(crate) fn time<T>(slot: &mut f64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        *slot += t0.elapsed().as_secs_f64();
+        out
+    }
+}
+
+/// Thread-safe counters accumulated during parallel phases and folded into
+/// [`Stats`] afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub bccp_calls: AtomicU64,
+    pub pairs_materialized: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    pub fn bccp(&self) {
+        self.bccp_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn pairs(&self, k: u64) {
+        self.pairs_materialized.fetch_add(k, Ordering::Relaxed);
+    }
+
+    pub fn fold_into(&self, stats: &mut Stats) {
+        stats.bccp_calls = self.bccp_calls.load(Ordering::Relaxed);
+        stats.pairs_materialized = self.pairs_materialized.load(Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_accumulates() {
+        let mut slot = 0.0;
+        let v = Stats::time(&mut slot, || 42);
+        assert_eq!(v, 42);
+        assert!(slot >= 0.0);
+        let before = slot;
+        Stats::time(&mut slot, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(slot > before);
+    }
+
+    #[test]
+    fn counters_fold() {
+        let c = Counters::default();
+        c.bccp();
+        c.bccp();
+        c.pairs(5);
+        let mut s = Stats::default();
+        c.fold_into(&mut s);
+        assert_eq!(s.bccp_calls, 2);
+        assert_eq!(s.pairs_materialized, 5);
+    }
+}

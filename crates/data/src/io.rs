@@ -1,0 +1,183 @@
+//! Point-set IO: CSV (interoperability) and a little-endian binary format
+//! (fast reload of generated benchmark inputs).
+
+use parclust_geom::Point;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PCLD";
+const VERSION: u32 = 1;
+
+/// Write points as CSV, one point per row.
+pub fn write_csv<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for p in points {
+        for (i, c) in p.coords().iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            // {:?} preserves full f64 round-trip precision.
+            write!(w, "{c:?}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read CSV points; every row must have exactly `D` columns.
+pub fn read_csv<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut r = r;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut c = [0.0; D];
+        let mut fields = trimmed.split(',');
+        for (d, slot) in c.iter_mut().enumerate() {
+            let f = fields.next().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: expected {D} fields, got {d}"),
+                )
+            })?;
+            *slot = f.trim().parse::<f64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}, field {d}: {e}"),
+                )
+            })?;
+        }
+        if fields.next().is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {lineno}: more than {D} fields"),
+            ));
+        }
+        out.push(Point(c));
+    }
+    Ok(out)
+}
+
+/// Write points in the binary format: `PCLD`, version, dims, count, then
+/// little-endian f64 coordinates.
+pub fn write_binary<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(D as u32).to_le_bytes())?;
+    w.write_all(&(points.len() as u64).to_le_bytes())?;
+    for p in points {
+        for c in p.coords() {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read points written by [`write_binary`]; the stored dimensionality must
+/// equal `D`.
+pub fn read_binary<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut head = [0u8; 4 + 4 + 4 + 8];
+    r.read_exact(&mut head)?;
+    if &head[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let dims = u32::from_le_bytes(head[8..12].try_into().unwrap());
+    if dims as usize != D {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file has {dims} dims, expected {D}"),
+        ));
+    }
+    let count = u64::from_le_bytes(head[12..20].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut buf = vec![0u8; D * 8];
+    for _ in 0..count {
+        r.read_exact(&mut buf)?;
+        let mut c = [0.0; D];
+        for (d, slot) in c.iter_mut().enumerate() {
+            *slot = f64::from_le_bytes(buf[d * 8..d * 8 + 8].try_into().unwrap());
+        }
+        out.push(Point(c));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_fill;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parclust-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let pts = uniform_fill::<3>(100, 1);
+        let path = tmp("roundtrip.csv");
+        write_csv(&path, &pts).unwrap();
+        let back: Vec<Point<3>> = read_csv(&path).unwrap();
+        assert_eq!(pts, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_wrong_arity() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0\n").unwrap();
+        assert!(read_csv::<2>(&path).is_err());
+        std::fs::write(&path, "1.0,2.0,9.0\n").unwrap();
+        assert!(read_csv::<2>(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blanks() {
+        let path = tmp("comments.csv");
+        std::fs::write(&path, "# header\n\n1.0,2.0\n").unwrap();
+        let pts: Vec<Point<2>> = read_csv(&path).unwrap();
+        assert_eq!(pts, vec![Point([1.0, 2.0])]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let pts = uniform_fill::<7>(257, 2);
+        let path = tmp("roundtrip.bin");
+        write_binary(&path, &pts).unwrap();
+        let back: Vec<Point<7>> = read_binary(&path).unwrap();
+        assert_eq!(pts, back);
+        // Wrong dimensionality is rejected.
+        assert!(read_binary::<3>(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"not a parclust file").unwrap();
+        assert!(read_binary::<2>(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

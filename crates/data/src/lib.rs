@@ -1,0 +1,10 @@
+//! Data sets for `parclust`: synthetic generators mirroring the paper's
+//! evaluation inputs, surrogates for its real data sets, and point IO.
+
+pub mod generators;
+pub mod io;
+
+pub use generators::{
+    gps_like, seed_spreader, seed_spreader_with, sensor_like, uniform_fill, SeedSpreaderParams,
+};
+pub use io::{read_binary, read_csv, write_binary, write_csv};

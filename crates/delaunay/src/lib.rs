@@ -1,0 +1,294 @@
+//! 2D Delaunay triangulation and the Delaunay-based EMST (Appendix A.1).
+//!
+//! Shamos and Hoey [55]: in two dimensions the EMST is a subgraph of the
+//! Delaunay triangulation, so an MST over the `O(n)` Delaunay edges yields
+//! the EMST. The paper evaluates this as `EMST-Delaunay`, a strong 2D-only
+//! baseline (Figure 6a/e, Table 4).
+//!
+//! * [`predicates`] — exact `orient2d`/`incircle` via floating-point
+//!   expansions with an error-bound fast path.
+//! * [`triangulate`] — incremental Bowyer–Watson with ghost triangles and
+//!   Hilbert-order insertion.
+//! * [`emst2d`] — deduplicate, triangulate, then a parallel Kruskal over
+//!   the Delaunay edges (collinear inputs fall back to sorting along the
+//!   line, where the triangulation does not exist but the EMST does).
+
+pub mod predicates;
+pub mod triangulate;
+
+use parclust_geom::Point;
+use parclust_mst::{kruskal, Edge};
+
+pub use predicates::{incircle, orient2d, Sign};
+pub use triangulate::{TriError, Triangulation, INF};
+
+/// Euclidean MST of 2D points via Delaunay triangulation. Handles
+/// duplicates (zero-weight edges onto a representative) and collinear
+/// inputs (sorted-chain fallback). Returns edges over the input indices in
+/// canonical order.
+pub fn emst2d(points: &[Point<2>]) -> Vec<Edge> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+
+    // Deduplicate exactly equal points; duplicates attach by weight-0
+    // edges afterwards.
+    let mut rep_of: std::collections::HashMap<(u64, u64), u32> =
+        std::collections::HashMap::with_capacity(n);
+    let mut distinct: Vec<u32> = Vec::with_capacity(n);
+    let mut dup_edges: Vec<Edge> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let key = (p[0].to_bits(), p[1].to_bits());
+        match rep_of.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                dup_edges.push(Edge::new(*e.get(), i as u32, 0.0));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i as u32);
+                distinct.push(i as u32);
+            }
+        }
+    }
+
+    let dpoints: Vec<Point<2>> = distinct.iter().map(|&i| points[i as usize]).collect();
+    let mut edges: Vec<Edge> = match Triangulation::build(&dpoints) {
+        Ok(tri) => {
+            let cand: Vec<Edge> = tri
+                .edges()
+                .into_iter()
+                .map(|(a, b)| {
+                    Edge::new(
+                        distinct[a as usize],
+                        distinct[b as usize],
+                        dpoints[a as usize].dist(&dpoints[b as usize]),
+                    )
+                })
+                .collect();
+            kruskal(n, &cand)
+        }
+        Err(TriError::TooFew) | Err(TriError::Collinear) => {
+            // Collinear (or just two distinct) points: lexicographic order
+            // equals order along the line; connect consecutive points.
+            let mut order = distinct.clone();
+            order.sort_unstable_by(|&i, &j| {
+                let (p, q) = (&points[i as usize], &points[j as usize]);
+                (p[0], p[1], i).partial_cmp(&(q[0], q[1], j)).unwrap()
+            });
+            order
+                .windows(2)
+                .map(|w| {
+                    Edge::new(
+                        w[0],
+                        w[1],
+                        points[w[0] as usize].dist(&points[w[1] as usize]),
+                    )
+                })
+                .collect()
+        }
+    };
+    edges.extend(dup_edges);
+    parclust_mst::sort_edges(&mut edges);
+    debug_assert_eq!(edges.len(), n - 1);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parclust_mst::{prim_dense, total_weight};
+    use rand::prelude::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point([rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)]))
+            .collect()
+    }
+
+    /// Brute-force global Delaunay check: no point strictly inside any
+    /// finite triangle's circumcircle.
+    fn check_delaunay(tri: &Triangulation) {
+        tri.validate();
+        for t in tri.finite_triangles() {
+            let (a, b, c) = (
+                tri.points[t[0] as usize].0,
+                tri.points[t[1] as usize].0,
+                tri.points[t[2] as usize].0,
+            );
+            for (i, p) in tri.points.iter().enumerate() {
+                let i = i as u32;
+                if i == t[0] || i == t[1] || i == t[2] {
+                    continue;
+                }
+                assert_ne!(
+                    incircle(a, b, c, p.0),
+                    Sign::Positive,
+                    "point {i} inside circumcircle of {t:?}"
+                );
+            }
+        }
+    }
+
+    /// Euler's formula for a triangulated convex region: with n vertices
+    /// and h hull vertices, #triangles = 2n - 2 - h.
+    fn check_euler(tri: &Triangulation, n: usize) {
+        let tris = tri.finite_triangles();
+        let edges = tri.edges();
+        // Count hull edges: edges on exactly one finite triangle.
+        let mut cnt = std::collections::HashMap::new();
+        for t in &tris {
+            for j in 0..3 {
+                let (a, b) = (t[j].min(t[(j + 1) % 3]), t[j].max(t[(j + 1) % 3]));
+                *cnt.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+        let h = cnt.values().filter(|&&c| c == 1).count();
+        assert_eq!(tris.len(), 2 * n - 2 - h, "Euler formula (triangles)");
+        assert_eq!(edges.len(), 3 * n - 3 - h, "Euler formula (edges)");
+    }
+
+    #[test]
+    fn triangle_of_three() {
+        let pts = vec![Point([0.0, 0.0]), Point([1.0, 0.0]), Point([0.0, 1.0])];
+        let tri = Triangulation::build(&pts).unwrap();
+        check_delaunay(&tri);
+        assert_eq!(tri.finite_triangles().len(), 1);
+        assert_eq!(tri.edges().len(), 3);
+    }
+
+    #[test]
+    fn random_small_is_delaunay() {
+        for seed in 0..8 {
+            let pts = random_points(60, seed);
+            let tri = Triangulation::build(&pts).unwrap();
+            check_delaunay(&tri);
+            check_euler(&tri, pts.len());
+        }
+    }
+
+    #[test]
+    fn random_larger_is_valid() {
+        let pts = random_points(5000, 99);
+        let tri = Triangulation::build(&pts).unwrap();
+        tri.validate();
+        check_euler(&tri, pts.len());
+    }
+
+    #[test]
+    fn grid_cocircular_points() {
+        // Every unit square is cocircular: the exact-zero branch is
+        // exercised everywhere.
+        let mut pts = Vec::new();
+        for x in 0..12 {
+            for y in 0..12 {
+                pts.push(Point([x as f64, y as f64]));
+            }
+        }
+        let tri = Triangulation::build(&pts).unwrap();
+        check_delaunay(&tri);
+        check_euler(&tri, pts.len());
+    }
+
+    #[test]
+    fn collinear_chain_plus_apex() {
+        // Many collinear points with a single off-line point, in an order
+        // that forces on-hull-edge and beyond-chain insertions.
+        let mut pts: Vec<Point<2>> = vec![
+            Point([0.0, 0.0]),
+            Point([10.0, 0.0]),
+            Point([5.0, 7.0]), // apex (the seed triangle)
+        ];
+        for i in 1..10 {
+            pts.push(Point([i as f64, 0.0])); // on the hull edge
+        }
+        pts.push(Point([-3.0, 0.0])); // beyond the chain, collinear
+        pts.push(Point([13.0, 0.0])); // beyond the other end
+        let tri = Triangulation::build(&pts).unwrap();
+        check_delaunay(&tri);
+        check_euler(&tri, pts.len());
+    }
+
+    #[test]
+    fn fully_collinear_is_reported() {
+        let pts: Vec<Point<2>> = (0..10).map(|i| Point([i as f64, 2.0 * i as f64])).collect();
+        assert!(matches!(
+            Triangulation::build(&pts),
+            Err(TriError::Collinear)
+        ));
+    }
+
+    #[test]
+    fn emst2d_matches_prim() {
+        for seed in 0..5 {
+            let pts = random_points(300, seed);
+            let edges = emst2d(&pts);
+            assert_eq!(edges.len(), 299);
+            let want = prim_dense(300, 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
+            assert!(
+                (total_weight(&edges) - want.total_weight).abs() < 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn emst2d_degenerate_inputs() {
+        // Collinear.
+        let pts: Vec<Point<2>> = (0..20).map(|i| Point([i as f64, 0.0])).collect();
+        let edges = emst2d(&pts);
+        assert_eq!(edges.len(), 19);
+        assert!((total_weight(&edges) - 19.0).abs() < 1e-12);
+
+        // Duplicates.
+        let mut pts = random_points(40, 7);
+        for i in 0..10 {
+            pts.push(pts[i]);
+        }
+        let edges = emst2d(&pts);
+        assert_eq!(edges.len(), pts.len() - 1);
+        let want = prim_dense(pts.len(), 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
+        assert!((total_weight(&edges) - want.total_weight).abs() < 1e-9);
+
+        // Tiny inputs.
+        assert!(emst2d(&[]).is_empty());
+        assert!(emst2d(&[Point([1.0, 1.0])]).is_empty());
+        assert_eq!(emst2d(&[Point([0.0, 0.0]), Point([0.0, 2.0])]).len(), 1);
+    }
+
+    #[test]
+    fn emst_is_subset_of_delaunay() {
+        // Shamos–Hoey: every EMST edge is a Delaunay edge.
+        let pts = random_points(200, 31);
+        let tri = Triangulation::build(&pts).unwrap();
+        let dedges: std::collections::HashSet<(u32, u32)> = tri.edges().into_iter().collect();
+        let mst = emst2d(&pts);
+        for e in &mst {
+            assert!(
+                dedges.contains(&(e.u, e.v)),
+                "MST edge ({}, {}) missing from Delaunay",
+                e.u,
+                e.v
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_duplicated_coordinates() {
+        // Points sharing x or y coordinates produce many collinear
+        // subconfigurations.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point<2>> = (0..400)
+            .map(|_| {
+                Point([
+                    rng.gen_range(0..20) as f64,
+                    rng.gen_range(0..20) as f64,
+                ])
+            })
+            .collect();
+        let edges = emst2d(&pts);
+        assert_eq!(edges.len(), pts.len() - 1);
+        let want = prim_dense(pts.len(), 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
+        assert!((total_weight(&edges) - want.total_weight).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,438 @@
+//! Incremental Bowyer–Watson Delaunay triangulation with ghost triangles.
+//!
+//! The triangulation is maintained as a topological sphere: finite
+//! triangles (counterclockwise) plus one *ghost* triangle per convex-hull
+//! edge, whose third vertex is the symbolic point at infinity [`INF`]. The
+//! uniform cavity insertion then needs no special hull code: a point's
+//! conflict cavity is carved out (finite conflicts = strictly inside the
+//! circumcircle, ghost conflicts = strictly outside the hull edge or on
+//! it), and the star of the cavity boundary is re-triangulated from the
+//! new point.
+//!
+//! Exact predicates ([`crate::predicates`]) make every branch correct on
+//! degenerate inputs (cocircular grids, collinear chains); insertion in
+//! Hilbert-curve order keeps the point-location walk near O(1) amortized.
+//!
+//! The paper uses Delaunay triangulation only as the 2D EMST baseline
+//! (Appendix A.1); the triangulation itself is sequential and the MST stage
+//! is parallel (DESIGN.md substitution 4).
+
+use parclust_geom::Point;
+
+use crate::predicates::{incircle, orient2d, Sign};
+
+/// The symbolic vertex at infinity completing each hull edge to a ghost
+/// triangle.
+pub const INF: u32 = u32::MAX;
+const NONE: u32 = u32::MAX;
+
+/// A triangle: vertices in counterclockwise cyclic order (`v[2] == INF`
+/// for ghosts), `nbr[j]` is the triangle across the edge opposite `v[j]`,
+/// i.e. the edge `(v[j+1], v[j+2])`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tri {
+    pub v: [u32; 3],
+    pub nbr: [u32; 3],
+}
+
+/// A Delaunay triangulation of a 2D point set in general or degenerate
+/// position (but with **distinct** points; deduplicate first).
+pub struct Triangulation {
+    pub points: Vec<Point<2>>,
+    tris: Vec<Tri>,
+    alive: Vec<bool>,
+    free: Vec<u32>,
+    hint: u32,
+}
+
+/// Why a triangulation could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriError {
+    /// Fewer than 3 points.
+    TooFew,
+    /// All points are collinear — no triangle exists.
+    Collinear,
+}
+
+impl Triangulation {
+    /// Build the Delaunay triangulation. Points must be distinct and
+    /// finite.
+    pub fn build(points: &[Point<2>]) -> Result<Triangulation, TriError> {
+        let n = points.len();
+        if n < 3 {
+            return Err(TriError::TooFew);
+        }
+        // Seed triangle: the first two distinct points plus the first point
+        // not collinear with them.
+        let p0 = 0u32;
+        let p1 = 1u32;
+        let mut p2 = NONE;
+        for i in 2..n as u32 {
+            if orient2d(points[0].0, points[1].0, points[i as usize].0) != Sign::Zero {
+                p2 = i;
+                break;
+            }
+        }
+        if p2 == NONE {
+            return Err(TriError::Collinear);
+        }
+        let mut t = Triangulation {
+            points: points.to_vec(),
+            tris: Vec::with_capacity(2 * n + 8),
+            alive: Vec::with_capacity(2 * n + 8),
+            free: Vec::new(),
+            hint: 0,
+        };
+        t.init_seed(p0, p1, p2);
+
+        // Remaining points in Hilbert order for walk locality.
+        let mut rest: Vec<u32> = (2..n as u32).filter(|&i| i != p2).collect();
+        let keys: Vec<u64> = hilbert_keys(points);
+        rest.sort_unstable_by_key(|&i| keys[i as usize]);
+        for i in rest {
+            t.insert(i);
+        }
+        Ok(t)
+    }
+
+    fn init_seed(&mut self, a: u32, b: u32, c: u32) {
+        let (a, b, c) = match orient2d(
+            self.points[a as usize].0,
+            self.points[b as usize].0,
+            self.points[c as usize].0,
+        ) {
+            Sign::Positive => (a, b, c),
+            Sign::Negative => (a, c, b),
+            Sign::Zero => unreachable!("seed triangle is non-degenerate"),
+        };
+        // Finite triangle 0 and ghosts for its three hull edges. The ghost
+        // across directed hull edge (x → y) is (y, x, INF).
+        // Triangle 0: (a, b, c); ghosts: 1 = (b, a, INF), 2 = (c, b, INF),
+        // 3 = (a, c, INF).
+        self.push_tri(Tri {
+            v: [a, b, c],
+            nbr: [2, 3, 1], // across (b,c) → ghost 2; across (c,a) → ghost 3; across (a,b) → ghost 1
+        });
+        self.push_tri(Tri {
+            v: [b, a, INF],
+            nbr: [3, 2, 0], // across (a,INF) → ghost 3; across (INF,b) → ghost 2; across (b,a) → finite 0
+        });
+        self.push_tri(Tri {
+            v: [c, b, INF],
+            nbr: [1, 3, 0],
+        });
+        self.push_tri(Tri {
+            v: [a, c, INF],
+            nbr: [2, 1, 0],
+        });
+        self.hint = 0;
+    }
+
+    fn push_tri(&mut self, tri: Tri) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.tris[id as usize] = tri;
+            self.alive[id as usize] = true;
+            id
+        } else {
+            self.tris.push(tri);
+            self.alive.push(true);
+            (self.tris.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn is_ghost(&self, t: u32) -> bool {
+        self.tris[t as usize].v[2] == INF
+    }
+
+    #[inline]
+    fn coords(&self, v: u32) -> [f64; 2] {
+        self.points[v as usize].0
+    }
+
+    /// Does triangle `t` conflict with point `p` (must be carved out when
+    /// `p` is inserted)?
+    fn conflicts(&self, t: u32, p: [f64; 2]) -> bool {
+        let tri = &self.tris[t as usize];
+        if tri.v[2] == INF {
+            let (u, w) = (self.coords(tri.v[0]), self.coords(tri.v[1]));
+            match orient2d(u, w, p) {
+                Sign::Positive => true,
+                Sign::Negative => false,
+                // On the hull line: conflict exactly when on the closed
+                // hull edge (otherwise the corner ghost handles it).
+                Sign::Zero => within_closed_segment(u, w, p),
+            }
+        } else {
+            incircle(
+                self.coords(tri.v[0]),
+                self.coords(tri.v[1]),
+                self.coords(tri.v[2]),
+                p,
+            ) == Sign::Positive
+        }
+    }
+
+    /// Walk from the hint to a triangle conflicting with `p`.
+    fn locate(&self, p: [f64; 2], vid: u32) -> u32 {
+        let mut t = self.hint;
+        let mut prev = NONE;
+        let mut step = vid as usize; // deterministic tie-breaking offset
+        // Termination backstop: the remembering walk terminates on Delaunay
+        // triangulations, but a linear scan guarantees progress even if a
+        // degenerate configuration defeats it.
+        let budget = 8 * self.tris.len() + 64;
+        for _ in 0..budget {
+            debug_assert!(self.alive[t as usize]);
+            if self.is_ghost(t) {
+                // Entering a ghost from a finite triangle means p lies
+                // strictly beyond that hull edge, which is its conflict
+                // condition; a stale ghost hint just hops back inside.
+                if self.conflicts(t, p) {
+                    return t;
+                }
+                prev = t;
+                t = self.tris[t as usize].nbr[2]; // the finite neighbor
+                continue;
+            }
+            let tri = &self.tris[t as usize];
+            let mut moved = false;
+            for k in 0..3 {
+                let j = (k + step) % 3;
+                let (a, b) = (tri.v[(j + 1) % 3], tri.v[(j + 2) % 3]);
+                if tri.nbr[j] == prev {
+                    continue;
+                }
+                if orient2d(self.coords(a), self.coords(b), p) == Sign::Negative {
+                    prev = t;
+                    t = tri.nbr[j];
+                    moved = true;
+                    break;
+                }
+            }
+            step = step.wrapping_mul(0x9e3779b9).wrapping_add(1);
+            if !moved {
+                // p is inside (or on the boundary of) this finite triangle.
+                debug_assert!(
+                    tri.v.iter().all(|&v| self.coords(v) != p),
+                    "duplicate point passed to Triangulation::build"
+                );
+                return t;
+            }
+        }
+        // Backstop: exhaustive scan (never expected; keeps degenerate
+        // inputs safe rather than looping).
+        (0..self.tris.len() as u32)
+            .find(|&t| self.alive[t as usize] && self.conflicts(t, p))
+            .expect("some triangle must conflict with a non-duplicate point")
+    }
+
+    /// Insert vertex `vid` (Bowyer–Watson cavity insertion).
+    fn insert(&mut self, vid: u32) {
+        let p = self.coords(vid);
+        let seed = self.locate(p, vid);
+        debug_assert!(self.conflicts(seed, p), "located triangle must conflict");
+
+        // Grow the conflict cavity by BFS.
+        let mut cavity: Vec<u32> = vec![seed];
+        let mut in_cavity = std::collections::HashSet::new();
+        in_cavity.insert(seed);
+        let mut queue = vec![seed];
+        while let Some(t) = queue.pop() {
+            for j in 0..3 {
+                let nb = self.tris[t as usize].nbr[j];
+                if !in_cavity.contains(&nb) && self.conflicts(nb, p) {
+                    in_cavity.insert(nb);
+                    cavity.push(nb);
+                    queue.push(nb);
+                }
+            }
+        }
+
+        // Boundary: directed edges (a, b) of cavity triangles whose
+        // neighbor survives, with that outside neighbor.
+        let mut boundary: Vec<(u32, u32, u32)> = Vec::new(); // (a, b, outside)
+        for &t in &cavity {
+            let tri = self.tris[t as usize];
+            for j in 0..3 {
+                if !in_cavity.contains(&tri.nbr[j]) {
+                    boundary.push((tri.v[(j + 1) % 3], tri.v[(j + 2) % 3], tri.nbr[j]));
+                }
+            }
+        }
+
+        // Free the cavity.
+        for &t in &cavity {
+            self.alive[t as usize] = false;
+            self.free.push(t);
+        }
+
+        // Star the boundary from vid. The boundary directed edges form a
+        // single cycle (the cavity is a combinatorial disk), so each vertex
+        // occurs exactly once as a first endpoint — `by_first` indexes the
+        // new triangles by it.
+        let mut by_first: std::collections::HashMap<u32, (u32, u32)> =
+            std::collections::HashMap::with_capacity(boundary.len()); // a -> (tri id, b)
+        for &(a, b, outside) in &boundary {
+            // Vertex cycle (a, b, vid), rotated so INF (only ever a or b)
+            // sits at slot 2.
+            let v = if a == INF {
+                [b, vid, INF]
+            } else if b == INF {
+                [vid, a, INF]
+            } else {
+                [a, b, vid]
+            };
+            let id = self.push_tri(Tri {
+                v,
+                nbr: [NONE, NONE, NONE],
+            });
+            // Wire the surviving outside neighbor both ways across (a, b).
+            let s_ab = self.slot_of(id, vid); // edge (a, b) is opposite vid
+            self.tris[id as usize].nbr[s_ab] = outside;
+            let out_tri = &self.tris[outside as usize];
+            let s_out = (0..3)
+                .find(|&j| (out_tri.v[(j + 1) % 3], out_tri.v[(j + 2) % 3]) == (b, a))
+                .expect("outside neighbor must share the reversed edge");
+            self.tris[outside as usize].nbr[s_out] = id;
+            let prev = by_first.insert(a, (id, b));
+            debug_assert!(prev.is_none(), "cavity boundary must be a simple cycle");
+        }
+        // New-new adjacencies: T_a = (a, b, vid) and T_b = (b, c, vid)
+        // share the edge (b, vid) — opposite `a` in T_a, opposite `c` in
+        // T_b.
+        for &(a, b, _) in &boundary {
+            let (id_a, _) = by_first[&a];
+            let (id_b, c) = by_first[&b];
+            let s = self.slot_of(id_a, a);
+            self.tris[id_a as usize].nbr[s] = id_b;
+            let s = self.slot_of(id_b, c);
+            self.tris[id_b as usize].nbr[s] = id_a;
+        }
+
+        self.hint = by_first[&boundary[0].0].0;
+    }
+
+    #[inline]
+    fn slot_of(&self, t: u32, x: u32) -> usize {
+        self.tris[t as usize]
+            .v
+            .iter()
+            .position(|&y| y == x)
+            .expect("vertex must belong to triangle")
+    }
+
+    /// All finite undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (t, tri) in self.tris.iter().enumerate() {
+            if !self.alive[t] || tri.v[2] == INF {
+                continue;
+            }
+            for j in 0..3 {
+                let (a, b) = (tri.v[j], tri.v[(j + 1) % 3]);
+                out.push((a.min(b), a.max(b)));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Alive finite triangles (vertex triples, CCW).
+    pub fn finite_triangles(&self) -> Vec<[u32; 3]> {
+        self.tris
+            .iter()
+            .enumerate()
+            .filter(|(t, tri)| self.alive[*t] && tri.v[2] != INF)
+            .map(|(_, tri)| tri.v)
+            .collect()
+    }
+
+    /// Internal consistency check (used by tests): orientation, mutual
+    /// neighbor links, and the local Delaunay property.
+    pub fn validate(&self) {
+        for (t, tri) in self.tris.iter().enumerate() {
+            if !self.alive[t] {
+                continue;
+            }
+            if tri.v[2] != INF {
+                assert_eq!(
+                    orient2d(
+                        self.coords(tri.v[0]),
+                        self.coords(tri.v[1]),
+                        self.coords(tri.v[2])
+                    ),
+                    Sign::Positive,
+                    "finite triangle {t} must be CCW and non-degenerate"
+                );
+            }
+            for j in 0..3 {
+                let nb = tri.nbr[j];
+                assert!(self.alive[nb as usize], "dead neighbor");
+                let (a, b) = (tri.v[(j + 1) % 3], tri.v[(j + 2) % 3]);
+                let ntri = &self.tris[nb as usize];
+                let found = (0..3).any(|k| {
+                    (ntri.v[(k + 1) % 3], ntri.v[(k + 2) % 3]) == (b, a)
+                        && ntri.nbr[k] == t as u32
+                });
+                assert!(found, "neighbor link of tri {t} edge {j} not mutual");
+            }
+        }
+    }
+}
+
+/// Is `p` within the closed segment `[u, w]` (given the three are
+/// collinear)?
+fn within_closed_segment(u: [f64; 2], w: [f64; 2], p: [f64; 2]) -> bool {
+    let lo_x = u[0].min(w[0]);
+    let hi_x = u[0].max(w[0]);
+    let lo_y = u[1].min(w[1]);
+    let hi_y = u[1].max(w[1]);
+    lo_x <= p[0] && p[0] <= hi_x && lo_y <= p[1] && p[1] <= hi_y
+}
+
+/// Hilbert-curve keys for the points (16-bit quantization per axis) —
+/// insertion order with high spatial locality.
+fn hilbert_keys(points: &[Point<2>]) -> Vec<u64> {
+    let mut lo = [f64::INFINITY; 2];
+    let mut hi = [f64::NEG_INFINITY; 2];
+    for p in points {
+        for d in 0..2 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let span = [(hi[0] - lo[0]).max(1e-300), (hi[1] - lo[1]).max(1e-300)];
+    points
+        .iter()
+        .map(|p| {
+            let x = (((p[0] - lo[0]) / span[0]) * 65535.0) as u32;
+            let y = (((p[1] - lo[1]) / span[1]) * 65535.0) as u32;
+            hilbert_d2(x.min(65535), y.min(65535))
+        })
+        .collect()
+}
+
+/// xy → Hilbert distance for a 2^16 × 2^16 grid.
+fn hilbert_d2(mut x: u32, mut y: u32) -> u64 {
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s: u32 = 1 << 15;
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (s.wrapping_mul(2) - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (s.wrapping_mul(2) - 1);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}

@@ -1,0 +1,29 @@
+//! Geometric foundation for `parclust`.
+//!
+//! Points are fixed-dimension (`const D: usize`) stack values so that every
+//! distance computation compiles to a tight unrolled loop — the paper's
+//! algorithms are evaluated at d ∈ {2, 3, 5, 7, 10, 16} and dimension is
+//! always known at the call site.
+
+pub mod aabb;
+pub mod point;
+
+pub use aabb::Aabb;
+pub use point::Point;
+
+/// Squared Euclidean distance; the workhorse used everywhere internal.
+#[inline]
+pub fn dist_sq<const D: usize>(a: &Point<D>, b: &Point<D>) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..D {
+        let d = a.0[i] - b.0[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist<const D: usize>(a: &Point<D>, b: &Point<D>) -> f64 {
+    dist_sq(a, b).sqrt()
+}

@@ -1,0 +1,118 @@
+//! Const-generic points.
+
+use std::ops::{Index, IndexMut};
+
+/// A point in `D`-dimensional Euclidean space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point([0.0; D])
+    }
+}
+
+impl<const D: usize> Point<D> {
+    pub const DIM: usize = D;
+
+    #[inline]
+    pub fn new(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+
+    /// Build a point from a slice (must have length `D`).
+    pub fn from_slice(coords: &[f64]) -> Self {
+        let mut p = [0.0; D];
+        p.copy_from_slice(coords);
+        Point(p)
+    }
+
+    #[inline]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.0
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        crate::dist_sq(self, other)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        crate::dist(self, other)
+    }
+
+    /// Component-wise midpoint.
+    #[inline]
+    pub fn midpoint(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = 0.5 * (self.0[i] + other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// True if any coordinate is NaN or infinite.
+    pub fn is_degenerate(&self) -> bool {
+        self.0.iter().any(|c| !c.is_finite())
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point([0.0, 0.0]);
+        let b = Point([3.0, 4.0]);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_indexing() {
+        let a = Point([1.0, 2.0, 3.0]);
+        let b = Point([3.0, 6.0, 9.0]);
+        let m = a.midpoint(&b);
+        assert_eq!(m, Point([2.0, 4.0, 6.0]));
+        assert_eq!(m[2], 6.0);
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let p: Point<4> = Point::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn degeneracy() {
+        assert!(Point([f64::NAN, 0.0]).is_degenerate());
+        assert!(Point([f64::INFINITY, 0.0]).is_degenerate());
+        assert!(!Point([1.0, -1.0]).is_degenerate());
+    }
+}

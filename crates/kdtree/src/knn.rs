@@ -1,0 +1,339 @@
+//! k-nearest-neighbor queries.
+//!
+//! All-points kNN is the substrate for HDBSCAN\*'s core distances
+//! (Section 3.2.1: "we perform k-NN queries using Euclidean distance with
+//! k = minPts"). Queries run independently in parallel over all points —
+//! `O(k n log n)` expected work for bounded spread, `O(log n)` depth —
+//! matching the primitive attributed to Callahan and Kosaraju [13].
+
+use parclust_geom::{dist_sq, Point};
+use rayon::prelude::*;
+
+use crate::{KdTree, NodeId};
+
+/// A fixed-capacity max-heap of `(squared distance, point id)` pairs that
+/// keeps the `k` smallest distances seen.
+pub struct KnnHeap {
+    k: usize,
+    // (dist_sq, id), heap-ordered with the largest dist_sq at index 0.
+    items: Vec<(f64, u32)>,
+}
+
+impl KnnHeap {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        KnnHeap {
+            k,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    /// Current pruning bound: the k-th smallest distance seen so far
+    /// (infinite until the heap is full).
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        if self.items.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.items[0].0
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offer a candidate; keeps it only if it beats the current bound.
+    /// Ties are broken toward smaller ids for determinism.
+    #[inline]
+    pub fn offer(&mut self, d_sq: f64, id: u32) {
+        if self.items.len() < self.k {
+            self.items.push((d_sq, id));
+            self.sift_up(self.items.len() - 1);
+        } else if (d_sq, id) < self.items[0] {
+            self.items[0] = (d_sq, id);
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[parent] < self.items[i] {
+                self.items.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.items.len() && self.items[l] > self.items[largest] {
+                largest = l;
+            }
+            if r < self.items.len() && self.items[r] > self.items[largest] {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.items.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Drain into `(dist_sq, id)` pairs sorted by increasing distance.
+    pub fn into_sorted(mut self) -> Vec<(f64, u32)> {
+        self.items
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+        self.items
+    }
+
+    /// The largest distance currently held (the k-th neighbor distance once
+    /// full).
+    pub fn max_dist_sq(&self) -> Option<f64> {
+        self.items.first().map(|&(d, _)| d)
+    }
+}
+
+/// Result of an all-points kNN query: for each original point index, its
+/// `k` nearest neighbors (including itself) sorted by distance.
+pub struct AllKnn {
+    pub k: usize,
+    /// Flat `n × k` neighbor ids (original indices), row i = point i.
+    pub ids: Vec<u32>,
+    /// Flat `n × k` squared distances aligned with `ids`.
+    pub dist_sq: Vec<f64>,
+}
+
+impl AllKnn {
+    /// Neighbors of original point `i`, nearest first.
+    pub fn neighbors(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = i * self.k;
+        (&self.ids[lo..lo + self.k], &self.dist_sq[lo..lo + self.k])
+    }
+
+    /// Distance to the k-th nearest neighbor of point `i` (including the
+    /// point itself) — the HDBSCAN\* *core distance* when `k = minPts`.
+    pub fn kth_dist(&self, i: usize) -> f64 {
+        self.dist_sq[i * self.k + self.k - 1].sqrt()
+    }
+}
+
+impl<const D: usize> KdTree<D> {
+    /// kNN of an arbitrary query point; returns up to `k` `(dist_sq,
+    /// original id)` pairs sorted by distance. Points of the tree equal to
+    /// the query are included (distance zero).
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<(f64, u32)> {
+        let mut heap = KnnHeap::new(k.min(self.len()));
+        self.knn_recurse(self.root(), q, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn knn_recurse(&self, id: NodeId, q: &Point<D>, heap: &mut KnnHeap) {
+        let node = self.node(id);
+        if node.is_leaf() {
+            let ids = self.node_point_ids(id);
+            for (p, &orig) in self.node_points(id).iter().zip(ids) {
+                heap.offer(dist_sq(p, q), orig);
+            }
+            return;
+        }
+        // Visit the nearer child first for better pruning.
+        let l = self.node(node.left);
+        let r = self.node(node.right);
+        let dl = l.bbox.dist_sq_to_point(q);
+        let dr = r.bbox.dist_sq_to_point(q);
+        let (first, d_first, second, d_second) = if dl <= dr {
+            (node.left, dl, node.right, dr)
+        } else {
+            (node.right, dr, node.left, dl)
+        };
+        if d_first < heap.bound() {
+            self.knn_recurse(first, q, heap);
+        }
+        if d_second < heap.bound() {
+            self.knn_recurse(second, q, heap);
+        }
+    }
+
+    /// All-points kNN, in parallel. Each point's neighbor list includes the
+    /// point itself (distance 0), matching the paper's definition.
+    pub fn knn_all(&self, k: usize) -> AllKnn {
+        let n = self.len();
+        let k = k.min(n);
+        let mut ids = vec![0u32; n * k];
+        let mut dist_sq_out = vec![0f64; n * k];
+        // Process queries in permuted order: neighboring queries touch
+        // neighboring subtrees, which is significantly more cache-friendly.
+        ids.par_chunks_mut(k)
+            .zip(dist_sq_out.par_chunks_mut(k))
+            .enumerate()
+            .for_each(|(orig, (id_row, d_row))| {
+                // Rows are indexed by original id: find the query point by
+                // original index via the inverse permutation lazily.
+                let q = &self.points_by_original()[orig];
+                let mut heap = KnnHeap::new(k);
+                self.knn_recurse(self.root(), q, &mut heap);
+                let sorted = heap.into_sorted();
+                debug_assert_eq!(sorted.len(), k);
+                for (j, (d, pid)) in sorted.into_iter().enumerate() {
+                    id_row[j] = pid;
+                    d_row[j] = d;
+                }
+            });
+        AllKnn {
+            k,
+            ids,
+            dist_sq: dist_sq_out,
+        }
+    }
+
+    /// Lazily-built view of the points in original order (the tree stores
+    /// them permuted).
+    pub fn points_by_original(&self) -> &[Point<D>] {
+        self.original_points
+            .get_or_init(|| {
+                let n = self.len();
+                let mut out = vec![Point::default(); n];
+                for (pos, &orig) in self.idx.iter().enumerate() {
+                    out[orig as usize] = self.points[pos];
+                }
+                out
+            })
+            .as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = [0.0; D];
+                for x in c.iter_mut() {
+                    *x = rng.gen_range(-50.0..50.0);
+                }
+                Point(c)
+            })
+            .collect()
+    }
+
+    fn brute_knn<const D: usize>(pts: &[Point<D>], q: &Point<D>, k: usize) -> Vec<(f64, u32)> {
+        let mut all: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (dist_sq(p, q), i as u32))
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn heap_keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].into_iter().enumerate() {
+            h.offer(d, i as u32);
+        }
+        let got = h.into_sorted();
+        assert_eq!(got, vec![(1.0, 1), (2.0, 3), (3.0, 4)]);
+    }
+
+    #[test]
+    fn heap_tie_break_on_ids() {
+        let mut h = KnnHeap::new(2);
+        h.offer(1.0, 9);
+        h.offer(1.0, 3);
+        h.offer(1.0, 7);
+        let got = h.into_sorted();
+        assert_eq!(got, vec![(1.0, 3), (1.0, 7)]);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_2d() {
+        let pts = random_points::<2>(500, 11);
+        let tree = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let q = Point([rng.gen_range(-60.0..60.0), rng.gen_range(-60.0..60.0)]);
+            for k in [1, 3, 10] {
+                let got = tree.knn(&q, k);
+                let want = brute_knn(&pts, &q, k);
+                // Distances must agree exactly (ids may differ only on ties,
+                // which the deterministic tie-break prevents).
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_all_matches_brute_force_5d() {
+        let pts = random_points::<5>(300, 12);
+        let tree = KdTree::build(&pts);
+        let k = 4;
+        let all = tree.knn_all(k);
+        for (i, p) in pts.iter().enumerate() {
+            let want = brute_knn(&pts, p, k);
+            let (ids, ds) = all.neighbors(i);
+            for j in 0..k {
+                assert_eq!(ds[j], want[j].0, "point {i} neighbor {j}");
+                assert_eq!(ids[j], want[j].1, "point {i} neighbor {j}");
+            }
+            // Self is always the nearest neighbor at distance 0.
+            assert_eq!(ids[0], i as u32);
+            assert_eq!(ds[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn knn_with_duplicates() {
+        let mut pts = vec![Point([0.0, 0.0]); 5];
+        pts.push(Point([1.0, 0.0]));
+        pts.push(Point([2.0, 0.0]));
+        let tree = KdTree::build(&pts);
+        let got = tree.knn(&Point([0.0, 0.0]), 6);
+        assert_eq!(got.len(), 6);
+        // Five zero-distance duplicates then the point at distance 1.
+        assert!(got[..5].iter().all(|&(d, _)| d == 0.0));
+        assert_eq!(got[5].0, 1.0);
+    }
+
+    #[test]
+    fn kth_dist_is_core_distance() {
+        // Worked example from Figure 1 of the paper: point a at minPts=3 has
+        // core distance 4 (b is its third nearest neighbor incl. itself).
+        let pts = vec![
+            Point([0.0, 0.0]),  // a
+            Point([4.0, 0.0]),  // b (d(a,b) = 4)
+            Point([1.0, 1.0]),  // d (d(a,d) = sqrt(2))
+        ];
+        let tree = KdTree::build(&pts);
+        let all = tree.knn_all(3);
+        assert_eq!(all.kth_dist(0), 4.0);
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let pts = random_points::<2>(5, 13);
+        let tree = KdTree::build(&pts);
+        let got = tree.knn(&pts[0], 10);
+        assert_eq!(got.len(), 5);
+        let all = tree.knn_all(10);
+        assert_eq!(all.k, 5);
+    }
+}

@@ -1,0 +1,446 @@
+//! Parallel spatial-median kd-tree.
+//!
+//! The tree described in Section 2.3 and used by every algorithm in the
+//! paper: nodes split the widest dimension of their bounding box at the
+//! spatial midpoint, children are built in parallel, and (per Section 3.1.1)
+//! leaves hold exactly one point. Slabs of exact duplicates (which no plane
+//! separates) are split by rank instead, so the singleton-leaf invariant —
+//! on which the WSPD's exact-pair-cover property rests — holds even for
+//! degenerate inputs.
+//!
+//! Layout: nodes live in a flat arena. A subtree over `k` points owns the
+//! contiguous slab of exactly `2k - 1` slots starting at its own id, which
+//! makes the parallel build allocation-free after one upfront `Vec` and
+//! keeps every subtree's nodes contiguous for cache-friendly traversal.
+
+pub mod knn;
+pub mod range;
+
+use parclust_geom::{Aabb, Point};
+
+pub use knn::{AllKnn, KnnHeap};
+
+/// Node identifier within a [`KdTree`] arena.
+pub type NodeId = u32;
+/// Marker for "no child".
+pub const NULL_NODE: NodeId = u32::MAX;
+
+/// Below this subtree size the build recursion runs sequentially.
+const BUILD_GRAIN: usize = 4096;
+
+/// A kd-tree node covering the permuted point range `start..end`.
+#[derive(Debug, Clone, Copy)]
+pub struct Node<const D: usize> {
+    pub bbox: Aabb<D>,
+    pub start: u32,
+    pub end: u32,
+    pub left: NodeId,
+    pub right: NodeId,
+}
+
+impl<const D: usize> Default for Node<D> {
+    fn default() -> Self {
+        Node {
+            bbox: Aabb::empty(),
+            start: 0,
+            end: 0,
+            left: NULL_NODE,
+            right: NULL_NODE,
+        }
+    }
+}
+
+impl<const D: usize> Node<D> {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left == NULL_NODE
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+}
+
+/// Parallel spatial-median kd-tree over a point set.
+///
+/// The tree owns a *permuted copy* of the input points; `idx[i]` maps
+/// permuted position `i` back to the original point index.
+pub struct KdTree<const D: usize> {
+    pub points: Vec<Point<D>>,
+    pub idx: Vec<u32>,
+    pub nodes: Vec<Node<D>>,
+    root: NodeId,
+    /// Lazily materialized copy of the points in original order.
+    pub(crate) original_points: std::sync::OnceLock<Vec<Point<D>>>,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Build the tree in parallel. `O(n log n)` work (bounding boxes are
+    /// recomputed exactly at every level), polylogarithmic depth.
+    pub fn build(input: &[Point<D>]) -> Self {
+        let n = input.len();
+        assert!(n > 0, "KdTree::build requires at least one point");
+        assert!(n < (u32::MAX / 2) as usize, "point count exceeds u32 arena");
+        let mut points = input.to_vec();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let mut nodes: Vec<Node<D>> = vec![Node::default(); 2 * n - 1];
+        build_recurse(&mut points, &mut idx, &mut nodes, 0, 0);
+        KdTree {
+            points,
+            idx,
+            nodes,
+            root: 0,
+            original_points: std::sync::OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<D> {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of points in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total arena slots (including slack from duplicate-point leaves).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Permuted points covered by `node` (contiguous).
+    #[inline]
+    pub fn node_points(&self, id: NodeId) -> &[Point<D>] {
+        let n = self.node(id);
+        &self.points[n.start as usize..n.end as usize]
+    }
+
+    /// Original indices of the points covered by `node`.
+    #[inline]
+    pub fn node_point_ids(&self, id: NodeId) -> &[u32] {
+        let n = self.node(id);
+        &self.idx[n.start as usize..n.end as usize]
+    }
+
+    /// Bottom-up aggregation: computes a value per node from a leaf function
+    /// over permuted point ranges and a merge function, in parallel. The
+    /// returned vector is indexed by [`NodeId`]; slots not reachable from the
+    /// root keep `T::default()`.
+    pub fn aggregate_bottom_up<T, L, M>(&self, leaf: &L, merge: &M) -> Vec<T>
+    where
+        T: Default + Clone + Send + Sync,
+        L: Fn(&Node<D>, &[Point<D>], &[u32]) -> T + Sync,
+        M: Fn(&T, &T) -> T + Sync,
+    {
+        let mut out: Vec<T> = vec![T::default(); self.nodes.len()];
+        self.aggregate_into(self.root, &mut out[..], self.root as usize, leaf, merge);
+        out
+    }
+
+    fn aggregate_into<T, L, M>(
+        &self,
+        id: NodeId,
+        slab: &mut [T],
+        slab_base: usize,
+        leaf: &L,
+        merge: &M,
+    ) where
+        T: Default + Clone + Send + Sync,
+        L: Fn(&Node<D>, &[Point<D>], &[u32]) -> T + Sync,
+        M: Fn(&T, &T) -> T + Sync,
+    {
+        let node = self.node(id);
+        if node.is_leaf() {
+            slab[id as usize - slab_base] =
+                leaf(node, self.node_points(id), self.node_point_ids(id));
+            return;
+        }
+        let (l, r) = (node.left, node.right);
+        // The arena slab of a subtree is contiguous and the right child's
+        // slab starts exactly at its own id; split the output there so the
+        // children recurse into disjoint slices.
+        let split_at = r as usize - slab_base;
+        let (slab_l, slab_r) = slab.split_at_mut(split_at);
+        if node.size() >= BUILD_GRAIN {
+            rayon::join(
+                || self.aggregate_into(l, slab_l, slab_base, leaf, merge),
+                || self.aggregate_into(r, slab_r, r as usize, leaf, merge),
+            );
+        } else {
+            self.aggregate_into(l, slab_l, slab_base, leaf, merge);
+            self.aggregate_into(r, slab_r, r as usize, leaf, merge);
+        }
+        let merged = merge(&slab[l as usize - slab_base], &slab[r as usize - slab_base]);
+        slab[id as usize - slab_base] = merged;
+    }
+}
+
+/// Recursive parallel build over `points[..]`/`idx[..]` (absolute point
+/// offset `point_base`), writing nodes into `nodes[..]` whose slot 0 has
+/// absolute id `node_base`.
+fn build_recurse<const D: usize>(
+    points: &mut [Point<D>],
+    idx: &mut [u32],
+    nodes: &mut [Node<D>],
+    point_base: u32,
+    node_base: u32,
+) {
+    let k = points.len();
+    debug_assert!(k >= 1);
+    let bbox = Aabb::from_points(points);
+
+    if k == 1 {
+        nodes[0] = Node {
+            bbox,
+            start: point_base,
+            end: point_base + 1,
+            left: NULL_NODE,
+            right: NULL_NODE,
+        };
+        return;
+    }
+
+    // Spatial median: split the widest dimension at its midpoint. Degenerate
+    // slabs (exact duplicates, or sub-ulp extents where the midpoint equals
+    // an endpoint) fall back to a rank split so both sides stay non-empty
+    // and every leaf ends up a singleton.
+    let mut split = 0;
+    if bbox.diag_sq() > 0.0 {
+        let dim = bbox.widest_dim();
+        let mid = 0.5 * (bbox.lo[dim] + bbox.hi[dim]);
+        split = partition_in_place(points, idx, dim, mid);
+    }
+    if split == 0 || split == k {
+        split = k / 2;
+    }
+
+    // Left subtree: slab [1, 2*split), right subtree: slab [2*split, 2k-1).
+    let left_id = node_base + 1;
+    let right_id = node_base + 2 * split as u32;
+    nodes[0] = Node {
+        bbox,
+        start: point_base,
+        end: point_base + k as u32,
+        left: left_id,
+        right: right_id,
+    };
+    let (lp, rp) = points.split_at_mut(split);
+    let (li, ri) = idx.split_at_mut(split);
+    let (_, rest) = nodes.split_at_mut(1);
+    let (ln, rn) = rest.split_at_mut(2 * split - 1);
+
+    if k >= BUILD_GRAIN {
+        rayon::join(
+            || build_recurse(lp, li, ln, point_base, left_id),
+            || build_recurse(rp, ri, rn, point_base + split as u32, right_id),
+        );
+    } else {
+        build_recurse(lp, li, ln, point_base, left_id);
+        build_recurse(rp, ri, rn, point_base + split as u32, right_id);
+    }
+}
+
+/// Hoare-style in-place partition of `points`/`idx` by `coord[dim] < mid`;
+/// returns the number of elements in the "less" prefix.
+fn partition_in_place<const D: usize>(
+    points: &mut [Point<D>],
+    idx: &mut [u32],
+    dim: usize,
+    mid: f64,
+) -> usize {
+    let mut i = 0usize;
+    let mut j = points.len();
+    loop {
+        while i < j && points[i][dim] < mid {
+            i += 1;
+        }
+        while i < j && points[j - 1][dim] >= mid {
+            j -= 1;
+        }
+        if i >= j {
+            return i;
+        }
+        points.swap(i, j - 1);
+        idx.swap(i, j - 1);
+        i += 1;
+        j -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    pub(crate) fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = [0.0; D];
+                for x in c.iter_mut() {
+                    *x = rng.gen_range(-100.0..100.0);
+                }
+                Point(c)
+            })
+            .collect()
+    }
+
+    fn check_tree_invariants<const D: usize>(tree: &KdTree<D>) {
+        // Every point covered exactly once by leaves; bboxes contain their
+        // points; children partition the parent's range.
+        let n = tree.len();
+        let mut covered = vec![false; n];
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            assert!(node.size() >= 1);
+            for p in tree.node_points(id) {
+                assert!(node.bbox.contains(p), "bbox must contain node points");
+            }
+            if node.is_leaf() {
+                assert_eq!(node.size(), 1, "leaves must be singletons");
+                for i in node.start..node.end {
+                    assert!(!covered[i as usize], "point covered twice");
+                    covered[i as usize] = true;
+                }
+            } else {
+                let l = tree.node(node.left);
+                let r = tree.node(node.right);
+                assert_eq!(l.start, node.start);
+                assert_eq!(l.end, r.start);
+                assert_eq!(r.end, node.end);
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "all points must be covered");
+        // The permutation is a bijection.
+        let mut seen = vec![false; n];
+        for &i in &tree.idx {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn build_single_point() {
+        let tree = KdTree::build(&[Point([1.0, 2.0])]);
+        assert_eq!(tree.len(), 1);
+        assert!(tree.node(tree.root()).is_leaf());
+        check_tree_invariants(&tree);
+    }
+
+    #[test]
+    fn build_small_2d() {
+        let pts = random_points::<2>(100, 1);
+        let tree = KdTree::build(&pts);
+        check_tree_invariants(&tree);
+        // Singleton leaves for distinct points.
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                assert_eq!(node.size(), 1);
+            } else {
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+    }
+
+    #[test]
+    fn build_large_parallel_3d() {
+        let pts = random_points::<3>(50_000, 2);
+        let tree = KdTree::build(&pts);
+        check_tree_invariants(&tree);
+    }
+
+    #[test]
+    fn build_with_duplicates() {
+        let mut pts = random_points::<2>(50, 3);
+        // Inject many exact duplicates.
+        for i in 0..40 {
+            pts.push(pts[i % 10]);
+        }
+        let tree = KdTree::build(&pts);
+        check_tree_invariants(&tree);
+    }
+
+    #[test]
+    fn build_all_identical() {
+        // Exact duplicates are split by rank: still one point per leaf.
+        let pts = vec![Point([3.0, 3.0]); 64];
+        let tree = KdTree::build(&pts);
+        assert!(!tree.node(tree.root()).is_leaf());
+        assert_eq!(tree.node(tree.root()).size(), 64);
+        check_tree_invariants(&tree);
+    }
+
+    #[test]
+    fn build_collinear() {
+        let pts: Vec<Point<2>> = (0..500).map(|i| Point([i as f64, 0.0])).collect();
+        let tree = KdTree::build(&pts);
+        check_tree_invariants(&tree);
+    }
+
+    #[test]
+    fn aggregate_sizes() {
+        let pts = random_points::<2>(10_000, 4);
+        let tree = KdTree::build(&pts);
+        // Aggregate: subtree point counts.
+        let counts =
+            tree.aggregate_bottom_up(&|node, _, _| node.size(), &|a: &usize, b: &usize| a + b);
+        assert_eq!(counts[tree.root() as usize], 10_000);
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            assert_eq!(counts[id as usize], node.size());
+            if !node.is_leaf() {
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_min_coordinate_matches_bbox() {
+        let pts = random_points::<3>(30_000, 5);
+        let tree = KdTree::build(&pts);
+        #[derive(Clone)]
+        struct MinX(f64);
+        impl Default for MinX {
+            fn default() -> Self {
+                MinX(f64::INFINITY)
+            }
+        }
+        let mins = tree.aggregate_bottom_up(
+            &|_, pts: &[Point<3>], _| {
+                MinX(pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min))
+            },
+            &|a: &MinX, b: &MinX| MinX(a.0.min(b.0)),
+        );
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            assert_eq!(mins[id as usize].0, node.bbox.lo[0]);
+            if !node.is_leaf() {
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Radius (range) queries.
+//!
+//! DBSCAN-style algorithms need "all points within distance ε of q"; the
+//! kd-tree answers it by pruning subtrees whose bounding boxes are farther
+//! than ε. Used by the direct DBSCAN\* implementation that the bench
+//! harness contrasts with the one-hierarchy-many-ε HDBSCAN\* workflow the
+//! paper advocates.
+
+use parclust_geom::{dist_sq, Point};
+
+use crate::{KdTree, NodeId};
+
+impl<const D: usize> KdTree<D> {
+    /// Original indices of all points within Euclidean distance `radius`
+    /// of `q` (inclusive), in arbitrary order. Includes any tree point
+    /// equal to `q`.
+    pub fn within_radius(&self, q: &Point<D>, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.within_radius_into(q, radius, &mut out);
+        out
+    }
+
+    /// [`KdTree::within_radius`] into a reusable buffer (cleared first).
+    pub fn within_radius_into(&self, q: &Point<D>, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        assert!(radius >= 0.0 && radius.is_finite());
+        let r_sq = radius * radius;
+        self.range_recurse(self.root(), q, r_sq, out);
+    }
+
+    /// Count of points within `radius` of `q` — enough for core-point
+    /// tests, cheaper than materializing ids.
+    pub fn count_within_radius(&self, q: &Point<D>, radius: f64) -> usize {
+        let r_sq = radius * radius;
+        let mut count = 0usize;
+        self.range_count_recurse(self.root(), q, r_sq, &mut count);
+        count
+    }
+
+    fn range_recurse(&self, id: NodeId, q: &Point<D>, r_sq: f64, out: &mut Vec<u32>) {
+        let node = self.node(id);
+        if node.bbox.dist_sq_to_point(q) > r_sq {
+            return;
+        }
+        if node.is_leaf() {
+            for (p, &orig) in self.node_points(id).iter().zip(self.node_point_ids(id)) {
+                if dist_sq(p, q) <= r_sq {
+                    out.push(orig);
+                }
+            }
+            return;
+        }
+        self.range_recurse(node.left, q, r_sq, out);
+        self.range_recurse(node.right, q, r_sq, out);
+    }
+
+    fn range_count_recurse(&self, id: NodeId, q: &Point<D>, r_sq: f64, count: &mut usize) {
+        let node = self.node(id);
+        let d_min = node.bbox.dist_sq_to_point(q);
+        if d_min > r_sq {
+            return;
+        }
+        // Whole-subtree acceptance: the farthest box corner within range.
+        let d_max = {
+            let mut acc = 0.0;
+            for i in 0..D {
+                let lo = (q[i] - node.bbox.lo[i]).abs();
+                let hi = (q[i] - node.bbox.hi[i]).abs();
+                let d = lo.max(hi);
+                acc += d * d;
+            }
+            acc
+        };
+        if d_max <= r_sq {
+            *count += node.size();
+            return;
+        }
+        if node.is_leaf() {
+            for p in self.node_points(id) {
+                if dist_sq(p, q) <= r_sq {
+                    *count += 1;
+                }
+            }
+            return;
+        }
+        self.range_count_recurse(node.left, q, r_sq, count);
+        self.range_count_recurse(node.right, q, r_sq, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<3>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point([
+                    rng.gen_range(-20.0..20.0),
+                    rng.gen_range(-20.0..20.0),
+                    rng.gen_range(-20.0..20.0),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let pts = random_points(800, 1);
+        let tree = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q = Point([
+                rng.gen_range(-25.0..25.0),
+                rng.gen_range(-25.0..25.0),
+                rng.gen_range(-25.0..25.0),
+            ]);
+            let r = rng.gen_range(0.5..15.0);
+            let mut got = tree.within_radius(&q, r);
+            got.sort_unstable();
+            let mut want: Vec<u32> = (0..pts.len() as u32)
+                .filter(|&i| pts[i as usize].dist(&q) <= r)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(tree.count_within_radius(&q, r), want.len());
+        }
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_matches() {
+        let pts = vec![
+            Point([1.0, 1.0, 1.0]),
+            Point([1.0, 1.0, 1.0]),
+            Point([2.0, 2.0, 2.0]),
+        ];
+        let tree = KdTree::build(&pts);
+        let mut got = tree.within_radius(&Point([1.0, 1.0, 1.0]), 0.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn radius_covering_everything() {
+        let pts = random_points(300, 3);
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.within_radius(&pts[0], 1e6).len(), 300);
+        assert_eq!(tree.count_within_radius(&pts[0], 1e6), 300);
+    }
+}

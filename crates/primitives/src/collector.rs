@@ -1,0 +1,101 @@
+//! Per-thread output collection for irregular parallel producers.
+//!
+//! Recursive traversals (WSPD construction, MemoGFK pair retrieval) emit
+//! results at unpredictable points of a fork-join computation. A
+//! [`Collector`] gives every rayon worker its own buffer — pushes are
+//! uncontended — and concatenates the buffers at the end. The output order
+//! is nondeterministic across threads; consumers that need determinism sort
+//! by a canonical key afterwards (all of ours do).
+
+use parking_lot::Mutex;
+
+/// A fixed set of per-worker buffers.
+pub struct Collector<T> {
+    shards: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T> Default for Collector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Collector<T> {
+    pub fn new() -> Self {
+        // One shard per worker plus one for pushes from outside the pool.
+        let shards = (0..rayon::current_num_threads() + 1)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        Collector { shards }
+    }
+
+    /// Shard for the calling thread. The modulo guards against being used
+    /// from a pool larger than the one present at construction time.
+    #[inline]
+    fn shard(&self) -> &Mutex<Vec<T>> {
+        let i = rayon::current_thread_index().map_or(self.shards.len() - 1, |i| i);
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Append `value` to the current worker's buffer.
+    #[inline]
+    pub fn push(&self, value: T) {
+        self.shard().lock().push(value);
+    }
+
+    /// Append many values at once.
+    pub fn extend<I: IntoIterator<Item = T>>(&self, values: I) {
+        self.shard().lock().extend(values);
+    }
+
+    /// Total number of collected items.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concatenate all buffers (must be called after producers finish).
+    pub fn into_vec(self) -> Vec<T> {
+        let mut total = 0;
+        let mut bufs: Vec<Vec<T>> = Vec::with_capacity(self.shards.len());
+        for shard in self.shards {
+            let buf = shard.into_inner();
+            total += buf.len();
+            bufs.push(buf);
+        }
+        let mut out = Vec::with_capacity(total);
+        for buf in bufs {
+            out.extend(buf);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn collects_everything() {
+        let c: Collector<u64> = Collector::new();
+        (0..100_000u64).into_par_iter().for_each(|i| c.push(i));
+        assert_eq!(c.len(), 100_000);
+        let mut out = c.into_vec();
+        out.sort_unstable();
+        assert_eq!(out, (0..100_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_outside_pool() {
+        let c: Collector<u32> = Collector::new();
+        c.push(1);
+        c.extend([2, 3]);
+        let mut out = c.into_vec();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Phase-concurrent open-addressing hash table.
+//!
+//! The paper assumes a parallel hash table supporting `n` inserts and finds
+//! in `O(n)` work and `O(log n)` depth w.h.p. (Section 2.2, citing Gil,
+//! Matias, and Vishkin [29]). This is a linear-probing table over `u64`
+//! keys and values in the phase-concurrent style: any number of concurrent
+//! `insert`s and `get`s may proceed together, with the caveat that a `get`
+//! racing an `insert` of the *same* key may miss it (callers use the table
+//! as a memoization cache, for which a rare miss only costs a recompute).
+//!
+//! Used by MemoGFK's cross-round BCCP cache, keyed by the packed kd-node
+//! pair with the packed point-index pair as the value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reserved key indicating an empty slot. Keys must be `< u64::MAX`.
+pub const EMPTY_KEY: u64 = u64::MAX;
+/// Reserved value indicating "not yet written". Values must be `< u64::MAX`.
+pub const NOT_READY: u64 = u64::MAX;
+
+/// Fixed-capacity phase-concurrent hash table from `u64` keys to `u64`
+/// values.
+pub struct ConMap {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU64>,
+    mask: usize,
+}
+
+#[inline]
+fn mix(mut k: u64) -> u64 {
+    // Murmur3 finalizer: full-avalanche, cheap.
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51afd7ed558ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ceb9fe1a85ec53);
+    k ^= k >> 33;
+    k
+}
+
+impl ConMap {
+    /// Create a table able to hold at least `n` distinct keys (sized to at
+    /// least 2x occupancy so probe sequences stay short).
+    pub fn with_capacity(n: usize) -> Self {
+        let slots = (2 * n.max(8)).next_power_of_two();
+        Self {
+            keys: (0..slots).map(|_| AtomicU64::new(EMPTY_KEY)).collect(),
+            values: (0..slots).map(|_| AtomicU64::new(NOT_READY)).collect(),
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of slots (not entries).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Insert `(key, value)`. If the key is already present the value is
+    /// overwritten (our callers only ever write identical values for a given
+    /// key, making the race benign). Panics if the table is full.
+    pub fn insert(&self, key: u64, value: u64) {
+        assert!(
+            self.try_insert(key, value),
+            "ConMap full: size the table for the expected number of keys"
+        );
+    }
+
+    /// Insert `(key, value)`, returning `false` if the table is full — used
+    /// by callers (e.g. the BCCP cache) for which dropping an entry only
+    /// costs a recompute.
+    pub fn try_insert(&self, key: u64, value: u64) -> bool {
+        debug_assert_ne!(key, EMPTY_KEY, "key sentinel is reserved");
+        debug_assert_ne!(value, NOT_READY, "value sentinel is reserved");
+        let mut idx = (mix(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let cur = self.keys[idx].load(Ordering::Acquire);
+            if cur == key {
+                self.values[idx].store(value, Ordering::Release);
+                return true;
+            }
+            if cur == EMPTY_KEY {
+                match self.keys[idx].compare_exchange(
+                    EMPTY_KEY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.values[idx].store(value, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) if actual == key => {
+                        self.values[idx].store(value, Ordering::Release);
+                        return true;
+                    }
+                    Err(_) => { /* lost the slot to a different key; keep probing */ }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Look up `key`. Returns `None` if absent or if a concurrent insert of
+    /// this key has not yet published its value.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY_KEY);
+        let mut idx = (mix(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let cur = self.keys[idx].load(Ordering::Acquire);
+            if cur == key {
+                let v = self.values[idx].load(Ordering::Acquire);
+                return (v != NOT_READY).then_some(v);
+            }
+            if cur == EMPTY_KEY {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Iterate over the entries present at a quiescent point (no concurrent
+    /// writers).
+    pub fn iter_quiescent(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.keys.iter().zip(self.values.iter()).filter_map(|(k, v)| {
+            let k = k.load(Ordering::Relaxed);
+            let v = v.load(Ordering::Relaxed);
+            (k != EMPTY_KEY && v != NOT_READY).then_some((k, v))
+        })
+    }
+}
+
+/// A growable concurrent map: lock-striped shards over the fast hasher.
+/// Used where the key population is unknown up front (e.g. MemoGFK's BCCP
+/// cache, whose size is the WSPD pair count — `O(n)` with a
+/// dimension-dependent constant that can exceed 100). Per-op locking is
+/// amortized by the work each cached value saves.
+pub struct ShardedMap {
+    shards: Vec<parking_lot::Mutex<crate::hash::FastMap<u64, u64>>>,
+    mask: usize,
+}
+
+impl ShardedMap {
+    pub fn new() -> Self {
+        Self::with_shards(64)
+    }
+
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.next_power_of_two();
+        ShardedMap {
+            shards: (0..n)
+                .map(|_| parking_lot::Mutex::new(crate::hash::FastMap::default()))
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &parking_lot::Mutex<crate::hash::FastMap<u64, u64>> {
+        &self.shards[(mix(key) as usize) & self.mask]
+    }
+
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.shard(key).lock().get(&key).copied()
+    }
+
+    #[inline]
+    pub fn insert(&self, key: u64, value: u64) {
+        self.shard(key).lock().insert(key, value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ShardedMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sharded_map_concurrent_roundtrip() {
+        let m = ShardedMap::new();
+        (0..100_000u64).into_par_iter().for_each(|i| {
+            m.insert(i, i * 3);
+        });
+        assert_eq!(m.len(), 100_000);
+        (0..100_000u64).into_par_iter().for_each(|i| {
+            assert_eq!(m.get(i), Some(i * 3));
+        });
+        assert_eq!(m.get(1_000_001), None);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let m = ConMap::with_capacity(1000);
+        for i in 0..1000u64 {
+            m.insert(i * 7 + 1, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(i * 7 + 1), Some(i));
+        }
+        assert_eq!(m.get(999_999), None);
+    }
+
+    #[test]
+    fn overwrite_same_key() {
+        let m = ConMap::with_capacity(8);
+        m.insert(42, 1);
+        m.insert(42, 2);
+        assert_eq!(m.get(42), Some(2));
+    }
+
+    #[test]
+    fn concurrent_inserts_match_hashmap() {
+        let n = 200_000u64;
+        let m = ConMap::with_capacity(n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            // Many duplicate keys, all writing the same value per key.
+            let k = mix(i % 50_000);
+            m.insert(k, k.wrapping_mul(3) & !(1 << 63));
+        });
+        let mut want = HashMap::new();
+        for i in 0..n {
+            let k = mix(i % 50_000);
+            want.insert(k, k.wrapping_mul(3) & !(1 << 63));
+        }
+        let got: HashMap<u64, u64> = m.iter_quiescent().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_mixed_insert_get() {
+        let n = 100_000u64;
+        let m = ConMap::with_capacity(n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            let k = i % 10_000 + 1;
+            if i % 2 == 0 {
+                m.insert(k, k * 2);
+            } else if let Some(v) = m.get(k) {
+                // Any value observed must be the (unique) published value.
+                assert_eq!(v, k * 2);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "ConMap full")]
+    fn panics_when_overfull() {
+        let m = ConMap::with_capacity(4);
+        for i in 0..64 {
+            m.insert(i + 1, i);
+        }
+    }
+}

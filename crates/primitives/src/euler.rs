@@ -1,0 +1,251 @@
+//! Euler tours of trees and tree rooting.
+//!
+//! The Euler tour of a tree is a directed circuit traversing each edge once
+//! in each direction (Section 2.2). The dendrogram algorithm of Section 4
+//! uses it to compute the unweighted *vertex distances* from the starting
+//! vertex `s`: each arc is labeled `+1` going down and `-1` going up, and
+//! list ranking over the tour yields the depths. We provide both the Euler
+//! tour pipeline and a sequential BFS fallback used for small inputs (the
+//! paper's own implementation makes the same simplification).
+
+use rayon::prelude::*;
+
+use crate::listrank::{list_rank, NIL};
+use crate::SEQ_CUTOFF;
+
+/// Euler tour of a tree on `n` vertices with `n-1` undirected edges.
+///
+/// Arc `2e` is `u -> v` and arc `2e+1` is `v -> u` for input edge
+/// `e = (u, v)`. `next[a]` is the successor arc in the Euler circuit.
+pub struct EulerTour {
+    /// Successor arc of each arc in the circuit.
+    pub next: Vec<u32>,
+    /// An arbitrary outgoing arc per vertex (`NIL` for isolated vertices).
+    pub first_out: Vec<u32>,
+    /// Arc endpoints `(source, target)`.
+    pub arcs: Vec<(u32, u32)>,
+}
+
+/// Build an Euler tour. `edges` must form a forest; each tree yields its own
+/// circuit.
+pub fn euler_tour(n: usize, edges: &[(u32, u32)]) -> EulerTour {
+    let m = edges.len();
+    let num_arcs = 2 * m;
+
+    // Arc list: arc 2e = (u, v), arc 2e+1 = (v, u).
+    let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(num_arcs);
+    for &(u, v) in edges {
+        arcs.push((u, v));
+        arcs.push((v, u));
+    }
+
+    // Group arcs by source via counting sort (deterministic order).
+    let mut deg = vec![0u32; n];
+    for &(u, _) in &arcs {
+        deg[u as usize] += 1;
+    }
+    let mut offset = vec![0u32; n + 1];
+    for i in 0..n {
+        offset[i + 1] = offset[i] + deg[i];
+    }
+    let mut slot = offset[..n].to_vec();
+    let mut by_source = vec![0u32; num_arcs]; // arc ids grouped by source
+    let mut pos_in_list = vec![0u32; num_arcs]; // position of each arc within its source group
+    for (a, &(u, _)) in arcs.iter().enumerate() {
+        let p = slot[u as usize];
+        by_source[p as usize] = a as u32;
+        pos_in_list[a] = p - offset[u as usize];
+        slot[u as usize] += 1;
+    }
+
+    // next(a) for a = (u, v): the arc following twin(a) = (v, u) in v's
+    // cyclic adjacency order.
+    let next: Vec<u32> = (0..num_arcs)
+        .into_par_iter()
+        .map(|a| {
+            let twin = (a ^ 1) as u32;
+            let v = arcs[a].1;
+            let d = deg[v as usize];
+            let p = pos_in_list[twin as usize];
+            let succ = (p + 1) % d;
+            by_source[(offset[v as usize] + succ) as usize]
+        })
+        .collect();
+
+    let first_out: Vec<u32> = (0..n)
+        .map(|v| {
+            if deg[v] == 0 {
+                NIL
+            } else {
+                by_source[offset[v] as usize]
+            }
+        })
+        .collect();
+
+    EulerTour { next, first_out, arcs }
+}
+
+/// Unweighted distance of every vertex from `root` in the tree given by
+/// `edges`. Parallel Euler-tour + list-ranking pipeline above the grain
+/// size; sequential BFS below it.
+pub fn tree_distances(n: usize, edges: &[(u32, u32)], root: u32) -> Vec<u32> {
+    assert!(n == 0 || edges.len() + 1 == n, "edges must form a tree");
+    if n < 4 * SEQ_CUTOFF {
+        return bfs_distances(n, edges, root);
+    }
+    let tour = euler_tour(n, edges);
+    let num_arcs = tour.next.len();
+
+    // Root the circuit at `root`: cut the arc pointing back into the first
+    // outgoing arc of the root.
+    let start = tour.first_out[root as usize];
+    assert_ne!(start, NIL, "root has no incident edge in a tree with n > 1");
+    let mut prev = vec![NIL; num_arcs];
+    for (a, &nx) in tour.next.iter().enumerate() {
+        prev[nx as usize] = a as u32;
+    }
+    let mut next = tour.next.clone();
+    next[prev[start as usize] as usize] = NIL;
+
+    // Pass 1: arc order indices. Suffix counts of 1s give position-from-end.
+    let ones = vec![1i64; num_arcs];
+    let suffix_counts = list_rank(&next, &ones);
+    // index(a) = num_arcs - suffix(a): 0-based position in the rooted tour.
+    // Down arc = first traversal of its edge.
+    let is_down: Vec<bool> = (0..num_arcs)
+        .into_par_iter()
+        .map(|a| suffix_counts[a] > suffix_counts[a ^ 1])
+        .collect();
+
+    // Pass 2: ±1 suffix sums; depth(v) for down arc a=(u,v) is the inclusive
+    // prefix at a, i.e. value(a) - suffix_after(a) = 1 - (suffix(a) - 1)
+    // ... computed directly as value(a) - (suffix(a) - value(a)) with total 0.
+    let pm: Vec<i64> = is_down.par_iter().map(|&d| if d { 1 } else { -1 }).collect();
+    let suffix_pm = list_rank(&next, &pm);
+
+    let mut dist = vec![0u32; n];
+    let dist_ptr = crate::SendPtr(dist.as_mut_ptr());
+    (0..num_arcs).into_par_iter().for_each(|a| {
+        if is_down[a] {
+            let (_, v) = tour.arcs[a];
+            // Inclusive prefix = total(=0) - suffix(a) + value(a) = 1 - suffix.
+            let depth = 1 - suffix_pm[a];
+            debug_assert!(depth >= 1);
+            // SAFETY: each vertex v != root has exactly one down arc.
+            unsafe { dist_ptr.write(v as usize, depth as u32) };
+        }
+    });
+    dist[root as usize] = 0;
+    dist
+}
+
+/// Sequential BFS distances (reference implementation and small-input path).
+pub fn bfs_distances(n: usize, edges: &[(u32, u32)], root: u32) -> Vec<u32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // CSR adjacency.
+    let mut deg = vec![0u32; n];
+    for &(u, v) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let mut offset = vec![0u32; n + 1];
+    for i in 0..n {
+        offset[i + 1] = offset[i] + deg[i];
+    }
+    let mut slot = offset[..n].to_vec();
+    let mut adj = vec![0u32; 2 * edges.len()];
+    for &(u, v) in edges {
+        adj[slot[u as usize] as usize] = v;
+        slot[u as usize] += 1;
+        adj[slot[v as usize] as usize] = u;
+        slot[v as usize] += 1;
+    }
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in &adj[offset[u as usize] as usize..offset[u as usize + 1] as usize] {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_tree(n: usize, seed: u64) -> Vec<(u32, u32)> {
+        // Random attachment tree.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (1..n as u32)
+            .map(|v| (rng.gen_range(0..v), v))
+            .collect()
+    }
+
+    #[test]
+    fn euler_tour_is_a_circuit() {
+        let edges = random_tree(100, 1);
+        let tour = euler_tour(100, &edges);
+        let m = tour.next.len();
+        // Following next from arc 0 must visit all 2(n-1) arcs exactly once.
+        let mut seen = vec![false; m];
+        let mut a = 0u32;
+        for _ in 0..m {
+            assert!(!seen[a as usize], "arc revisited before circuit closed");
+            seen[a as usize] = true;
+            a = tour.next[a as usize];
+        }
+        assert_eq!(a, 0, "tour must be a closed circuit");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn distances_path_graph() {
+        let n = 10;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let d = bfs_distances(n, &edges, 0);
+        assert_eq!(d, (0..n as u32).collect::<Vec<_>>());
+        let d3 = bfs_distances(n, &edges, 3);
+        assert_eq!(d3[0], 3);
+        assert_eq!(d3[9], 6);
+    }
+
+    #[test]
+    fn euler_distances_match_bfs_large() {
+        let n = 70_000; // above the parallel threshold
+        let edges = random_tree(n, 5);
+        let root = 1234u32;
+        let via_euler = tree_distances(n, &edges, root);
+        let via_bfs = bfs_distances(n, &edges, root);
+        assert_eq!(via_euler, via_bfs);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let d = tree_distances(1, &[], 0);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn star_graph_distances() {
+        let n = 50_000;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        let d = tree_distances(n, &edges, 0);
+        assert_eq!(d[0], 0);
+        assert!(d[1..].iter().all(|&x| x == 1));
+        // Root at a leaf: center is 1, all other leaves 2.
+        let d = tree_distances(n, &edges, 7);
+        assert_eq!(d[7], 0);
+        assert_eq!(d[0], 1);
+        assert_eq!(d[8], 2);
+    }
+}

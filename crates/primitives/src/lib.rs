@@ -1,0 +1,56 @@
+//! Parallel and concurrent primitives substrate.
+//!
+//! This crate provides the building blocks assumed by the paper's algorithms
+//! (Section 2.2, "Parallel Primitives"): prefix sum, filter/pack, split,
+//! semisort-style grouping, parallel selection, list ranking, Euler tours,
+//! the `WRITE_MIN` priority concurrent write, union-find, and a
+//! phase-concurrent hash table.
+//!
+//! All primitives are implemented on top of [`rayon`]'s work-stealing
+//! fork-join runtime, the Rust analogue of the Cilk runtime used by the
+//! paper. Each primitive falls back to a sequential implementation below a
+//! grain size so that small inputs pay no parallel overhead.
+
+pub mod atomic;
+pub mod collector;
+pub mod conmap;
+pub mod euler;
+pub mod hash;
+pub mod listrank;
+pub mod pack;
+pub mod scan;
+pub mod select;
+pub mod semisort;
+pub mod unionfind;
+
+/// Inputs smaller than this are processed sequentially by the parallel
+/// primitives; the value balances rayon task overhead against parallelism
+/// for typical point-set sizes.
+pub const SEQ_CUTOFF: usize = 8192;
+
+/// Chunk size used by blocked two-pass primitives (scan, pack, split).
+#[inline]
+pub(crate) fn block_size(n: usize) -> usize {
+    // Enough blocks to keep every worker busy, but blocks of at least 2048
+    // elements so the sequential pass dominates the bookkeeping.
+    let threads = rayon::current_num_threads().max(1);
+    (n / (8 * threads)).max(2048)
+}
+
+/// A raw pointer wrapper that lets disjoint-index writes cross rayon task
+/// boundaries. Callers must guarantee that concurrent tasks write disjoint
+/// indices.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// `idx` must be in bounds for the allocation and no other task may
+    /// access the same index concurrently.
+    #[inline]
+    pub unsafe fn write(self, idx: usize, value: T) {
+        self.0.add(idx).write(value);
+    }
+}

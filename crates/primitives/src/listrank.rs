@@ -1,0 +1,143 @@
+//! List ranking by pointer jumping.
+//!
+//! Given a linked list with a value at each node, list ranking computes for
+//! each node the sum of values from that node to the end of its list
+//! (Section 2.2). We implement the classic pointer-jumping scheme:
+//! `O(n log n)` work and `O(log n)` depth with double buffering. The paper's
+//! work-efficient `O(n)` variant is not required for correctness and the
+//! log factor is off the critical path of every consumer in this codebase
+//! (see DESIGN.md §6, substitution 4); small inputs use the sequential path.
+
+use rayon::prelude::*;
+
+use crate::SEQ_CUTOFF;
+
+/// Null successor: marks the end of a list.
+pub const NIL: u32 = u32::MAX;
+
+/// For each node `i`, returns `value[i] + value[next[i]] + ...` following
+/// `next` pointers until [`NIL`]. `next` must be acyclic.
+pub fn list_rank(next: &[u32], value: &[i64]) -> Vec<i64> {
+    let n = next.len();
+    assert_eq!(n, value.len());
+    if n < SEQ_CUTOFF {
+        return list_rank_seq(next, value);
+    }
+
+    let mut nxt: Vec<u32> = next.to_vec();
+    let mut val: Vec<i64> = value.to_vec();
+    let mut nxt2: Vec<u32> = vec![0; n];
+    let mut val2: Vec<i64> = vec![0; n];
+
+    // ceil(log2(n)) jumping rounds suffice to collapse every pointer chain.
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    for _ in 0..rounds {
+        nxt2.par_iter_mut()
+            .zip(val2.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (n2, v2))| {
+                let nx = nxt[i];
+                if nx == NIL {
+                    *n2 = NIL;
+                    *v2 = val[i];
+                } else {
+                    *n2 = nxt[nx as usize];
+                    *v2 = val[i] + val[nx as usize];
+                }
+            });
+        std::mem::swap(&mut nxt, &mut nxt2);
+        std::mem::swap(&mut val, &mut val2);
+    }
+    debug_assert!(nxt.iter().all(|&x| x == NIL));
+    val
+}
+
+/// Sequential reference implementation (also the small-input fast path).
+pub fn list_rank_seq(next: &[u32], value: &[i64]) -> Vec<i64> {
+    let n = next.len();
+    let mut out = vec![0i64; n];
+    let mut done = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if done[start as usize] {
+            continue;
+        }
+        // Walk to the first resolved node (or list end), then unwind.
+        let mut cur = start;
+        loop {
+            if done[cur as usize] {
+                break;
+            }
+            stack.push(cur);
+            let nx = next[cur as usize];
+            if nx == NIL {
+                break;
+            }
+            cur = nx;
+        }
+        while let Some(i) = stack.pop() {
+            let nx = next[i as usize];
+            out[i as usize] = value[i as usize]
+                + if nx == NIL { 0 } else { out[nx as usize] };
+            done[i as usize] = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_list(n: usize, seed: u64) -> (Vec<u32>, Vec<i64>) {
+        // A single list visiting a random permutation of 0..n.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let mut next = vec![NIL; n];
+        for w in perm.windows(2) {
+            next[w[0] as usize] = w[1];
+        }
+        let value: Vec<i64> = (0..n).map(|_| rng.gen_range(-10..10)).collect();
+        (next, value)
+    }
+
+    #[test]
+    fn single_chain() {
+        // 0 -> 1 -> 2 -> NIL with values 1, 10, 100.
+        let next = vec![1, 2, NIL];
+        let value = vec![1, 10, 100];
+        assert_eq!(list_rank(&next, &value), vec![111, 110, 100]);
+    }
+
+    #[test]
+    fn multiple_lists() {
+        // Two lists: 0->2->NIL and 1->NIL.
+        let next = vec![2, NIL, NIL];
+        let value = vec![5, 7, 11];
+        assert_eq!(list_rank(&next, &value), vec![16, 7, 11]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_large() {
+        let (next, value) = random_list(50_000, 3);
+        assert_eq!(list_rank(&next, &value), list_rank_seq(&next, &value));
+    }
+
+    #[test]
+    fn position_ranking_gives_suffix_counts() {
+        // Value 1 everywhere: rank = distance-to-end + 1.
+        let n = 20_000;
+        let (next, _) = random_list(n, 9);
+        let ones = vec![1i64; n];
+        let ranks = list_rank(&next, &ones);
+        // Exactly one node of each suffix length 1..=n.
+        let mut seen = vec![false; n + 1];
+        for &r in &ranks {
+            assert!(r >= 1 && r as usize <= n);
+            assert!(!seen[r as usize], "duplicate suffix length {r}");
+            seen[r as usize] = true;
+        }
+    }
+}

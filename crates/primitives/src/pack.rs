@@ -1,0 +1,215 @@
+//! Parallel pack (filter) and split.
+//!
+//! `pack` keeps the elements satisfying a predicate, in order; `split` moves
+//! all "true" elements before all "false" elements, stably. Both are the
+//! scan-based primitives from Section 2.2 of the paper.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_exclusive_usize;
+use crate::{block_size, SendPtr, SEQ_CUTOFF};
+
+/// Parallel filter: returns the elements `x` of `items` with `f(x)` true, in
+/// their original order.
+pub fn pack<T, F>(items: &[T], f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let n = items.len();
+    if n < SEQ_CUTOFF {
+        return items.iter().filter(|x| f(x)).copied().collect();
+    }
+    let bs = block_size(n);
+    let counts: Vec<usize> = items
+        .par_chunks(bs)
+        .map(|chunk| chunk.iter().filter(|x| f(x)).count())
+        .collect();
+    let (offsets, total) = scan_exclusive_usize(&counts);
+
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total)
+    };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    items
+        .par_chunks(bs)
+        .zip(offsets.par_iter())
+        .for_each(|(chunk, &off)| {
+            let mut pos = off;
+            for x in chunk {
+                if f(x) {
+                    // SAFETY: blocks write disjoint ranges [off, off+count).
+                    unsafe { out_ptr.write(pos, *x) };
+                    pos += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Parallel filter over the index domain `0..n`: returns all `i` (as `u32`)
+/// with `f(i)` true, in increasing order. `n` must fit in `u32`.
+pub fn pack_indices<F>(n: usize, f: F) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    assert!(n <= u32::MAX as usize, "index domain exceeds u32");
+    if n < SEQ_CUTOFF {
+        return (0..n).filter(|&i| f(i)).map(|i| i as u32).collect();
+    }
+    let bs = block_size(n);
+    let nblocks = n.div_ceil(bs);
+    let counts: Vec<usize> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * bs;
+            let hi = (lo + bs).min(n);
+            (lo..hi).filter(|&i| f(i)).count()
+        })
+        .collect();
+    let (offsets, total) = scan_exclusive_usize(&counts);
+    let mut out: Vec<u32> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total)
+    };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    (0..nblocks).into_par_iter().for_each(|b| {
+        let lo = b * bs;
+        let hi = (lo + bs).min(n);
+        let mut pos = offsets[b];
+        for i in lo..hi {
+            if f(i) {
+                // SAFETY: blocks write disjoint ranges.
+                unsafe { out_ptr.write(pos, i as u32) };
+                pos += 1;
+            }
+        }
+    });
+    out
+}
+
+/// Parallel stable split: returns a vector with all "true" elements first
+/// (in order), then all "false" elements (in order), plus the number of
+/// "true" elements. This is the `SPLIT` primitive used by Algorithm 2.
+pub fn split<T, F>(items: &[T], f: F) -> (Vec<T>, usize)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let n = items.len();
+    if n < SEQ_CUTOFF {
+        let mut trues: Vec<T> = Vec::new();
+        let mut falses: Vec<T> = Vec::new();
+        for x in items {
+            if f(x) {
+                trues.push(*x);
+            } else {
+                falses.push(*x);
+            }
+        }
+        let ntrue = trues.len();
+        trues.extend_from_slice(&falses);
+        return (trues, ntrue);
+    }
+    let bs = block_size(n);
+    let counts: Vec<usize> = items
+        .par_chunks(bs)
+        .map(|chunk| chunk.iter().filter(|x| f(x)).count())
+        .collect();
+    let (true_offsets, ntrue) = scan_exclusive_usize(&counts);
+    let false_counts: Vec<usize> = items
+        .par_chunks(bs)
+        .zip(counts.par_iter())
+        .map(|(chunk, &c)| chunk.len() - c)
+        .collect();
+    let (false_offsets, _) = scan_exclusive_usize(&false_counts);
+
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n)
+    };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    items
+        .par_chunks(bs)
+        .enumerate()
+        .for_each(|(b, chunk)| {
+            let mut tpos = true_offsets[b];
+            let mut fpos = ntrue + false_offsets[b];
+            for x in chunk {
+                // SAFETY: true/false destinations are disjoint across blocks.
+                if f(x) {
+                    unsafe { out_ptr.write(tpos, *x) };
+                    tpos += 1;
+                } else {
+                    unsafe { out_ptr.write(fpos, *x) };
+                    fpos += 1;
+                }
+            }
+        });
+    (out, ntrue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_small() {
+        let xs = [1, 2, 3, 4, 5, 6];
+        assert_eq!(pack(&xs, |&x| x % 2 == 0), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pack_empty_and_none_match() {
+        assert_eq!(pack::<i32, _>(&[], |_| true), Vec::<i32>::new());
+        assert_eq!(pack(&[1, 3, 5], |&x| x % 2 == 0), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn pack_large_matches_sequential() {
+        let xs: Vec<u64> = (0..120_000).map(|i| (i * 2654435761) % 1000).collect();
+        let got = pack(&xs, |&x| x < 250);
+        let want: Vec<u64> = xs.iter().copied().filter(|&x| x < 250).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_indices_matches() {
+        let n = 100_000;
+        let got = pack_indices(n, |i| i % 7 == 3);
+        let want: Vec<u32> = (0..n).filter(|i| i % 7 == 3).map(|i| i as u32).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_small_stable() {
+        let xs = [5, 2, 7, 1, 8, 3];
+        let (out, ntrue) = split(&xs, |&x| x >= 5);
+        assert_eq!(ntrue, 3);
+        assert_eq!(out, vec![5, 7, 8, 2, 1, 3]);
+    }
+
+    #[test]
+    fn split_large_matches_sequential() {
+        let xs: Vec<u32> = (0..90_000).map(|i| (i as u32).wrapping_mul(48271) % 100).collect();
+        let (out, ntrue) = split(&xs, |&x| x & 1 == 0);
+        let want_true: Vec<u32> = xs.iter().copied().filter(|&x| x & 1 == 0).collect();
+        let want_false: Vec<u32> = xs.iter().copied().filter(|&x| x & 1 == 1).collect();
+        assert_eq!(ntrue, want_true.len());
+        assert_eq!(&out[..ntrue], &want_true[..]);
+        assert_eq!(&out[ntrue..], &want_false[..]);
+    }
+
+    #[test]
+    fn split_all_true_all_false() {
+        let xs = [1, 2, 3];
+        let (out, ntrue) = split(&xs, |_| true);
+        assert_eq!((out.as_slice(), ntrue), (&[1, 2, 3][..], 3));
+        let (out, ntrue) = split(&xs, |_| false);
+        assert_eq!((out.as_slice(), ntrue), (&[1, 2, 3][..], 0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Parallel prefix sums (scans).
+//!
+//! The classic blocked two-pass scan: per-block sums are computed in
+//! parallel, scanned sequentially (the number of blocks is small), and the
+//! block offsets are pushed back down in a second parallel pass. This is the
+//! `O(n)` work, `O(log n)` depth primitive of Section 2.2.
+
+use rayon::prelude::*;
+
+use crate::{block_size, SEQ_CUTOFF};
+
+/// Exclusive prefix sum of `input` under an associative `op` with `identity`.
+///
+/// Returns the output sequence `[id, a1, a1⊕a2, ...]` and the total
+/// `a1⊕...⊕an`, matching the paper's definition of *prefix sum*.
+pub fn scan_exclusive<T, F>(input: &[T], identity: T, op: F) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let n = input.len();
+    if n < SEQ_CUTOFF {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = identity;
+        for &x in input {
+            out.push(acc);
+            acc = op(acc, x);
+        }
+        return (out, acc);
+    }
+
+    let bs = block_size(n);
+
+    // Pass 1: per-block totals.
+    let mut block_sums: Vec<T> = input
+        .par_chunks(bs)
+        .map(|chunk| {
+            let mut acc = chunk[0];
+            for &x in &chunk[1..] {
+                acc = op(acc, x);
+            }
+            acc
+        })
+        .collect();
+
+    // Sequential scan over the (few) block totals.
+    let mut acc = identity;
+    for b in block_sums.iter_mut() {
+        let next = op(acc, *b);
+        *b = acc;
+        acc = next;
+    }
+    let total = acc;
+
+    // Pass 2: rescan each block seeded with its offset.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n)
+    };
+    let out_ptr = crate::SendPtr(out.as_mut_ptr());
+    input
+        .par_chunks(bs)
+        .zip(block_sums.par_iter())
+        .enumerate()
+        .for_each(|(bi, (chunk, &offset))| {
+            let base = bi * bs;
+            let mut acc = offset;
+            for (i, &x) in chunk.iter().enumerate() {
+                // SAFETY: each block writes a disjoint index range.
+                unsafe { out_ptr.write(base + i, acc) };
+                acc = op(acc, x);
+            }
+        });
+    (out, total)
+}
+
+/// Exclusive prefix sum over `usize` addition — the common case used by
+/// pack/split/grouping.
+pub fn scan_exclusive_usize(input: &[usize]) -> (Vec<usize>, usize) {
+    scan_exclusive(input, 0usize, |a, b| a + b)
+}
+
+/// Inclusive prefix sum under an associative `op`.
+pub fn scan_inclusive<T, F>(input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let (mut out, _) = scan_exclusive(input, identity, &op);
+    for (o, &x) in out.iter_mut().zip(input.iter()) {
+        *o = op(*o, x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_small() {
+        let xs = [3usize, 1, 4, 1, 5];
+        let (pre, total) = scan_exclusive_usize(&xs);
+        assert_eq!(pre, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn exclusive_empty() {
+        let (pre, total) = scan_exclusive_usize(&[]);
+        assert!(pre.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn exclusive_large_matches_sequential() {
+        let xs: Vec<usize> = (0..100_000).map(|i| (i * 7919) % 13).collect();
+        let (pre, total) = scan_exclusive_usize(&xs);
+        let mut acc = 0usize;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(pre[i], acc, "mismatch at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_matches() {
+        let xs: Vec<u64> = (0..50_000).map(|i| i % 17).collect();
+        let inc = scan_inclusive(&xs, 0u64, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x;
+            assert_eq!(inc[i], acc, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let xs: Vec<u32> = vec![2, 9, 4, 7, 1, 9, 11, 0];
+        let (pre, total) = scan_exclusive(&xs, 0u32, |a, b| a.max(b));
+        assert_eq!(pre, vec![0, 2, 9, 9, 9, 9, 9, 11]);
+        assert_eq!(total, 11);
+    }
+}

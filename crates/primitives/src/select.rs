@@ -1,0 +1,93 @@
+//! Parallel selection (k-th order statistic).
+//!
+//! The dendrogram algorithm of Section 4 cannot afford a full sort at every
+//! recursion level; the paper uses parallel selection [38] to find the
+//! median (or `n/10`-quantile) edge weight. This is a parallel quickselect
+//! over `f64` keys: partition counts are computed with parallel pack, and
+//! recursion narrows to one side.
+
+use crate::pack::pack;
+use rayon::prelude::*;
+
+/// Returns the `k`-th smallest value of `xs` (0-indexed). Panics when `xs`
+/// is empty, `k >= xs.len()`, or a NaN is encountered.
+pub fn select_kth(xs: &[f64], k: usize) -> f64 {
+    assert!(!xs.is_empty(), "select_kth on empty slice");
+    assert!(k < xs.len(), "k out of range");
+    let mut cur: Vec<f64> = xs.to_vec();
+    let mut k = k;
+    let mut salt = 0x9e3779b97f4a7c15u64;
+    loop {
+        if cur.len() <= 4096 {
+            let (_, kth, _) = cur.select_nth_unstable_by(k, |a, b| {
+                a.partial_cmp(b).expect("NaN in select_kth input")
+            });
+            return *kth;
+        }
+        // Median-of-three pseudo-random samples as pivot.
+        let n = cur.len();
+        let idx = |s: u64| -> usize {
+            ((s.wrapping_mul(0xd1342543de82ef95).rotate_left(17)) % n as u64) as usize
+        };
+        let (a, b, c) = (cur[idx(salt)], cur[idx(salt ^ 0xabcd)], cur[idx(salt ^ 0x1234_5678)]);
+        salt = salt.wrapping_add(0x9e3779b97f4a7c15);
+        let pivot = a.max(b).min(a.min(b).max(c)); // median of a, b, c
+
+        let less = pack(&cur, |&x| x < pivot);
+        if k < less.len() {
+            cur = less;
+            continue;
+        }
+        let n_eq = cur.par_iter().filter(|&&x| x == pivot).count();
+        if k < less.len() + n_eq {
+            return pivot;
+        }
+        k -= less.len() + n_eq;
+        cur = pack(&cur, |&x| x > pivot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn oracle(xs: &[f64], k: usize) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[k]
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert_eq!(select_kth(&[3.0], 0), 3.0);
+        assert_eq!(select_kth(&[2.0, 1.0], 0), 1.0);
+        assert_eq!(select_kth(&[2.0, 1.0], 1), 2.0);
+    }
+
+    #[test]
+    fn random_inputs_match_sort() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &n in &[100usize, 5000, 60_000] {
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
+            for &k in &[0, n / 10, n / 2, n - 1] {
+                assert_eq!(select_kth(&xs, k), oracle(&xs, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn many_duplicates() {
+        let xs: Vec<f64> = (0..50_000).map(|i| (i % 5) as f64).collect();
+        for k in [0, 9_999, 10_000, 25_000, 49_999] {
+            assert_eq!(select_kth(&xs, k), oracle(&xs, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn all_equal() {
+        let xs = vec![7.5; 20_000];
+        assert_eq!(select_kth(&xs, 19_999), 7.5);
+        assert_eq!(select_kth(&xs, 0), 7.5);
+    }
+}

@@ -1,0 +1,232 @@
+//! Parallel semisort.
+//!
+//! Semisort groups records with equal keys together without ordering the
+//! groups (Section 2.2, citing Gu, Shun, Sun, and Blelloch [32]) — the
+//! primitive behind the dendrogram algorithm's subproblem grouping. This is
+//! a practical two-level implementation of that idea:
+//!
+//! 1. hash every key and scatter records into `Θ(P²)`-ish buckets by hash
+//!    prefix using a blocked counting pass + prefix sums (all parallel);
+//! 2. group within each bucket independently (buckets are processed in
+//!    parallel; records of one key always land in one bucket).
+//!
+//! Expected `O(n)` work for the scatter plus `O(B log B)` per bucket for
+//! the in-bucket grouping of `B` records — near-linear for the hash-spread
+//! buckets the scatter produces, matching the role of the `O(n)` expected
+//! work primitive in the paper's analyses.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_exclusive_usize;
+use crate::{block_size, SendPtr, SEQ_CUTOFF};
+
+#[inline]
+fn hash64(mut k: u64) -> u64 {
+    // Murmur3 finalizer.
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51afd7ed558ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ceb9fe1a85ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Group `items` by `key`: returns the reordered items plus the half-open
+/// group boundaries. Groups appear in no particular order; *within* a
+/// group the original relative order is **not** preserved.
+pub fn semisort_by_key<T, F>(items: &[T], key: F) -> (Vec<T>, Vec<std::ops::Range<usize>>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = items.len();
+    if n < SEQ_CUTOFF {
+        return semisort_seq(items, key);
+    }
+
+    // Bucket count: enough buckets that per-bucket work is small, few
+    // enough that histograms stay cache-resident.
+    let nbuckets = (n / 2048).next_power_of_two().clamp(64, 8192);
+    let shift = 64 - nbuckets.trailing_zeros();
+    let bucket_of = |t: &T| (hash64(key(t)) >> shift) as usize;
+
+    // Pass 1: per-block histograms.
+    let bs = block_size(n);
+    let nblocks = n.div_ceil(bs);
+    let histograms: Vec<Vec<usize>> = items
+        .par_chunks(bs)
+        .map(|chunk| {
+            let mut h = vec![0usize; nbuckets];
+            for t in chunk {
+                h[bucket_of(t)] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Column-major offsets: for bucket b, blocks write consecutively.
+    let mut flat = vec![0usize; nbuckets * nblocks];
+    for (blk, h) in histograms.iter().enumerate() {
+        for (b, &c) in h.iter().enumerate() {
+            flat[b * nblocks + blk] = c;
+        }
+    }
+    let (offsets, total) = scan_exclusive_usize(&flat);
+    debug_assert_eq!(total, n);
+
+    // Pass 2: scatter.
+    let mut scattered: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        scattered.set_len(n)
+    };
+    let out = SendPtr(scattered.as_mut_ptr());
+    items.par_chunks(bs).enumerate().for_each(|(blk, chunk)| {
+        let mut cursor = vec![0usize; nbuckets];
+        for (b, c) in cursor.iter_mut().enumerate() {
+            *c = offsets[b * nblocks + blk];
+        }
+        for t in chunk {
+            let b = bucket_of(t);
+            // SAFETY: disjoint per (bucket, block) ranges.
+            unsafe { out.write(cursor[b], *t) };
+            cursor[b] += 1;
+        }
+    });
+
+    // Bucket extents.
+    let bucket_start: Vec<usize> = (0..nbuckets).map(|b| offsets[b * nblocks]).collect();
+    let bucket_end =
+        |b: usize| -> usize { if b + 1 < nbuckets { bucket_start[b + 1] } else { n } };
+
+    // Pass 3: group within each bucket in parallel (sort by hashed key so
+    // equal keys become adjacent), then emit boundaries.
+    let mut ranges_per_bucket: Vec<Vec<std::ops::Range<usize>>> = vec![Vec::new(); nbuckets];
+    // Sort each bucket slice in parallel via split_at_mut walking.
+    {
+        let mut rest: &mut [T] = &mut scattered[..];
+        let mut consumed = 0usize;
+        let mut slices: Vec<(usize, &mut [T])> = Vec::with_capacity(nbuckets);
+        for b in 0..nbuckets {
+            let end = bucket_end(b);
+            let (s, r) = rest.split_at_mut(end - consumed);
+            slices.push((b, s));
+            rest = r;
+            consumed = end;
+        }
+        slices
+            .into_par_iter()
+            .zip(ranges_per_bucket.par_iter_mut())
+            .for_each(|((b, slice), ranges)| {
+                slice.sort_unstable_by_key(|t| hash64(key(t)));
+                let base = bucket_start[b];
+                let mut start = 0usize;
+                for i in 1..=slice.len() {
+                    if i == slice.len() || key(&slice[i]) != key(&slice[start]) {
+                        ranges.push(base + start..base + i);
+                        start = i;
+                    }
+                }
+            });
+    }
+    let ranges: Vec<std::ops::Range<usize>> = ranges_per_bucket.into_iter().flatten().collect();
+    (scattered, ranges)
+}
+
+fn semisort_seq<T, F>(items: &[T], key: F) -> (Vec<T>, Vec<std::ops::Range<usize>>)
+where
+    T: Copy,
+    F: Fn(&T) -> u64,
+{
+    let mut out = items.to_vec();
+    out.sort_by_key(|t| hash64(key(t)));
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=out.len() {
+        if i == out.len() || key(&out[i]) != key(&out[start]) {
+            ranges.push(start..i);
+            start = i;
+        }
+    }
+    (out, ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::collections::HashMap;
+
+    fn check_grouping(items: &[(u64, u64)], got: &(Vec<(u64, u64)>, Vec<std::ops::Range<usize>>)) {
+        let (sorted, ranges) = got;
+        assert_eq!(sorted.len(), items.len());
+        // Ranges tile [0, n).
+        let mut covered = vec![false; sorted.len()];
+        for r in ranges {
+            for i in r.clone() {
+                assert!(!covered[i]);
+                covered[i] = true;
+            }
+            // One key per range.
+            let k = sorted[r.start].0;
+            assert!(sorted[r.clone()].iter().all(|t| t.0 == k));
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Every key appears in exactly one range, with the right multiset
+        // of values.
+        let mut want: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(k, v) in items {
+            want.entry(k).or_default().push(v);
+        }
+        assert_eq!(ranges.len(), want.len(), "one range per distinct key");
+        for r in ranges {
+            let k = sorted[r.start].0;
+            let mut got_vals: Vec<u64> = sorted[r.clone()].iter().map(|t| t.1).collect();
+            let mut want_vals = want.remove(&k).expect("duplicate range for key");
+            got_vals.sort_unstable();
+            want_vals.sort_unstable();
+            assert_eq!(got_vals, want_vals);
+        }
+    }
+
+    #[test]
+    fn small_input() {
+        let items: Vec<(u64, u64)> = vec![(3, 0), (1, 1), (3, 2), (2, 3), (1, 4)];
+        let got = semisort_by_key(&items, |t| t.0);
+        check_grouping(&items, &got);
+    }
+
+    #[test]
+    fn large_parallel_many_duplicates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items: Vec<(u64, u64)> = (0..200_000)
+            .map(|i| (rng.gen_range(0..500), i))
+            .collect();
+        let got = semisort_by_key(&items, |t| t.0);
+        check_grouping(&items, &got);
+    }
+
+    #[test]
+    fn large_parallel_mostly_unique() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let items: Vec<(u64, u64)> = (0..150_000).map(|i| (rng.gen(), i)).collect();
+        let got = semisort_by_key(&items, |t| t.0);
+        check_grouping(&items, &got);
+    }
+
+    #[test]
+    fn single_key() {
+        let items: Vec<(u64, u64)> = (0..50_000).map(|i| (7, i)).collect();
+        let (_, ranges) = semisort_by_key(&items, |t| t.0);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0], 0..50_000);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<(u64, u64)> = Vec::new();
+        let (out, ranges) = semisort_by_key(&items, |t| t.0);
+        assert!(out.is_empty());
+        assert!(ranges.is_empty());
+    }
+}

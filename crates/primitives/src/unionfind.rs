@@ -1,0 +1,179 @@
+//! Union-find (disjoint sets).
+//!
+//! Kruskal's algorithm and the dendrogram construction both rely on a
+//! union-find structure. Unions are performed in sequential phases (the
+//! batched-Kruskal design, see `parclust-mst`), while the *pruning* passes of
+//! MemoGFK read component identities concurrently. We therefore store
+//! parents in atomics: `find` (with path halving) requires `&mut self`, and
+//! `find_shared` is a read-only, compression-free traversal that is safe to
+//! call from many threads between union phases.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Disjoint-set forest over `0..n` with union by rank and path halving.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<AtomicU32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "UnionFind supports < 2^32-1 elements");
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of components remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    #[inline]
+    fn load(&self, i: u32) -> u32 {
+        self.parent[i as usize].load(Ordering::Relaxed)
+    }
+
+    /// Find with path halving. Requires exclusive access (sequential phase).
+    #[inline]
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.load(x);
+            if p == x {
+                return x;
+            }
+            let gp = self.load(p);
+            // Path halving: point x at its grandparent.
+            self.parent[x as usize].store(gp, Ordering::Relaxed);
+            x = gp;
+        }
+    }
+
+    /// Read-only find without path compression. Safe to call concurrently
+    /// with other `find_shared` calls (but not with `union`).
+    #[inline]
+    pub fn find_shared(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.load(x);
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Union the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize].store(hi, Ordering::Relaxed);
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set (mutable variant
+    /// with compression).
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Read-only same-set test, safe concurrently between union phases.
+    pub fn same_shared(&self, a: u32, b: u32) -> bool {
+        self.find_shared(a) == self.find_shared(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        assert_eq!(uf.components(), 3);
+        assert!(uf.union(1, 4));
+        assert!(uf.same(0, 3));
+        assert_eq!(uf.components(), 2);
+    }
+
+    #[test]
+    fn matches_naive_labels() {
+        // Oracle: relabel-everything naive DSU.
+        let n = 500;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut uf = UnionFind::new(n);
+        let mut labels: Vec<usize> = (0..n).collect();
+        for _ in 0..800 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            uf.union(a as u32, b as u32);
+            let (la, lb) = (labels[a], labels[b]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+            // Spot-check a few pairs.
+            for _ in 0..10 {
+                let x = rng.gen_range(0..n);
+                let y = rng.gen_range(0..n);
+                assert_eq!(uf.same(x as u32, y as u32), labels[x] == labels[y]);
+            }
+        }
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        assert_eq!(uf.components(), distinct.len());
+    }
+
+    #[test]
+    fn shared_find_consistent_after_unions() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            if i % 3 != 0 {
+                uf.union(i as u32, (i + 1) as u32);
+            }
+        }
+        // Concurrent read-only queries agree with the mutable finder.
+        let roots: Vec<u32> = (0..n as u32)
+            .into_par_iter()
+            .map(|i| uf.find_shared(i))
+            .collect();
+        let mut uf2 = uf;
+        for i in 0..n as u32 {
+            assert_eq!(uf2.find(i), uf2.find(roots[i as usize]));
+        }
+    }
+}

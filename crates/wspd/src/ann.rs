@@ -1,0 +1,135 @@
+//! All-nearest-neighbors from the WSPD.
+//!
+//! Callahan and Kosaraju's original application of the decomposition
+//! [13, 15], and the mechanism behind the candidate-listing step of the
+//! paper's Appendix B EMST: if `q` is `p`'s nearest neighbor, the WSPD
+//! pair covering `{p, q}` must have `p`'s side a singleton (otherwise a
+//! point on `p`'s side would be closer to `p` than anything across the
+//! pair). So scanning only the pairs with a singleton side and relaxing
+//! the opposite side through a `WRITE_MIN` per point yields all nearest
+//! neighbors.
+//!
+//! This is both a useful public API and an independent cross-check of the
+//! WSPD (tests compare against kd-tree kNN with k = 2).
+
+use parclust_geom::dist_sq;
+use parclust_kdtree::KdTree;
+use parclust_primitives::atomic::AtomicMinPair;
+
+use crate::policy::GeometricSep;
+use crate::traverse::wspd_traverse;
+
+/// Nearest neighbor of every point: `(neighbor original id, distance)`.
+/// Requires at least two points.
+pub fn all_nearest_neighbors<const D: usize>(tree: &KdTree<D>) -> Vec<(u32, f64)> {
+    let n = tree.len();
+    assert!(n >= 2, "nearest neighbors need at least two points");
+    let best: Vec<AtomicMinPair<u32>> = (0..n).map(|_| AtomicMinPair::default()).collect();
+
+    // s = 2 guarantees the singleton-side property: within a
+    // well-separated pair, cross distances exceed within-side distances.
+    let policy = GeometricSep::PAPER_DEFAULT;
+    wspd_traverse(tree, &policy, &|_, _| false, &|a, b| {
+        let (na, nb) = (tree.node(a), tree.node(b));
+        for (single, other) in [(na, nb), (nb, na)] {
+            if single.size() != 1 {
+                continue;
+            }
+            let p = single.start;
+            let pp = &tree.points[p as usize];
+            for q in other.start..other.end {
+                let d = dist_sq(pp, &tree.points[q as usize]);
+                best[p as usize].write_min(d, q);
+            }
+        }
+    });
+
+    (0..n)
+        .map(|p| {
+            let (d_sq, q_pos) = best[p]
+                .get()
+                .expect("every point appears as a singleton side in some pair");
+            (tree.idx[q_pos as usize], d_sq.sqrt())
+        })
+        .collect()
+}
+
+/// Nearest neighbors indexed by *original* point order.
+pub fn all_nearest_neighbors_by_original<const D: usize>(tree: &KdTree<D>) -> Vec<(u32, f64)> {
+    let by_pos = all_nearest_neighbors(tree);
+    let mut out = vec![(0u32, 0f64); by_pos.len()];
+    for (pos, &entry) in by_pos.iter().enumerate() {
+        out[tree.idx[pos] as usize] = entry;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parclust_geom::Point;
+    use rand::prelude::*;
+
+    fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = [0.0; D];
+                for x in c.iter_mut() {
+                    *x = rng.gen_range(-50.0..50.0);
+                }
+                Point(c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_knn_2d() {
+        let pts = random_points::<2>(700, 1);
+        let tree = KdTree::build(&pts);
+        let ann = all_nearest_neighbors_by_original(&tree);
+        let knn = tree.knn_all(2);
+        for i in 0..pts.len() {
+            let (ids, ds) = knn.neighbors(i);
+            // knn includes self first; the true neighbor is second.
+            assert_eq!(ids[0], i as u32);
+            assert!(
+                (ann[i].1 - ds[1].sqrt()).abs() < 1e-12,
+                "point {i}: {} vs {}",
+                ann[i].1,
+                ds[1].sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_knn_5d() {
+        let pts = random_points::<5>(400, 2);
+        let tree = KdTree::build(&pts);
+        let ann = all_nearest_neighbors_by_original(&tree);
+        let knn = tree.knn_all(2);
+        for i in 0..pts.len() {
+            let (_, ds) = knn.neighbors(i);
+            assert!((ann[i].1 - ds[1].sqrt()).abs() < 1e-12, "point {i}");
+        }
+    }
+
+    #[test]
+    fn duplicates_have_zero_neighbors() {
+        let mut pts = random_points::<2>(30, 3);
+        pts.push(pts[0]);
+        let tree = KdTree::build(&pts);
+        let ann = all_nearest_neighbors_by_original(&tree);
+        assert_eq!(ann[0].1, 0.0);
+        assert_eq!(ann[30].1, 0.0);
+    }
+
+    #[test]
+    fn two_points() {
+        let pts = vec![Point([0.0, 0.0]), Point([3.0, 4.0])];
+        let tree = KdTree::build(&pts);
+        let ann = all_nearest_neighbors_by_original(&tree);
+        assert_eq!(ann[0], (1, 5.0));
+        assert_eq!(ann[1], (0, 5.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: EMST and HDBSCAN* on a small synthetic data set.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the three core entry points — `emst` (minimum spanning
+//! tree), `hdbscan` (mutual-reachability MST + core distances), and the
+//! ordered dendrogram with its reachability plot.
+
+use parclust::{dendrogram_par, emst, hdbscan, reachability_plot, Point};
+use parclust_data::seed_spreader;
+
+fn main() {
+    // 50k clustered points in 2D (Gan–Tao seed-spreader distribution).
+    let n = 50_000;
+    let points: Vec<Point<2>> = seed_spreader(n, 42);
+    println!("generated {n} seed-spreader points in 2D");
+
+    // --- Euclidean minimum spanning tree -------------------------------
+    let t = std::time::Instant::now();
+    let mst = emst(&points);
+    println!(
+        "EMST: {} edges, total weight {:.2}, in {:.3}s \
+         (tree build {:.3}s, wspd {:.3}s, kruskal {:.3}s, {} rounds)",
+        mst.edges.len(),
+        mst.total_weight,
+        t.elapsed().as_secs_f64(),
+        mst.stats.build_tree,
+        mst.stats.wspd,
+        mst.stats.kruskal,
+        mst.stats.rounds,
+    );
+
+    // --- HDBSCAN* hierarchy --------------------------------------------
+    let min_pts = 10;
+    let t = std::time::Instant::now();
+    let h = hdbscan(&points, min_pts);
+    println!(
+        "HDBSCAN* (minPts={min_pts}): MST weight {:.2}, {} BCCP* calls, \
+         {} pairs materialized, in {:.3}s",
+        h.total_weight,
+        h.stats.bccp_calls,
+        h.stats.pairs_materialized,
+        t.elapsed().as_secs_f64(),
+    );
+
+    // --- Ordered dendrogram + reachability plot ------------------------
+    let t = std::time::Instant::now();
+    let dend = dendrogram_par(n, &h.edges, 0);
+    let (order, reach) = reachability_plot(&dend);
+    println!(
+        "ordered dendrogram built in {:.3}s; root merge height {:.3}",
+        t.elapsed().as_secs_f64(),
+        dend.node_height(dend.root),
+    );
+
+    // The reachability plot's "valleys" are clusters: report the deepest
+    // few by looking at long runs under the median reachability value.
+    let mut finite: Vec<f64> = reach.iter().copied().filter(|r| r.is_finite()).collect();
+    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = finite[finite.len() / 2];
+    let mut valleys = 0;
+    let mut in_valley = false;
+    for &r in &reach {
+        let below = r < 0.5 * median;
+        if below && !in_valley {
+            valleys += 1;
+        }
+        in_valley = below;
+    }
+    println!(
+        "reachability plot: first point {}, median bar {:.3}, ~{} deep valleys (clusters)",
+        order[0], median, valleys
+    );
+}

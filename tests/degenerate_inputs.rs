@@ -1,0 +1,146 @@
+//! Degenerate and adversarial inputs through every public entry point:
+//! empty/singleton sets, exact duplicates, collinear data, identical
+//! points, and tiny `n`.
+
+use parclust::{
+    dbscan_star_labels, dendrogram_par, dendrogram_seq, emst, emst_boruvka, emst_delaunay,
+    emst_gfk, emst_memogfk, emst_naive, hdbscan_gantao, hdbscan_memogfk, reachability_plot,
+    single_linkage_k, Point, NOISE,
+};
+use parclust_mst::prim_dense;
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{what}: {a} vs {b}");
+}
+
+#[test]
+fn empty_and_singleton() {
+    assert!(emst::<2>(&[]).edges.is_empty());
+    assert!(emst(&[Point([5.0, 5.0])]).edges.is_empty());
+    assert!(hdbscan_memogfk::<2>(&[], 10).edges.is_empty());
+    let h = hdbscan_memogfk(&[Point([5.0, 5.0])], 10);
+    assert!(h.edges.is_empty());
+    assert_eq!(h.core_distances, vec![0.0]);
+}
+
+#[test]
+fn two_and_three_points() {
+    let two = vec![Point([0.0, 0.0]), Point([3.0, 4.0])];
+    for (name, got) in [
+        ("naive", emst_naive(&two).total_weight),
+        ("gfk", emst_gfk(&two).total_weight),
+        ("memogfk", emst_memogfk(&two).total_weight),
+        ("boruvka", emst_boruvka(&two).total_weight),
+        ("delaunay", emst_delaunay(&two).total_weight),
+    ] {
+        assert_close(got, 5.0, name);
+    }
+    let three = vec![Point([0.0, 0.0]), Point([1.0, 0.0]), Point([10.0, 0.0])];
+    assert_close(emst_memogfk(&three).total_weight, 10.0, "three collinear");
+}
+
+#[test]
+fn all_points_identical() {
+    let pts = vec![Point([7.0, -3.0]); 100];
+    for (name, t) in [
+        ("naive", emst_naive(&pts)),
+        ("gfk", emst_gfk(&pts)),
+        ("memogfk", emst_memogfk(&pts)),
+        ("boruvka", emst_boruvka(&pts)),
+        ("delaunay", emst_delaunay(&pts)),
+    ] {
+        assert_eq!(t.edges.len(), 99, "{name}");
+        assert_close(t.total_weight, 0.0, name);
+    }
+    // HDBSCAN*: all core distances zero, all edges zero.
+    let h = hdbscan_memogfk(&pts, 10);
+    assert!(h.core_distances.iter().all(|&c| c == 0.0));
+    assert_close(h.total_weight, 0.0, "hdbscan identical");
+    // Dendrogram of an all-zero tree still works and labels one cluster.
+    let d = dendrogram_par(pts.len(), &h.edges, 0);
+    let labels = dbscan_star_labels(&d, &h.core_distances, 0.0);
+    assert!(labels.iter().all(|&l| l == 0));
+}
+
+#[test]
+fn heavy_duplication() {
+    // 30 distinct locations, ~170 duplicates.
+    let mut pts = Vec::new();
+    for i in 0..200 {
+        let k = i % 30;
+        pts.push(Point([(k % 6) as f64 * 10.0, (k / 6) as f64 * 10.0]));
+    }
+    let want = prim_dense(pts.len(), 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
+    for (name, t) in [
+        ("naive", emst_naive(&pts)),
+        ("memogfk", emst_memogfk(&pts)),
+        ("boruvka", emst_boruvka(&pts)),
+        ("delaunay", emst_delaunay(&pts)),
+    ] {
+        assert_close(t.total_weight, want.total_weight, name);
+        assert_eq!(t.edges.len(), pts.len() - 1, "{name}");
+    }
+    let h = hdbscan_memogfk(&pts, 3);
+    let hwant = {
+        let cd: Vec<f64> = (0..pts.len())
+            .map(|i| {
+                let mut d: Vec<f64> = (0..pts.len()).map(|j| pts[i].dist(&pts[j])).collect();
+                d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                d[2]
+            })
+            .collect();
+        prim_dense(pts.len(), 0, |u, v| {
+            pts[u as usize]
+                .dist(&pts[v as usize])
+                .max(cd[u as usize])
+                .max(cd[v as usize])
+        })
+        .total_weight
+    };
+    assert_close(h.total_weight, hwant, "hdbscan duplicated");
+}
+
+#[test]
+fn collinear_everything() {
+    let pts: Vec<Point<2>> = (0..50).map(|i| Point([i as f64 * 2.0, -i as f64])).collect();
+    let want = prim_dense(pts.len(), 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
+    assert_close(emst_memogfk(&pts).total_weight, want.total_weight, "memogfk");
+    assert_close(emst_delaunay(&pts).total_weight, want.total_weight, "delaunay");
+    assert_close(emst_boruvka(&pts).total_weight, want.total_weight, "boruvka");
+    // Full pipeline over the degenerate tree.
+    let mst = emst_memogfk(&pts);
+    let d = dendrogram_seq(pts.len(), &mst.edges, 0);
+    let (order, _) = reachability_plot(&d);
+    assert_eq!(order.len(), pts.len());
+    let labels = single_linkage_k(&d, 5);
+    let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+    assert_eq!(distinct.len(), 5);
+}
+
+#[test]
+fn min_pts_edge_cases() {
+    let pts: Vec<Point<2>> = (0..20).map(|i| Point([i as f64, 0.5 * i as f64])).collect();
+    // minPts = n and minPts > n both clamp sensibly.
+    for mp in [20, 100] {
+        let h = hdbscan_memogfk(&pts, mp);
+        assert_eq!(h.edges.len(), 19);
+        assert!(h.core_distances.iter().all(|c| c.is_finite()));
+    }
+    // Both variants agree even in the degenerate regime.
+    let a = hdbscan_memogfk(&pts, 20).total_weight;
+    let b = hdbscan_gantao(&pts, 20).total_weight;
+    assert_close(a, b, "variants at minPts=n");
+}
+
+#[test]
+fn noise_labeling_extremes() {
+    let pts: Vec<Point<2>> = (0..40).map(|i| Point([i as f64, 0.0])).collect();
+    let h = hdbscan_memogfk(&pts, 5);
+    let d = dendrogram_par(pts.len(), &h.edges, 0);
+    // eps below every core distance: everything is noise.
+    let all_noise = dbscan_star_labels(&d, &h.core_distances, 1e-9);
+    assert!(all_noise.iter().all(|&l| l == NOISE));
+    // eps above everything: one cluster, no noise.
+    let one = dbscan_star_labels(&d, &h.core_distances, 1e9);
+    assert!(one.iter().all(|&l| l == 0));
+}

@@ -1,0 +1,63 @@
+//! Determinism across runs and thread counts.
+//!
+//! The strict `(w, u, v)` edge order makes every result reproducible: the
+//! same input must produce bit-identical MSTs and dendrograms regardless of
+//! scheduling. These tests re-run the full pipelines inside differently
+//! sized rayon pools.
+
+use parclust::{dendrogram_par, emst_memogfk, hdbscan_memogfk, Point};
+use parclust_data::seed_spreader;
+
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn edges_key(edges: &[parclust::Edge]) -> Vec<(u64, u32, u32)> {
+    edges.iter().map(|e| (e.w.to_bits(), e.u, e.v)).collect()
+}
+
+#[test]
+fn emst_identical_across_thread_counts() {
+    let pts: Vec<Point<3>> = seed_spreader(8000, 5);
+    let a = in_pool(1, || emst_memogfk(&pts));
+    let b = in_pool(2, || emst_memogfk(&pts));
+    let c = in_pool(4, || emst_memogfk(&pts));
+    assert_eq!(edges_key(&a.edges), edges_key(&b.edges));
+    assert_eq!(edges_key(&a.edges), edges_key(&c.edges));
+}
+
+#[test]
+fn hdbscan_identical_across_thread_counts() {
+    let pts: Vec<Point<2>> = seed_spreader(6000, 6);
+    let a = in_pool(1, || hdbscan_memogfk(&pts, 10));
+    let b = in_pool(4, || hdbscan_memogfk(&pts, 10));
+    assert_eq!(edges_key(&a.edges), edges_key(&b.edges));
+    assert_eq!(a.core_distances, b.core_distances);
+}
+
+#[test]
+fn dendrogram_identical_across_thread_counts() {
+    let pts: Vec<Point<2>> = seed_spreader(6000, 7);
+    let mst = emst_memogfk(&pts);
+    let a = in_pool(1, || dendrogram_par(pts.len(), &mst.edges, 3));
+    let b = in_pool(4, || dendrogram_par(pts.len(), &mst.edges, 3));
+    assert_eq!(a.left, b.left);
+    assert_eq!(a.right, b.right);
+    assert_eq!(a.parent, b.parent);
+    assert_eq!(a.root, b.root);
+}
+
+#[test]
+fn repeated_runs_identical_in_same_pool() {
+    let pts: Vec<Point<2>> = seed_spreader(5000, 8);
+    let a = emst_memogfk(&pts);
+    let b = emst_memogfk(&pts);
+    assert_eq!(edges_key(&a.edges), edges_key(&b.edges));
+    // Stats counters that reflect algorithmic work (not scheduling) match.
+    assert_eq!(a.stats.rounds, b.stats.rounds);
+    assert_eq!(a.stats.pairs_materialized, b.stats.pairs_materialized);
+}

@@ -1,0 +1,196 @@
+//! Property-based cross-checks of every algorithm against dense oracles.
+//!
+//! Strategy: small random point sets (with duplicates and clumping
+//! encouraged) in 2 and 3 dimensions; every property compares a parallel
+//! WSPD-based implementation against an `O(n^2)` reference.
+
+use parclust::{
+    dbscan_star_labels, dendrogram_par, dendrogram_seq, emst_boruvka, emst_delaunay,
+    emst_memogfk, emst_naive, hdbscan_gantao, hdbscan_memogfk, reachability_plot, Point, NOISE,
+};
+use parclust_mst::prim_dense;
+use parclust_primitives::unionfind::UnionFind;
+use proptest::prelude::*;
+
+/// Points drawn from a small integer-ish grid: plenty of ties, duplicates,
+/// and collinear runs to stress degenerate paths.
+fn clumpy_points_2d(max_n: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0i32..40, 0i32..40, 0u8..4), 2..max_n).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, jitter)| {
+                Point([x as f64 + jitter as f64 * 0.25, y as f64 - jitter as f64 * 0.125])
+            })
+            .collect()
+    })
+}
+
+fn smooth_points_3d(max_n: usize) -> impl Strategy<Value = Vec<Point<3>>> {
+    prop::collection::vec(
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        2..max_n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, z)| {
+                Point([
+                    (x % 100_000) as f64 / 100.0,
+                    (y % 100_000) as f64 / 100.0,
+                    (z % 100_000) as f64 / 100.0,
+                ])
+            })
+            .collect()
+    })
+}
+
+fn emst_oracle<const D: usize>(pts: &[Point<D>]) -> f64 {
+    prim_dense(pts.len(), 0, |u, v| pts[u as usize].dist(&pts[v as usize])).total_weight
+}
+
+fn cd_oracle<const D: usize>(pts: &[Point<D>], min_pts: usize) -> Vec<f64> {
+    let n = pts.len();
+    (0..n)
+        .map(|i| {
+            let mut d: Vec<f64> = (0..n).map(|j| pts[i].dist(&pts[j])).collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d[min_pts.min(n) - 1]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn emst_drivers_match_oracle_2d(pts in clumpy_points_2d(80)) {
+        let want = emst_oracle(&pts);
+        let tol = 1e-9 * (1.0 + want);
+        prop_assert!((emst_naive(&pts).total_weight - want).abs() < tol);
+        prop_assert!((emst_memogfk(&pts).total_weight - want).abs() < tol);
+        prop_assert!((emst_boruvka(&pts).total_weight - want).abs() < tol);
+        prop_assert!((emst_delaunay(&pts).total_weight - want).abs() < tol);
+    }
+
+    #[test]
+    fn emst_matches_oracle_3d(pts in smooth_points_3d(60)) {
+        let want = emst_oracle(&pts);
+        let tol = 1e-9 * (1.0 + want);
+        prop_assert!((emst_memogfk(&pts).total_weight - want).abs() < tol);
+    }
+
+    #[test]
+    fn hdbscan_variants_match_oracle(
+        pts in clumpy_points_2d(60),
+        min_pts in 1usize..12,
+    ) {
+        let cd = cd_oracle(&pts, min_pts);
+        let want = prim_dense(pts.len(), 0, |u, v| {
+            pts[u as usize].dist(&pts[v as usize]).max(cd[u as usize]).max(cd[v as usize])
+        }).total_weight;
+        let tol = 1e-9 * (1.0 + want);
+        prop_assert!((hdbscan_memogfk(&pts, min_pts).total_weight - want).abs() < tol);
+        prop_assert!((hdbscan_gantao(&pts, min_pts).total_weight - want).abs() < tol);
+    }
+
+    #[test]
+    fn dendrogram_par_equals_seq_and_prim_order(pts in smooth_points_3d(50)) {
+        let n = pts.len();
+        let mst = emst_memogfk(&pts);
+        prop_assume!(mst.edges.len() == n - 1);
+        let ds = dendrogram_seq(n, &mst.edges, 0);
+        let dp = dendrogram_par(n, &mst.edges, 0);
+        prop_assert_eq!(&ds.left, &dp.left);
+        prop_assert_eq!(&ds.right, &dp.right);
+        prop_assert_eq!(&ds.parent, &dp.parent);
+
+        // In-order equals Prim order (smooth coordinates: ties have
+        // negligible probability).
+        let (order, reach) = reachability_plot(&dp);
+        let oracle = prim_dense(n, 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
+        prop_assert_eq!(order, oracle.order);
+        for i in 1..n {
+            prop_assert!((reach[i] - oracle.reachability[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dbscan_star_matches_definition(
+        pts in clumpy_points_2d(60),
+        min_pts in 1usize..8,
+        eps_scale in 0.05f64..2.0,
+    ) {
+        let n = pts.len();
+        let h = hdbscan_memogfk(&pts, min_pts);
+        let d = dendrogram_par(n, &h.edges, 0);
+        // Pick eps relative to the data spread so all regimes get hit.
+        let eps = eps_scale * 8.0;
+        let labels = dbscan_star_labels(&d, &h.core_distances, eps);
+
+        // Oracle DBSCAN* (minPts clamps to n, matching the library's
+        // documented core-distance semantics).
+        let min_pts = min_pts.min(n);
+        let is_core: Vec<bool> = (0..n)
+            .map(|i| (0..n).filter(|&j| pts[i].dist(&pts[j]) <= eps).count() >= min_pts)
+            .collect();
+        let mut uf = UnionFind::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if is_core[i] && is_core[j] && pts[i].dist(&pts[j]) <= eps {
+                    uf.union(i as u32, j as u32);
+                }
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(labels[i] == NOISE, !is_core[i], "core flag at {}", i);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if is_core[i] && is_core[j] {
+                    prop_assert_eq!(
+                        labels[i] == labels[j],
+                        uf.same(i as u32, j as u32),
+                        "pair ({}, {})", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mst_edges_satisfy_cycle_property(pts in clumpy_points_2d(40)) {
+        // Spot-check the cut/cycle property: for every non-tree pair (u,v),
+        // the path between them in the MST has no edge heavier than d(u,v).
+        // (Checked via the minimax interpretation: MST path max-edge =
+        // minimax distance.)
+        let n = pts.len();
+        let mst = emst_memogfk(&pts);
+        prop_assume!(mst.edges.len() == n - 1);
+        // Floyd-Warshall-style minimax over the complete graph.
+        let mut minimax = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            minimax[i * n + i] = 0.0;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    minimax[i * n + j] = pts[i].dist(&pts[j]);
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = minimax[i * n + k].max(minimax[k * n + j]);
+                    if via < minimax[i * n + j] {
+                        minimax[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        // Every MST edge weight equals the minimax distance between its
+        // endpoints.
+        for e in &mst.edges {
+            let mm = minimax[e.u as usize * n + e.v as usize];
+            prop_assert!((e.w - mm).abs() < 1e-9, "edge ({}, {})", e.u, e.v);
+        }
+    }
+}

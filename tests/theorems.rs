@@ -1,0 +1,129 @@
+//! Tests that encode the paper's theorems directly.
+
+use parclust::{emst_memogfk, hdbscan_memogfk, Point};
+use parclust_mst::prim_dense;
+use rand::prelude::*;
+
+fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for x in c.iter_mut() {
+                *x = rng.gen_range(0.0..100.0);
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+fn brute_core_distances<const D: usize>(pts: &[Point<D>], min_pts: usize) -> Vec<f64> {
+    let n = pts.len();
+    (0..n)
+        .map(|i| {
+            let mut d: Vec<f64> = (0..n).map(|j| pts[i].dist(&pts[j])).collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d[min_pts.min(n) - 1]
+        })
+        .collect()
+}
+
+/// Weight of a set of EMST edges when re-weighted by mutual reachability.
+fn reweigh_by_dm<const D: usize>(
+    pts: &[Point<D>],
+    cd: &[f64],
+    edges: &[parclust::Edge],
+) -> f64 {
+    edges
+        .iter()
+        .map(|e| {
+            let d = pts[e.u as usize].dist(&pts[e.v as usize]);
+            d.max(cd[e.u as usize]).max(cd[e.v as usize])
+        })
+        .sum()
+}
+
+/// Theorem D.1: for minPts ≤ 3, the EMST is an MST of the mutual
+/// reachability graph — its d_m-weight equals the HDBSCAN* MST weight.
+#[test]
+fn theorem_d1_minpts_up_to_three() {
+    for seed in 0..10 {
+        let pts = random_points::<2>(60, seed);
+        let emst = emst_memogfk(&pts);
+        for min_pts in 1..=3 {
+            let cd = brute_core_distances(&pts, min_pts);
+            let emst_as_dm = reweigh_by_dm(&pts, &cd, &emst.edges);
+            let hdb = hdbscan_memogfk(&pts, min_pts);
+            assert!(
+                (emst_as_dm - hdb.total_weight).abs() < 1e-9,
+                "seed {seed}, minPts {min_pts}: EMST reweighed {emst_as_dm} vs MST* {}",
+                hdb.total_weight
+            );
+        }
+    }
+}
+
+/// Appendix D, Figure 11: for minPts = 4 the equivalence can fail. We
+/// search a family of small deterministic configurations and require that
+/// a counterexample exists (i.e. the theorem's bound is tight).
+#[test]
+fn minpts_four_counterexample_exists() {
+    let mut found = false;
+    for seed in 0..200 {
+        let pts = random_points::<2>(8, seed);
+        let emst = emst_memogfk(&pts);
+        let cd = brute_core_distances(&pts, 4);
+        let emst_as_dm = reweigh_by_dm(&pts, &cd, &emst.edges);
+        let hdb = hdbscan_memogfk(&pts, 4);
+        assert!(
+            emst_as_dm >= hdb.total_weight - 1e-9,
+            "reweighed EMST can never beat the d_m MST"
+        );
+        if emst_as_dm > hdb.total_weight + 1e-9 {
+            found = true;
+            break;
+        }
+    }
+    assert!(
+        found,
+        "expected some 8-point configuration where the EMST is not an MST \
+         of the mutual reachability graph at minPts = 4"
+    );
+}
+
+/// Theorem 3.2 in effect: the improved well-separation still yields an MST
+/// of the full mutual reachability graph (checked against the dense Prim
+/// oracle over d_m).
+#[test]
+fn theorem_3_2_combined_separation_is_exact() {
+    for seed in 0..5 {
+        let pts = random_points::<3>(80, 100 + seed);
+        for min_pts in [2, 5, 10] {
+            let cd = brute_core_distances(&pts, min_pts);
+            let want = prim_dense(pts.len(), 0, |u, v| {
+                let d = pts[u as usize].dist(&pts[v as usize]);
+                d.max(cd[u as usize]).max(cd[v as usize])
+            })
+            .total_weight;
+            let got = hdbscan_memogfk(&pts, min_pts).total_weight;
+            assert!(
+                (got - want).abs() < 1e-9,
+                "seed {seed}, minPts {min_pts}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+/// §2.1: the HDBSCAN* MST at minPts ∈ {1, 2} has exactly the EMST weight
+/// under d_m = d (minPts ≤ 2 implies cd(p) ≤ d(p, q) for any q ≠ p).
+#[test]
+fn minpts_two_mst_weight_equals_reweighed_emst() {
+    let pts = random_points::<2>(100, 77);
+    let emst = emst_memogfk(&pts);
+    let cd = brute_core_distances(&pts, 2);
+    let hdb = hdbscan_memogfk(&pts, 2);
+    assert!((reweigh_by_dm(&pts, &cd, &emst.edges) - hdb.total_weight).abs() < 1e-9);
+    // And at minPts = 1, d_m degenerates to d exactly.
+    let hdb1 = hdbscan_memogfk(&pts, 1);
+    assert!((hdb1.total_weight - emst.total_weight).abs() < 1e-9);
+}
