@@ -38,9 +38,7 @@ fn bench_wspd(c: &mut Criterion) {
     });
     // HDBSCAN separations: standard vs the paper's combined definition.
     let knn = tree.knn_all(10);
-    let cd: Vec<f64> = (0..tree.len())
-        .map(|i| knn.kth_dist(i))
-        .collect();
+    let cd: Vec<f64> = (0..tree.len()).map(|i| knn.kth_dist(i)).collect();
     let cd_pos: Vec<f64> = tree.idx.iter().map(|&o| cd[o as usize]).collect();
     let (cd_min, cd_max) = core_distance_annotations(&tree, &cd_pos);
     g.bench_function("mutual_reach_standard_50k", |b| {
@@ -62,10 +60,10 @@ fn bench_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("primitives_1m");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     let xs: Vec<usize> = (0..1_000_000).map(|i| i % 17).collect();
-    g.bench_function("scan_exclusive", |b| {
-        b.iter(|| scan_exclusive_usize(&xs).1)
-    });
-    let ys: Vec<u64> = (0..1_000_000u64).map(|i| i.wrapping_mul(48271) % 1000).collect();
+    g.bench_function("scan_exclusive", |b| b.iter(|| scan_exclusive_usize(&xs).1));
+    let ys: Vec<u64> = (0..1_000_000u64)
+        .map(|i| i.wrapping_mul(48271) % 1000)
+        .collect();
     g.bench_function("pack_half", |b| b.iter(|| pack(&ys, |&y| y < 500).len()));
     let ws: Vec<f64> = (0..1_000_000u64)
         .map(|i| ((i.wrapping_mul(2654435761)) % 1000003) as f64)

@@ -16,8 +16,7 @@ use parclust::{
     emst_naive, hdbscan_gantao, hdbscan_memogfk, optics_approx,
 };
 use parclust_bench::{
-    best_time, dataset, fmt_secs, thread_counts, with_points, DataSpec, Report, ResultRow,
-    DATASETS,
+    best_time, dataset, fmt_secs, thread_counts, with_points, DataSpec, Report, ResultRow, DATASETS,
 };
 
 struct Opts {
@@ -91,10 +90,15 @@ fn figure_subset(opts: &Opts) -> Vec<&'static DataSpec> {
     if opts.only_datasets.is_some() {
         return all;
     }
-    ["2D-SS-varden", "3D-UniformFill", "3D-GeoLife-like", "7D-Household-like"]
-        .iter()
-        .filter_map(|n| dataset(n))
-        .collect()
+    [
+        "2D-SS-varden",
+        "3D-UniformFill",
+        "3D-GeoLife-like",
+        "7D-Household-like",
+    ]
+    .iter()
+    .filter_map(|n| dataset(n))
+    .collect()
 }
 
 const EMST_METHODS: &[&str] = &["EMST-Naive", "EMST-GFK", "EMST-MemoGFK", "EMST-Delaunay"];
@@ -175,7 +179,15 @@ fn table4_and_2(opts: &Opts, report: &mut Report) {
     println!("\n=== Table 4: EMST running times (1 thread vs {max_t} threads) ===");
     println!(
         "{:<20} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
-        "dataset", "Naive-1", "Naive-P", "GFK-1", "GFK-P", "MemoG-1", "MemoG-P", "Delau-1", "Delau-P"
+        "dataset",
+        "Naive-1",
+        "Naive-P",
+        "GFK-1",
+        "GFK-P",
+        "MemoG-1",
+        "MemoG-P",
+        "Delau-1",
+        "Delau-P"
     );
     let mut speedups: Vec<(String, String, f64, f64)> = Vec::new();
     for spec in selected(opts) {
@@ -387,7 +399,11 @@ fn figures_6_7(opts: &Opts, report: &mut Report, which: &str) {
     println!(
         "\n=== Figure {}: {} speedup over best sequential vs thread count ===",
         if is_hdb { "7" } else { "6" },
-        if is_hdb { "HDBSCAN* (incl. dendrogram)" } else { "EMST" }
+        if is_hdb {
+            "HDBSCAN* (incl. dendrogram)"
+        } else {
+            "EMST"
+        }
     );
     for spec in figure_subset(opts) {
         let n = n_of(spec, opts.scale);
@@ -505,8 +521,9 @@ fn fig9(opts: &Opts, report: &mut Report) {
             let mst = emst_memogfk(&pts);
             let h = hdbscan_memogfk(&pts, opts.min_pts);
             let (_, slc1) = best_time(1, opts.reps, || dendrogram_seq(pts.len(), &mst.edges, 0));
-            let (_, slcp) =
-                best_time(max_t, opts.reps, || dendrogram_par(pts.len(), &mst.edges, 0));
+            let (_, slcp) = best_time(max_t, opts.reps, || {
+                dendrogram_par(pts.len(), &mst.edges, 0)
+            });
             let (_, hdb1) = best_time(1, opts.reps, || dendrogram_seq(pts.len(), &h.edges, 0));
             let (_, hdbp) = best_time(max_t, opts.reps, || dendrogram_par(pts.len(), &h.edges, 0));
             ((slc1, slcp), (hdb1, hdbp))
@@ -623,7 +640,12 @@ fn memory(opts: &Opts, report: &mut Report) {
         let sep_ratio = wspd_std as f64 / wspd_new.max(1) as f64;
         println!(
             "{:<20} {:>13} {:>13} {:>8.2}x {:>13} {:>13} {:>8.2}x",
-            spec.name, naive.peak_live_pairs, memo.peak_live_pairs, ratio, wspd_std, wspd_new,
+            spec.name,
+            naive.peak_live_pairs,
+            memo.peak_live_pairs,
+            ratio,
+            wspd_std,
+            wspd_new,
             sep_ratio,
         );
         report.push(ResultRow {
@@ -717,10 +739,7 @@ fn ablation(opts: &Opts, report: &mut Report) {
             i.1,
             i.0 / d.0,
         );
-        for (method, secs, rounds) in [
-            ("beta-double", d.0, d.1),
-            ("beta-increment", i.0, i.1),
-        ] {
+        for (method, secs, rounds) in [("beta-double", d.0, d.1), ("beta-increment", i.0, i.1)] {
             report.push(ResultRow {
                 experiment: "ablation".into(),
                 dataset: spec.name.into(),

@@ -31,25 +31,83 @@ pub enum DataKind {
 /// The paper's 12-data-set lineup (Table 4/5 rows, Figure 6/7 panels),
 /// scaled to laptop-class baseline sizes.
 pub const DATASETS: &[DataSpec] = &[
-    DataSpec { name: "2D-UniformFill", dims: 2, base_n: 100_000, kind: DataKind::Uniform },
-    DataSpec { name: "3D-UniformFill", dims: 3, base_n: 100_000, kind: DataKind::Uniform },
-    DataSpec { name: "5D-UniformFill", dims: 5, base_n: 50_000, kind: DataKind::Uniform },
-    DataSpec { name: "7D-UniformFill", dims: 7, base_n: 25_000, kind: DataKind::Uniform },
-    DataSpec { name: "2D-SS-varden", dims: 2, base_n: 100_000, kind: DataKind::SeedSpreader },
-    DataSpec { name: "3D-SS-varden", dims: 3, base_n: 100_000, kind: DataKind::SeedSpreader },
-    DataSpec { name: "5D-SS-varden", dims: 5, base_n: 50_000, kind: DataKind::SeedSpreader },
-    DataSpec { name: "7D-SS-varden", dims: 7, base_n: 25_000, kind: DataKind::SeedSpreader },
-    DataSpec { name: "3D-GeoLife-like", dims: 3, base_n: 150_000, kind: DataKind::GpsLike },
-    DataSpec { name: "7D-Household-like", dims: 7, base_n: 40_000, kind: DataKind::SensorLike },
-    DataSpec { name: "10D-HT-like", dims: 10, base_n: 25_000, kind: DataKind::SensorLike },
-    DataSpec { name: "16D-CHEM-like", dims: 16, base_n: 15_000, kind: DataKind::SensorLike },
+    DataSpec {
+        name: "2D-UniformFill",
+        dims: 2,
+        base_n: 100_000,
+        kind: DataKind::Uniform,
+    },
+    DataSpec {
+        name: "3D-UniformFill",
+        dims: 3,
+        base_n: 100_000,
+        kind: DataKind::Uniform,
+    },
+    DataSpec {
+        name: "5D-UniformFill",
+        dims: 5,
+        base_n: 50_000,
+        kind: DataKind::Uniform,
+    },
+    DataSpec {
+        name: "7D-UniformFill",
+        dims: 7,
+        base_n: 25_000,
+        kind: DataKind::Uniform,
+    },
+    DataSpec {
+        name: "2D-SS-varden",
+        dims: 2,
+        base_n: 100_000,
+        kind: DataKind::SeedSpreader,
+    },
+    DataSpec {
+        name: "3D-SS-varden",
+        dims: 3,
+        base_n: 100_000,
+        kind: DataKind::SeedSpreader,
+    },
+    DataSpec {
+        name: "5D-SS-varden",
+        dims: 5,
+        base_n: 50_000,
+        kind: DataKind::SeedSpreader,
+    },
+    DataSpec {
+        name: "7D-SS-varden",
+        dims: 7,
+        base_n: 25_000,
+        kind: DataKind::SeedSpreader,
+    },
+    DataSpec {
+        name: "3D-GeoLife-like",
+        dims: 3,
+        base_n: 150_000,
+        kind: DataKind::GpsLike,
+    },
+    DataSpec {
+        name: "7D-Household-like",
+        dims: 7,
+        base_n: 40_000,
+        kind: DataKind::SensorLike,
+    },
+    DataSpec {
+        name: "10D-HT-like",
+        dims: 10,
+        base_n: 25_000,
+        kind: DataKind::SensorLike,
+    },
+    DataSpec {
+        name: "16D-CHEM-like",
+        dims: 16,
+        base_n: 15_000,
+        kind: DataKind::SensorLike,
+    },
 ];
 
 /// Look up a data set by (case-insensitive) name.
 pub fn dataset(name: &str) -> Option<&'static DataSpec> {
-    DATASETS
-        .iter()
-        .find(|d| d.name.eq_ignore_ascii_case(name))
+    DATASETS.iter().find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 /// Generate the points of `spec` at `n` points and hand them, with their
@@ -63,18 +121,54 @@ macro_rules! with_points {
         let spec: &$crate::DataSpec = $spec;
         let n: usize = $n;
         match (spec.kind, spec.dims) {
-            (DataKind::Uniform, 2) => { let $pts = uniform_fill::<2>(n, 42); $body }
-            (DataKind::Uniform, 3) => { let $pts = uniform_fill::<3>(n, 42); $body }
-            (DataKind::Uniform, 5) => { let $pts = uniform_fill::<5>(n, 42); $body }
-            (DataKind::Uniform, 7) => { let $pts = uniform_fill::<7>(n, 42); $body }
-            (DataKind::SeedSpreader, 2) => { let $pts = seed_spreader::<2>(n, 42); $body }
-            (DataKind::SeedSpreader, 3) => { let $pts = seed_spreader::<3>(n, 42); $body }
-            (DataKind::SeedSpreader, 5) => { let $pts = seed_spreader::<5>(n, 42); $body }
-            (DataKind::SeedSpreader, 7) => { let $pts = seed_spreader::<7>(n, 42); $body }
-            (DataKind::GpsLike, 3) => { let $pts = gps_like(n, 42); $body }
-            (DataKind::SensorLike, 7) => { let $pts = sensor_like::<7>(n, 42, 8); $body }
-            (DataKind::SensorLike, 10) => { let $pts = sensor_like::<10>(n, 42, 8); $body }
-            (DataKind::SensorLike, 16) => { let $pts = sensor_like::<16>(n, 42, 12); $body }
+            (DataKind::Uniform, 2) => {
+                let $pts = uniform_fill::<2>(n, 42);
+                $body
+            }
+            (DataKind::Uniform, 3) => {
+                let $pts = uniform_fill::<3>(n, 42);
+                $body
+            }
+            (DataKind::Uniform, 5) => {
+                let $pts = uniform_fill::<5>(n, 42);
+                $body
+            }
+            (DataKind::Uniform, 7) => {
+                let $pts = uniform_fill::<7>(n, 42);
+                $body
+            }
+            (DataKind::SeedSpreader, 2) => {
+                let $pts = seed_spreader::<2>(n, 42);
+                $body
+            }
+            (DataKind::SeedSpreader, 3) => {
+                let $pts = seed_spreader::<3>(n, 42);
+                $body
+            }
+            (DataKind::SeedSpreader, 5) => {
+                let $pts = seed_spreader::<5>(n, 42);
+                $body
+            }
+            (DataKind::SeedSpreader, 7) => {
+                let $pts = seed_spreader::<7>(n, 42);
+                $body
+            }
+            (DataKind::GpsLike, 3) => {
+                let $pts = gps_like(n, 42);
+                $body
+            }
+            (DataKind::SensorLike, 7) => {
+                let $pts = sensor_like::<7>(n, 42, 8);
+                $body
+            }
+            (DataKind::SensorLike, 10) => {
+                let $pts = sensor_like::<10>(n, 42, 8);
+                $body
+            }
+            (DataKind::SensorLike, 16) => {
+                let $pts = sensor_like::<16>(n, 42, 12);
+                $body
+            }
             (kind, dims) => unreachable!("no generator for {:?} in {} dims", kind, dims),
         }
     }};
@@ -92,7 +186,8 @@ pub fn timed_in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> (
     (out, t0.elapsed().as_secs_f64())
 }
 
-/// Best-of-`reps` timing (with one untimed warmup when `reps > 1`).
+/// Best-of-`reps` timing: every repetition is timed (including the first,
+/// cold-cache one) and the fastest is returned.
 pub fn best_time<T: Send>(
     threads: usize,
     reps: usize,
@@ -102,7 +197,7 @@ pub fn best_time<T: Send>(
     let mut best: Option<(T, f64)> = None;
     for _ in 0..reps {
         let (out, secs) = timed_in_pool(threads, &mut f);
-        if best.as_ref().map_or(true, |(_, b)| secs < *b) {
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
             best = Some((out, secs));
         }
     }

@@ -761,12 +761,7 @@ mod tests {
         // eps (incl. self); clusters are eps-connectivity on core points.
         let n = pts.len();
         let is_core: Vec<bool> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| pts[i].dist(&pts[j]) <= eps)
-                    .count()
-                    >= min_pts
-            })
+            .map(|i| (0..n).filter(|&j| pts[i].dist(&pts[j]) <= eps).count() >= min_pts)
             .collect();
         let mut uf = UnionFind::new(n);
         for i in 0..n {
@@ -777,7 +772,11 @@ mod tests {
             }
         }
         for i in 0..n {
-            assert_eq!(labels[i] == NOISE, !is_core[i], "core/noise mismatch at {i}");
+            assert_eq!(
+                labels[i] == NOISE,
+                !is_core[i],
+                "core/noise mismatch at {i}"
+            );
         }
         for i in 0..n {
             for j in (i + 1)..n {

@@ -63,10 +63,7 @@ impl BetaSchedule {
 /// Per-node component ids: `comp[v] = r` if every point in node `v` is in
 /// union-find component `r`, [`MIXED`] otherwise. Recomputed between Kruskal
 /// batches; reads use the concurrent-safe compression-free find.
-pub(crate) fn component_annotation<const D: usize>(
-    tree: &KdTree<D>,
-    uf: &UnionFind,
-) -> Vec<u32> {
+pub(crate) fn component_annotation<const D: usize>(tree: &KdTree<D>, uf: &UnionFind) -> Vec<u32> {
     #[derive(Clone, Copy)]
     struct Comp(u32);
     impl Default for Comp {

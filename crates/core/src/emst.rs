@@ -119,8 +119,7 @@ pub fn emst_memogfk_with_schedule<const D: usize>(
     }
     let tree = Stats::time(&mut stats.build_tree, || KdTree::build(points));
     let policy = GeometricSep::PAPER_DEFAULT;
-    let edges =
-        crate::drivers::wspd_mst_memogfk_sched(&tree, &policy, &mut stats, schedule);
+    let edges = crate::drivers::wspd_mst_memogfk_sched(&tree, &policy, &mut stats, schedule);
     Emst::from_position_edges(&tree, edges, stats, t0)
 }
 

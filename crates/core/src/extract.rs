@@ -60,7 +60,11 @@ pub fn condense_tree(d: &Dendrogram, min_cluster_size: usize) -> CondensedTree {
         .copied()
         .filter(|&h| h > 0.0)
         .fold(f64::INFINITY, f64::min);
-    let cap = if min_pos.is_finite() { 10.0 / min_pos } else { 1.0 };
+    let cap = if min_pos.is_finite() {
+        10.0 / min_pos
+    } else {
+        1.0
+    };
 
     // Subtree sizes: children precede parents in (height, id) order.
     let mut order: Vec<u32> = (0..d.height.len() as u32).collect();
@@ -169,7 +173,10 @@ pub fn extract_eom(ct: &CondensedTree) -> Vec<u32> {
     let mut selected = vec![false; k];
     let mut subtree_stability = vec![0.0f64; k];
     for c in (0..k).rev() {
-        let child_sum: f64 = children[c].iter().map(|&ch| subtree_stability[ch as usize]).sum();
+        let child_sum: f64 = children[c]
+            .iter()
+            .map(|&ch| subtree_stability[ch as usize])
+            .sum();
         if children[c].is_empty() {
             selected[c] = c != 0;
             subtree_stability[c] = ct.stability[c];
@@ -325,7 +332,10 @@ mod tests {
         }
         let labels = hdbscan_cluster(&pts, 5, 10);
         let noise_in_bg = labels[200..].iter().filter(|&&l| l == NOISE).count();
-        assert!(noise_in_bg >= 8, "background should be noise: {noise_in_bg}/9");
+        assert!(
+            noise_in_bg >= 8,
+            "background should be noise: {noise_in_bg}/9"
+        );
         assert_ne!(labels[0], NOISE);
         assert_ne!(labels[150], NOISE);
         assert_ne!(labels[0], labels[150]);
@@ -339,7 +349,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for &cx in &[0.0, 30.0] {
             for _ in 0..100 {
-                pts.push(Point([cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]));
+                pts.push(Point([
+                    cx + rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]));
             }
         }
         let labels = hdbscan_cluster(&pts, 5, 20);

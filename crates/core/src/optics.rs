@@ -30,11 +30,7 @@ use crate::stats::Stats;
 ///
 /// Returns the same [`HdbscanMst`] shape as the exact drivers; weights are
 /// approximate mutual reachability distances.
-pub fn optics_approx<const D: usize>(
-    points: &[Point<D>],
-    min_pts: usize,
-    rho: f64,
-) -> HdbscanMst {
+pub fn optics_approx<const D: usize>(points: &[Point<D>], min_pts: usize, rho: f64) -> HdbscanMst {
     assert!(min_pts >= 1, "minPts must be at least 1");
     assert!(rho > 0.0, "rho must be positive");
     let t0 = std::time::Instant::now();

@@ -87,7 +87,9 @@ mod tests {
         assert_eq!(v, 42);
         assert!(slot >= 0.0);
         let before = slot;
-        Stats::time(&mut slot, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        Stats::time(&mut slot, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
         assert!(slot > before);
     }
 

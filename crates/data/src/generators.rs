@@ -72,11 +72,15 @@ impl Default for SeedSpreaderParams {
 /// the uniform background at every size.
 pub fn seed_spreader<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
     let side = (n as f64).sqrt().max(1.0);
-    seed_spreader_with(n, seed, SeedSpreaderParams {
-        restart_prob: 10.0 / n.max(2) as f64,
-        r_vicinity: 0.005 * side,
-        ..SeedSpreaderParams::default()
-    })
+    seed_spreader_with(
+        n,
+        seed,
+        SeedSpreaderParams {
+            restart_prob: 10.0 / n.max(2) as f64,
+            r_vicinity: 0.005 * side,
+            ..SeedSpreaderParams::default()
+        },
+    )
 }
 
 /// [`seed_spreader`] with explicit parameters.
@@ -142,7 +146,7 @@ pub fn gps_like(n: usize, seed: u64) -> Vec<Point<3>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     // A handful of metro centers; walker start points concentrate there.
-    let n_centers = 8;
+    let n_centers = 8usize;
     let centers: Vec<[f64; 3]> = (0..n_centers)
         .map(|_| {
             [

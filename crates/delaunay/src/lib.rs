@@ -279,12 +279,7 @@ mod tests {
         // subconfigurations.
         let mut rng = StdRng::seed_from_u64(5);
         let pts: Vec<Point<2>> = (0..400)
-            .map(|_| {
-                Point([
-                    rng.gen_range(0..20) as f64,
-                    rng.gen_range(0..20) as f64,
-                ])
-            })
+            .map(|_| Point([rng.gen_range(0..20) as f64, rng.gen_range(0..20) as f64]))
             .collect();
         let edges = emst2d(&pts);
         assert_eq!(edges.len(), pts.len() - 1);

@@ -364,8 +364,9 @@ mod tests {
         // expansion components.
         let x = vec![1.0, 2f64.powi(30)];
         let sq = exp_mul(&x, &x);
-        let want = 2f64.powi(60) + 2f64.powi(31) + 1.0; // not exact in f64...
-        // ...so compare component sums in integer arithmetic instead.
+        // The target is not exact in f64, so compare component sums in
+        // integer arithmetic instead.
+        let want = 2f64.powi(60) + 2f64.powi(31) + 1.0;
         let got: i128 = sq.iter().map(|&c| c as i128).sum();
         let want_int: i128 = (1i128 << 60) + (1i128 << 31) + 1;
         assert_eq!(got, want_int);

@@ -177,7 +177,8 @@ impl Triangulation {
     fn locate(&self, p: [f64; 2], vid: u32) -> u32 {
         let mut t = self.hint;
         let mut prev = NONE;
-        let mut step = vid as usize; // deterministic tie-breaking offset
+        // deterministic tie-breaking offset
+        let mut step = vid as usize;
         // Termination backstop: the remembering walk terminates on Delaunay
         // triangulations, but a linear scan guarantees progress even if a
         // degenerate configuration defeats it.
@@ -373,8 +374,7 @@ impl Triangulation {
                 let (a, b) = (tri.v[(j + 1) % 3], tri.v[(j + 2) % 3]);
                 let ntri = &self.tris[nb as usize];
                 let found = (0..3).any(|k| {
-                    (ntri.v[(k + 1) % 3], ntri.v[(k + 2) % 3]) == (b, a)
-                        && ntri.nbr[k] == t as u32
+                    (ntri.v[(k + 1) % 3], ntri.v[(k + 2) % 3]) == (b, a) && ntri.nbr[k] == t as u32
                 });
                 assert!(found, "neighbor link of tri {t} edge {j} not mutual");
             }

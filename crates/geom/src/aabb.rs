@@ -151,7 +151,9 @@ impl<const D: usize> Aabb<D> {
     pub fn max_dist_sq(&self, other: &Self) -> f64 {
         let mut acc = 0.0;
         for i in 0..D {
-            let d = (self.hi[i] - other.lo[i]).abs().max((other.hi[i] - self.lo[i]).abs());
+            let d = (self.hi[i] - other.lo[i])
+                .abs()
+                .max((other.hi[i] - self.lo[i]).abs());
             acc += d * d;
         }
         acc

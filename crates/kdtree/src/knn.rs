@@ -318,9 +318,9 @@ mod tests {
         // Worked example from Figure 1 of the paper: point a at minPts=3 has
         // core distance 4 (b is its third nearest neighbor incl. itself).
         let pts = vec![
-            Point([0.0, 0.0]),  // a
-            Point([4.0, 0.0]),  // b (d(a,b) = 4)
-            Point([1.0, 1.0]),  // d (d(a,d) = sqrt(2))
+            Point([0.0, 0.0]), // a
+            Point([4.0, 0.0]), // b (d(a,b) = 4)
+            Point([1.0, 1.0]), // d (d(a,d) = sqrt(2))
         ];
         let tree = KdTree::build(&pts);
         let all = tree.knn_all(3);

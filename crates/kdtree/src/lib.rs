@@ -428,9 +428,7 @@ mod tests {
             }
         }
         let mins = tree.aggregate_bottom_up(
-            &|_, pts: &[Point<3>], _| {
-                MinX(pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min))
-            },
+            &|_, pts: &[Point<3>], _| MinX(pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min)),
             &|a: &MinX, b: &MinX| MinX(a.0.min(b.0)),
         );
         let mut stack = vec![tree.root()];

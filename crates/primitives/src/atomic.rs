@@ -33,10 +33,12 @@ impl AtomicF64Min {
             if f64::from_bits(cur) <= v {
                 return false;
             }
-            match self
-                .0
-                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -78,10 +80,12 @@ impl AtomicF64Max {
             if f64::from_bits(cur) >= v {
                 return false;
             }
-            match self
-                .0
-                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }

@@ -122,11 +122,14 @@ impl ConMap {
     /// Iterate over the entries present at a quiescent point (no concurrent
     /// writers).
     pub fn iter_quiescent(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.keys.iter().zip(self.values.iter()).filter_map(|(k, v)| {
-            let k = k.load(Ordering::Relaxed);
-            let v = v.load(Ordering::Relaxed);
-            (k != EMPTY_KEY && v != NOT_READY).then_some((k, v))
-        })
+        self.keys
+            .iter()
+            .zip(self.values.iter())
+            .filter_map(|(k, v)| {
+                let k = k.load(Ordering::Relaxed);
+                let v = v.load(Ordering::Relaxed);
+                (k != EMPTY_KEY && v != NOT_READY).then_some((k, v))
+            })
     }
 }
 

@@ -82,7 +82,11 @@ pub fn euler_tour(n: usize, edges: &[(u32, u32)]) -> EulerTour {
         })
         .collect();
 
-    EulerTour { next, first_out, arcs }
+    EulerTour {
+        next,
+        first_out,
+        arcs,
+    }
 }
 
 /// Unweighted distance of every vertex from `root` in the tree given by
@@ -120,7 +124,10 @@ pub fn tree_distances(n: usize, edges: &[(u32, u32)], root: u32) -> Vec<u32> {
     // Pass 2: ±1 suffix sums; depth(v) for down arc a=(u,v) is the inclusive
     // prefix at a, i.e. value(a) - suffix_after(a) = 1 - (suffix(a) - 1)
     // ... computed directly as value(a) - (suffix(a) - value(a)) with total 0.
-    let pm: Vec<i64> = is_down.par_iter().map(|&d| if d { 1 } else { -1 }).collect();
+    let pm: Vec<i64> = is_down
+        .par_iter()
+        .map(|&d| if d { 1 } else { -1 })
+        .collect();
     let suffix_pm = list_rank(&next, &pm);
 
     let mut dist = vec![0u32; n];
@@ -186,9 +193,7 @@ mod tests {
     fn random_tree(n: usize, seed: u64) -> Vec<(u32, u32)> {
         // Random attachment tree.
         let mut rng = StdRng::seed_from_u64(seed);
-        (1..n as u32)
-            .map(|v| (rng.gen_range(0..v), v))
-            .collect()
+        (1..n as u32).map(|v| (rng.gen_range(0..v), v)).collect()
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl<T> SendPtr<T> {
     /// access the same index concurrently.
     #[inline]
     pub unsafe fn write(self, idx: usize, value: T) {
-        self.0.add(idx).write(value);
+        // SAFETY: bounds and disjointness guaranteed by the caller.
+        unsafe { self.0.add(idx).write(value) };
     }
 }

@@ -77,8 +77,7 @@ pub fn list_rank_seq(next: &[u32], value: &[i64]) -> Vec<i64> {
         }
         while let Some(i) = stack.pop() {
             let nx = next[i as usize];
-            out[i as usize] = value[i as usize]
-                + if nx == NIL { 0 } else { out[nx as usize] };
+            out[i as usize] = value[i as usize] + if nx == NIL { 0 } else { out[nx as usize] };
             done[i as usize] = true;
         }
     }

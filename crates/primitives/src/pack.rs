@@ -133,23 +133,20 @@ where
         out.set_len(n)
     };
     let out_ptr = SendPtr(out.as_mut_ptr());
-    items
-        .par_chunks(bs)
-        .enumerate()
-        .for_each(|(b, chunk)| {
-            let mut tpos = true_offsets[b];
-            let mut fpos = ntrue + false_offsets[b];
-            for x in chunk {
-                // SAFETY: true/false destinations are disjoint across blocks.
-                if f(x) {
-                    unsafe { out_ptr.write(tpos, *x) };
-                    tpos += 1;
-                } else {
-                    unsafe { out_ptr.write(fpos, *x) };
-                    fpos += 1;
-                }
+    items.par_chunks(bs).enumerate().for_each(|(b, chunk)| {
+        let mut tpos = true_offsets[b];
+        let mut fpos = ntrue + false_offsets[b];
+        for x in chunk {
+            // SAFETY: true/false destinations are disjoint across blocks.
+            if f(x) {
+                unsafe { out_ptr.write(tpos, *x) };
+                tpos += 1;
+            } else {
+                unsafe { out_ptr.write(fpos, *x) };
+                fpos += 1;
             }
-        });
+        }
+    });
     (out, ntrue)
 }
 
@@ -195,7 +192,9 @@ mod tests {
 
     #[test]
     fn split_large_matches_sequential() {
-        let xs: Vec<u32> = (0..90_000).map(|i| (i as u32).wrapping_mul(48271) % 100).collect();
+        let xs: Vec<u32> = (0..90_000)
+            .map(|i| (i as u32).wrapping_mul(48271) % 100)
+            .collect();
         let (out, ntrue) = split(&xs, |&x| x & 1 == 0);
         let want_true: Vec<u32> = xs.iter().copied().filter(|&x| x & 1 == 0).collect();
         let want_false: Vec<u32> = xs.iter().copied().filter(|&x| x & 1 == 1).collect();

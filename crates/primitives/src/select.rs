@@ -29,7 +29,11 @@ pub fn select_kth(xs: &[f64], k: usize) -> f64 {
         let idx = |s: u64| -> usize {
             ((s.wrapping_mul(0xd1342543de82ef95).rotate_left(17)) % n as u64) as usize
         };
-        let (a, b, c) = (cur[idx(salt)], cur[idx(salt ^ 0xabcd)], cur[idx(salt ^ 0x1234_5678)]);
+        let (a, b, c) = (
+            cur[idx(salt)],
+            cur[idx(salt ^ 0xabcd)],
+            cur[idx(salt ^ 0x1234_5678)],
+        );
         salt = salt.wrapping_add(0x9e3779b97f4a7c15);
         let pivot = a.max(b).min(a.min(b).max(c)); // median of a, b, c
 

@@ -96,8 +96,13 @@ where
 
     // Bucket extents.
     let bucket_start: Vec<usize> = (0..nbuckets).map(|b| offsets[b * nblocks]).collect();
-    let bucket_end =
-        |b: usize| -> usize { if b + 1 < nbuckets { bucket_start[b + 1] } else { n } };
+    let bucket_end = |b: usize| -> usize {
+        if b + 1 < nbuckets {
+            bucket_start[b + 1]
+        } else {
+            n
+        }
+    };
 
     // Pass 3: group within each bucket in parallel (sort by hashed key so
     // equal keys become adjacent), then emit boundaries.
@@ -199,9 +204,7 @@ mod tests {
     #[test]
     fn large_parallel_many_duplicates() {
         let mut rng = StdRng::seed_from_u64(1);
-        let items: Vec<(u64, u64)> = (0..200_000)
-            .map(|i| (rng.gen_range(0..500), i))
-            .collect();
+        let items: Vec<(u64, u64)> = (0..200_000).map(|i| (rng.gen_range(0..500), i)).collect();
         let got = semisort_by_key(&items, |t| t.0);
         check_grouping(&items, &got);
     }

@@ -20,7 +20,10 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> Self {
-        assert!(n < u32::MAX as usize, "UnionFind supports < 2^32-1 elements");
+        assert!(
+            n < u32::MAX as usize,
+            "UnionFind supports < 2^32-1 elements"
+        );
         Self {
             parent: (0..n as u32).map(AtomicU32::new).collect(),
             rank: vec![0; n],

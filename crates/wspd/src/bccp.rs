@@ -84,7 +84,11 @@ fn bccp_recurse<const D: usize, P: SeparationPolicy<D>>(
         [(a, nb.left), (a, nb.right)]
     };
     let bounds = candidates.map(|(x, y)| policy.lower_bound(tree, x, y));
-    let order = if bounds[0] <= bounds[1] { [0, 1] } else { [1, 0] };
+    let order = if bounds[0] <= bounds[1] {
+        [0, 1]
+    } else {
+        [1, 0]
+    };
     for i in order {
         // The traversal itself is sequential with a fixed descent order, so
         // the result is deterministic; strict pruning is therefore safe.
@@ -136,18 +140,12 @@ mod tests {
             let mut want = f64::INFINITY;
             for u in na.start..na.end {
                 for v in nb.start..nb.end {
-                    want = want.min(dist(
-                        &tree.points[u as usize],
-                        &tree.points[v as usize],
-                    ));
+                    want = want.min(dist(&tree.points[u as usize], &tree.points[v as usize]));
                 }
             }
             assert_eq!(got.w, want);
             // The returned endpoints realize the weight.
-            let realized = dist(
-                &tree.points[got.u as usize],
-                &tree.points[got.v as usize],
-            );
+            let realized = dist(&tree.points[got.u as usize], &tree.points[got.v as usize]);
             assert_eq!(realized, got.w);
             assert!(got.u >= na.start && got.u < na.end);
             assert!(got.v >= nb.start && got.v < nb.end);

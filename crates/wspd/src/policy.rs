@@ -44,7 +44,9 @@ impl GeometricSep {
     /// Appendix C: the separation constant required for `ρ`-approximate
     /// OPTICS.
     pub fn for_optics_rho(rho: f64) -> Self {
-        GeometricSep { s: (8.0 / rho).sqrt() }
+        GeometricSep {
+            s: (8.0 / rho).sqrt(),
+        }
     }
 }
 
@@ -236,7 +238,9 @@ mod tests {
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
             let node = tree.node(id);
-            let want_min = (node.start..node.end).map(|p| p as f64).fold(f64::INFINITY, f64::min);
+            let want_min = (node.start..node.end)
+                .map(|p| p as f64)
+                .fold(f64::INFINITY, f64::min);
             let want_max = (node.start..node.end)
                 .map(|p| p as f64)
                 .fold(f64::NEG_INFINITY, f64::max);

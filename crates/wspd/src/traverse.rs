@@ -23,12 +23,8 @@ const PAIR_GRAIN: usize = 2048;
 /// pair under `policy`, skipping any pair subtree for which `prune` returns
 /// true. `visit` and `prune` must be thread-safe; `visit` may be called
 /// concurrently from many workers.
-pub fn wspd_traverse<const D: usize, P, Pr, V>(
-    tree: &KdTree<D>,
-    policy: &P,
-    prune: &Pr,
-    visit: &V,
-) where
+pub fn wspd_traverse<const D: usize, P, Pr, V>(tree: &KdTree<D>, policy: &P, prune: &Pr, visit: &V)
+where
     P: SeparationPolicy<D>,
     Pr: Fn(NodeId, NodeId) -> bool + Sync,
     V: Fn(NodeId, NodeId) + Sync,
@@ -260,6 +256,9 @@ mod tests {
         let tree = KdTree::build(&pts);
         let s2 = wspd_materialize(&tree, &GeometricSep { s: 2.0 }).len();
         let s8 = wspd_materialize(&tree, &GeometricSep { s: 8.0 }).len();
-        assert!(s8 > s2, "s=8 must refine the s=2 decomposition ({s8} vs {s2})");
+        assert!(
+            s8 > s2,
+            "s=8 must refine the s=2 decomposition ({s8} vs {s2})"
+        );
     }
 }

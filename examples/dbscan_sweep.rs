@@ -35,7 +35,9 @@ fn main() {
         "{:>12} {:>10} {:>12} {:>14}",
         "eps", "clusters", "noise", "extract (ms)"
     );
-    for q in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99] {
+    for q in [
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99,
+    ] {
         let eps = quantile(q);
         let t = std::time::Instant::now();
         let labels = dbscan_star_labels(&dend, &h.core_distances, eps);

@@ -1,0 +1,212 @@
+//! Offline stand-in for the subset of
+//! [criterion](https://docs.rs/criterion) used by this workspace's benches.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group`
+//! structure compiling and produces simple best/mean timings on stdout —
+//! enough to compare implementations locally, without criterion's
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a bench id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    /// (best, mean) seconds, filled by `iter`.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup, then `samples` timed runs.
+        black_box(routine());
+        let mut best = f64::INFINITY;
+        let mut sum = 0.0;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let secs = t0.elapsed().as_secs_f64();
+            best = best.min(secs);
+            sum += secs;
+        }
+        self.result = Some((best, sum / self.samples as f64));
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&label, bencher.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&label, bencher.result);
+        self
+    }
+
+    fn report(&self, label: &str, result: Option<(f64, f64)>) {
+        match result {
+            Some((best, mean)) => println!(
+                "{}/{label}: best {:.6}s mean {:.6}s ({} samples)",
+                self.name, best, mean, self.sample_size
+            ),
+            None => println!("{}/{label}: no measurement", self.name),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    ($name:ident = $alias:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        // warmup + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).into_label(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(0.5).into_label(), "0.5");
+    }
+}

@@ -1,0 +1,310 @@
+//! Sequential implementation of the rayon parallel-iterator surface.
+//!
+//! [`Par`] wraps an ordinary [`Iterator`] and re-exposes the combinators the
+//! workspace uses under their rayon names and signatures. Methods are
+//! inherent (not a trait impl), so rayon-specific signatures such as
+//! `reduce(identity, op)` never collide with `std::iter::Iterator`.
+
+/// A "parallel" iterator: a plain iterator evaluated on the calling thread.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    #[inline]
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    #[inline]
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    #[inline]
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, O, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    #[inline]
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    #[inline]
+    pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    /// Rayon no-op granularity hints.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    #[inline]
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: fold from an identity element.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    #[inline]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    #[inline]
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    #[inline]
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    #[inline]
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.min_by_key(f)
+    }
+
+    #[inline]
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.max_by_key(f)
+    }
+
+    #[inline]
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.any(&mut f)
+    }
+
+    #[inline]
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.all(&mut f)
+    }
+
+    /// Rayon's `find_any`: any matching element is acceptable; the shim
+    /// returns the first.
+    #[inline]
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.find(|x| f(x))
+    }
+
+    #[inline]
+    pub fn position_any<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.position(&mut f)
+    }
+}
+
+/// `into_par_iter()` for any owned collection or range.
+pub trait IntoParallelIterator {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Par<Self::IntoIter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type IntoIter = C::IntoIter;
+
+    #[inline]
+    fn into_par_iter(self) -> Par<C::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` on `&C` for any collection iterable by reference.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    #[inline]
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` on `&mut C`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+    #[inline]
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Chunked views of slices, rayon-style.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+
+    #[inline]
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(window_size))
+    }
+}
+
+/// Mutable chunked views and the parallel sort family, rayon-style.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+
+    #[inline]
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    #[inline]
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    #[inline]
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
+    }
+
+    #[inline]
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+
+    #[inline]
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+
+    #[inline]
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stand-in for the subset of [rayon](https://docs.rs/rayon) used by
+//! this workspace.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! rayon cannot be vendored. This shim keeps the exact API shape the
+//! workspace compiles against while providing a much simpler execution
+//! model:
+//!
+//! * [`join`] runs its two closures on real OS threads (via
+//!   [`std::thread::scope`]) as long as a global token budget — sized to the
+//!   machine's hardware parallelism — has capacity, and degrades to
+//!   sequential execution once the budget is exhausted. Recursive
+//!   divide-and-conquer code therefore still fans out across cores without
+//!   risking unbounded thread creation.
+//! * The parallel-iterator surface ([`prelude`]) preserves rayon's method
+//!   names and signatures (including the `reduce(identity, op)` form that
+//!   differs from `std::iter::Iterator::reduce`) but evaluates sequentially
+//!   on the calling thread. Every algorithm in this workspace is written to
+//!   be scheduling-independent, so results are identical either way.
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] run installed closures on the
+//!   current thread, scoping the `join` budget to the pool's configured
+//!   thread count for the duration (so 1-thread pools give true sequential
+//!   baselines).
+//!
+//! Swapping the real rayon back in is a one-line change in the workspace
+//! manifest; no source code needs to change.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads the "pool" pretends to have: the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Stable small index for the calling thread, assigned on first use.
+///
+/// Unlike real rayon this never returns `None`: every thread (pool or not)
+/// gets an index, which keeps per-thread sharding (e.g. `Collector`) mostly
+/// uncontended under the shim's ad-hoc threads.
+pub fn current_thread_index() -> Option<usize> {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(INDEX.with(|i| *i))
+}
+
+/// Tokens available for spawning helper threads in [`join`]. Starts at
+/// `current_num_threads() - 1` (the calling thread is the extra worker).
+fn spawn_budget() -> &'static AtomicIsize {
+    static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
+    BUDGET.get_or_init(|| AtomicIsize::new(current_num_threads() as isize - 1))
+}
+
+struct BudgetToken;
+
+impl BudgetToken {
+    /// Try to reserve one helper thread; `None` when the budget is spent.
+    fn acquire() -> Option<BudgetToken> {
+        let budget = spawn_budget();
+        if budget.fetch_sub(1, Ordering::AcqRel) > 0 {
+            Some(BudgetToken)
+        } else {
+            budget.fetch_add(1, Ordering::AcqRel);
+            None
+        }
+    }
+}
+
+impl Drop for BudgetToken {
+    fn drop(&mut self) {
+        spawn_budget().fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Run the two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match BudgetToken::acquire() {
+        Some(_token) => std::thread::scope(|s| {
+            let handle_b = s.spawn(oper_b);
+            let ra = oper_a();
+            match handle_b.join() {
+                Ok(rb) => (ra, rb),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }),
+        None => (oper_a(), oper_b()),
+    }
+}
+
+/// Scope for structured task spawning. The shim runs every spawned closure
+/// immediately on the calling thread, which preserves rayon's completion
+/// guarantee (all tasks finish before `scope` returns) trivially.
+pub struct Scope {
+    _priv: (),
+}
+
+impl Scope {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope) + Send,
+    {
+        f(self);
+    }
+}
+
+pub fn scope<F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope) -> R + Send,
+    R: Send,
+{
+    f(&Scope { _priv: () })
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; the shim never
+/// actually fails to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _priv: (),
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Accepts rayon's pool configuration; the shim records the requested
+/// thread count for introspection but always executes on the caller.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that runs installed closures on the current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` on the calling thread with the [`join`] spawn budget scoped
+    /// to this pool's thread count, so `num_threads(1)` really does produce
+    /// a sequential run (the repro harness relies on this for its 1-thread
+    /// baselines). Like the rest of the shim this assumes one pool is
+    /// installed at a time; concurrent `install`s would share the global
+    /// budget.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(isize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                spawn_budget().store(self.0, Ordering::Release);
+            }
+        }
+        let previous = spawn_budget().swap(self.num_threads as isize - 1, Ordering::AcqRel);
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// The spawn budget is process-global, so tests that assert on its
+    /// value (or on sequential execution) must not run concurrently with
+    /// tests that consume tokens.
+    fn budget_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let _guard = budget_lock();
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn join_nested_recursion() {
+        let _guard = budget_lock();
+        fn sum(xs: &[u64]) -> u64 {
+            if xs.len() < 4 {
+                return xs.iter().sum();
+            }
+            let (lo, hi) = xs.split_at(xs.len() / 2);
+            let (a, b) = join(|| sum(lo), || sum(hi));
+            a + b
+        }
+        let xs: Vec<u64> = (0..10_000).collect();
+        assert_eq!(sum(&xs), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let _guard = budget_lock();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_join_sequentially() {
+        let _guard = budget_lock();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let (ta, tb) = pool.install(|| {
+            join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            )
+        });
+        assert_eq!(ta, caller, "1-thread pool must not spawn helpers");
+        assert_eq!(tb, caller, "1-thread pool must not spawn helpers");
+    }
+
+    #[test]
+    fn install_restores_budget() {
+        let _guard = budget_lock();
+        let before = super::spawn_budget().load(Ordering::Acquire);
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| ());
+        assert_eq!(super::spawn_budget().load(Ordering::Acquire), before);
+    }
+
+    #[test]
+    fn scope_runs_spawns() {
+        let mut hits = 0;
+        scope(|s| {
+            let hits = &mut hits;
+            s.spawn(move |_| *hits += 1);
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn par_iter_chains() {
+        let xs = vec![1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let total = (0..100u64).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+}

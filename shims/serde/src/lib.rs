@@ -1,0 +1,279 @@
+//! Offline stand-in for the subset of [serde](https://docs.rs/serde) used by
+//! this workspace: `#[derive(Serialize)]` on plain structs, serialized to a
+//! JSON [`Value`] tree that the sibling `serde_json` shim renders.
+//!
+//! The derive macro (re-exported from the `serde_derive` shim) honors
+//! `#[serde(skip_serializing_if = "path")]`, the only serde field attribute
+//! the workspace uses.
+
+/// A JSON document. Lives here (rather than in `serde_json`) so the
+/// [`Serialize`] trait can produce it without a circular dependency;
+/// `serde_json` re-exports it under the familiar `serde_json::Value` name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Finite floating-point number. Non-finite values render as `null`,
+    /// matching serde_json's behavior.
+    Float(f64),
+    Int(i64),
+    UInt(u64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object, mirroring serde_json's `preserve_order`.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_float(x: f64, out: &mut String) {
+        if !x.is_finite() {
+            out.push_str("null");
+        } else if x == x.trunc() && x.abs() < 1e15 {
+            // Render integral floats with a trailing ".0" like serde_json.
+            out.push_str(&format!("{x:.1}"));
+        } else {
+            out.push_str(&format!("{x}"));
+        }
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Float(x) => Self::write_float(*x, out),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::String(s) => Self::write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::newline_indent(out, indent, level + 1);
+                    item.render(out, indent, level + 1);
+                }
+                Self::newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::newline_indent(out, indent, level + 1);
+                    Self::write_escaped(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render(out, indent, level + 1);
+                }
+                Self::newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * level {
+                out.push(' ');
+            }
+        }
+    }
+
+    /// Compact rendering.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with 2-space indentation, like
+    /// `serde_json::to_string_pretty`.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// Conversion into a JSON [`Value`]. The derive macro implements this; the
+/// method name is shim-specific and deliberately unusual so it cannot
+/// shadow anything in user code.
+pub trait Serialize {
+    fn serialize_json(&self) -> Value;
+}
+
+// Also export the derive macro under the same name, mirroring serde's
+// trait/macro pairing: `use serde::Serialize` pulls in both namespaces.
+pub use serde_derive::Serialize;
+
+impl Serialize for Value {
+    fn serialize_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self) -> Value {
+        (**self).serialize_json()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(v.to_json_string(), r#"{"a":1,"b":[true,null]}"#);
+        let pretty = v.to_json_string_pretty();
+        assert!(pretty.contains("\n  \"a\": 1"), "{pretty}");
+    }
+
+    #[test]
+    fn floats_render_like_serde_json() {
+        assert_eq!(Value::Float(2.0).to_json_string(), "2.0");
+        assert_eq!(Value::Float(0.25).to_json_string(), "0.25");
+        assert_eq!(Value::Float(f64::NAN).to_json_string(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Value::String("a\"b\\c\n".into()).to_json_string(),
+            r#""a\"b\\c\n""#
+        );
+    }
+
+    #[test]
+    fn option_and_collections() {
+        assert_eq!(None::<u32>.serialize_json(), Value::Null);
+        assert_eq!(Some(3u32).serialize_json(), Value::UInt(3));
+        assert_eq!(
+            vec![1i64, -2].serialize_json(),
+            Value::Array(vec![Value::Int(1), Value::Int(-2)])
+        );
+    }
+}

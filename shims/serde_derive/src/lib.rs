@@ -1,0 +1,176 @@
+//! Offline stand-in for serde_derive's `#[derive(Serialize)]`.
+//!
+//! Supports exactly what this workspace needs: non-generic structs with
+//! named fields, plus the `#[serde(skip_serializing_if = "path")]` field
+//! attribute. The macro hand-parses the token stream (no `syn`/`quote`
+//! available offline) and emits an impl of the `serde` shim's
+//! `Serialize` trait producing a `serde::Value::Object` in declaration
+//! order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip_if: Option<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extract `skip_serializing_if = "path"` from the tokens of a
+/// `#[serde(...)]` attribute's bracket group.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Option<String> {
+    // Expected shape: Ident("serde"), Group(paren){ Ident, '=', Literal }.
+    match tokens {
+        [TokenTree::Ident(kw), TokenTree::Group(args)] if kw.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i + 2 < inner.len() + 1 {
+                if let (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(value)),
+                ) = (inner.get(i), inner.get(i + 1), inner.get(i + 2))
+                {
+                    if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' {
+                        let raw = value.to_string();
+                        return Some(raw.trim_matches('"').to_string());
+                    }
+                }
+                i += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn parse_fields(body: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pending_skip: Option<String> = None;
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(attr)) = body.get(i + 1) else {
+                    return Err("expected [...] after #".to_string());
+                };
+                let attr_tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+                if let Some(path) = parse_serde_attr(&attr_tokens) {
+                    pending_skip = Some(path);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Skip a restriction like `(crate)`.
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(name) => {
+                match body.get(i + 1) {
+                    Some(TokenTree::Punct(colon)) if colon.as_char() == ':' => {}
+                    _ => return Err(format!("expected `:` after field `{name}`")),
+                }
+                fields.push(Field {
+                    name: name.to_string(),
+                    skip_if: pending_skip.take(),
+                });
+                // Skip the type: advance to the next comma that is not
+                // inside angle brackets.
+                i += 2;
+                let mut angle_depth = 0i32;
+                while i < body.len() {
+                    if let TokenTree::Punct(p) = &body[i] {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unexpected token `{other}` in struct body")),
+        }
+    }
+    Ok(fields)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name> { ... }`, skipping leading attributes and
+    // visibility.
+    let mut struct_pos = None;
+    for (i, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = tok {
+            if id.to_string() == "struct" {
+                struct_pos = Some(i);
+                break;
+            }
+        }
+    }
+    let Some(pos) = struct_pos else {
+        return compile_error("derive(Serialize) shim supports only structs");
+    };
+    let Some(TokenTree::Ident(name)) = tokens.get(pos + 1) else {
+        return compile_error("expected struct name");
+    };
+    let Some(TokenTree::Group(body)) = tokens.get(pos + 2) else {
+        return compile_error(
+            "derive(Serialize) shim supports only non-generic structs with named fields",
+        );
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return compile_error("derive(Serialize) shim supports only named-field structs");
+    }
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let fields = match parse_fields(&body_tokens) {
+        Ok(fields) => fields,
+        Err(msg) => return compile_error(&msg),
+    };
+
+    let mut pushes = String::new();
+    for field in &fields {
+        let push = format!(
+            "fields.push(({:?}.to_string(), ::serde::Serialize::serialize_json(&self.{})));",
+            field.name, field.name
+        );
+        match &field.skip_if {
+            Some(path) => {
+                pushes.push_str(&format!(
+                    "if !({path})(&self.{}) {{ {push} }}\n",
+                    field.name
+                ));
+            }
+            None => {
+                pushes.push_str(&push);
+                pushes.push('\n');
+            }
+        }
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Rust")
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the subset of
+//! [serde_json](https://docs.rs/serde_json) used by this workspace:
+//! [`Value`], [`to_value`], [`to_string`], [`to_string_pretty`], and a
+//! [`json!`] macro for flat object literals.
+
+pub use serde::Value;
+
+/// Serialization error. The shim's serializer is total, so this is only
+/// here to keep `Result`-shaped signatures source-compatible.
+#[derive(Debug)]
+pub struct Error {
+    _priv: (),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_json())
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_json().to_json_string())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_json().to_json_string_pretty())
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Supports `null`, arrays of
+/// expressions, objects with string-literal keys and expression values, and
+/// bare serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$element).unwrap() ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$value).unwrap()) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"a": 1u32, "b": 2.5f64, "c": "x"});
+        assert_eq!(v.to_json_string(), r#"{"a":1,"b":2.5,"c":"x"}"#);
+        assert_eq!(json!(null), crate::Value::Null);
+        assert_eq!(json!([1u32, 2u32]).to_json_string(), "[1,2]");
+        assert_eq!(json!(7u64).to_json_string(), "7");
+    }
+
+    #[test]
+    fn to_string_roundtrips_shapes() {
+        let rows = vec![1u32, 2, 3];
+        assert_eq!(crate::to_string(&rows).unwrap(), "[1,2,3]");
+        assert!(crate::to_string_pretty(&rows).unwrap().contains('\n'));
+    }
+}

@@ -102,11 +102,25 @@ fn heavy_duplication() {
 
 #[test]
 fn collinear_everything() {
-    let pts: Vec<Point<2>> = (0..50).map(|i| Point([i as f64 * 2.0, -i as f64])).collect();
+    let pts: Vec<Point<2>> = (0..50)
+        .map(|i| Point([i as f64 * 2.0, -i as f64]))
+        .collect();
     let want = prim_dense(pts.len(), 0, |u, v| pts[u as usize].dist(&pts[v as usize]));
-    assert_close(emst_memogfk(&pts).total_weight, want.total_weight, "memogfk");
-    assert_close(emst_delaunay(&pts).total_weight, want.total_weight, "delaunay");
-    assert_close(emst_boruvka(&pts).total_weight, want.total_weight, "boruvka");
+    assert_close(
+        emst_memogfk(&pts).total_weight,
+        want.total_weight,
+        "memogfk",
+    );
+    assert_close(
+        emst_delaunay(&pts).total_weight,
+        want.total_weight,
+        "delaunay",
+    );
+    assert_close(
+        emst_boruvka(&pts).total_weight,
+        want.total_weight,
+        "boruvka",
+    );
     // Full pipeline over the degenerate tree.
     let mst = emst_memogfk(&pts);
     let d = dendrogram_seq(pts.len(), &mst.edges, 0);

@@ -31,7 +31,11 @@ fn drivers_agree<const D: usize>(pts: &[Point<D>], what: &str) -> f64 {
     let naive = emst_naive(pts);
     let gfk = emst_gfk(pts);
     let boruvka = emst_boruvka(pts);
-    assert_close(naive.total_weight, memo.total_weight, &format!("{what}: naive"));
+    assert_close(
+        naive.total_weight,
+        memo.total_weight,
+        &format!("{what}: naive"),
+    );
     assert_close(gfk.total_weight, memo.total_weight, &format!("{what}: gfk"));
     assert_close(
         boruvka.total_weight,

@@ -5,8 +5,8 @@
 //! WSPD-based implementation against an `O(n^2)` reference.
 
 use parclust::{
-    dbscan_star_labels, dendrogram_par, dendrogram_seq, emst_boruvka, emst_delaunay,
-    emst_memogfk, emst_naive, hdbscan_gantao, hdbscan_memogfk, reachability_plot, Point, NOISE,
+    dbscan_star_labels, dendrogram_par, dendrogram_seq, emst_boruvka, emst_delaunay, emst_memogfk,
+    emst_naive, hdbscan_gantao, hdbscan_memogfk, reachability_plot, Point, NOISE,
 };
 use parclust_mst::prim_dense;
 use parclust_primitives::unionfind::UnionFind;
@@ -18,18 +18,17 @@ fn clumpy_points_2d(max_n: usize) -> impl Strategy<Value = Vec<Point<2>>> {
     prop::collection::vec((0i32..40, 0i32..40, 0u8..4), 2..max_n).prop_map(|raw| {
         raw.into_iter()
             .map(|(x, y, jitter)| {
-                Point([x as f64 + jitter as f64 * 0.25, y as f64 - jitter as f64 * 0.125])
+                Point([
+                    x as f64 + jitter as f64 * 0.25,
+                    y as f64 - jitter as f64 * 0.125,
+                ])
             })
             .collect()
     })
 }
 
 fn smooth_points_3d(max_n: usize) -> impl Strategy<Value = Vec<Point<3>>> {
-    prop::collection::vec(
-        (any::<u32>(), any::<u32>(), any::<u32>()),
-        2..max_n,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 2..max_n).prop_map(|raw| {
         raw.into_iter()
             .map(|(x, y, z)| {
                 Point([

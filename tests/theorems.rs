@@ -29,11 +29,7 @@ fn brute_core_distances<const D: usize>(pts: &[Point<D>], min_pts: usize) -> Vec
 }
 
 /// Weight of a set of EMST edges when re-weighted by mutual reachability.
-fn reweigh_by_dm<const D: usize>(
-    pts: &[Point<D>],
-    cd: &[f64],
-    edges: &[parclust::Edge],
-) -> f64 {
+fn reweigh_by_dm<const D: usize>(pts: &[Point<D>], cd: &[f64], edges: &[parclust::Edge]) -> f64 {
     edges
         .iter()
         .map(|e| {
