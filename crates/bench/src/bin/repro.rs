@@ -41,6 +41,13 @@ fn parse_args() -> Opts {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => opts.scale = args.next().expect("--scale N").parse().expect("float"),
+            "--threads" => {
+                // Route through the env knob the harness reads so every
+                // experiment (tables, figures) sees the same ceiling.
+                let t: usize = args.next().expect("--threads N").parse().expect("int");
+                assert!(t > 0, "--threads must be positive");
+                std::env::set_var("PARCLUST_MAX_THREADS", t.to_string());
+            }
             "--reps" => opts.reps = args.next().expect("--reps N").parse().expect("int"),
             "--minpts" => opts.min_pts = args.next().expect("--minpts N").parse().expect("int"),
             "--out" => opts.out_dir = args.next().expect("--out DIR").into(),
@@ -56,7 +63,7 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [table2|table3|table4|table5|fig6|fig7|fig8|fig9|fig10|memory|minpts|ablation|all]... \
-                     [--scale F] [--reps N] [--minpts N] [--datasets a,b] [--out DIR]"
+                     [--scale F] [--reps N] [--minpts N] [--threads N] [--datasets a,b] [--out DIR]"
                 );
                 std::process::exit(0);
             }

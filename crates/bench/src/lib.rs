@@ -174,29 +174,24 @@ macro_rules! with_points {
     }};
 }
 
-/// Run `f` inside a rayon pool with `threads` workers and return its result
-/// plus the elapsed wall-clock seconds.
-pub fn timed_in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> (T, f64) {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool");
-    let t0 = Instant::now();
-    let out = pool.install(f);
-    (out, t0.elapsed().as_secs_f64())
-}
-
-/// Best-of-`reps` timing: every repetition is timed (including the first,
-/// cold-cache one) and the fastest is returned.
+/// Best-of-`reps` timing: one pool is built up front (worker spawning never
+/// lands inside the timed region) and every repetition is timed — including
+/// the first, cold-cache one — with the fastest returned.
 pub fn best_time<T: Send>(
     threads: usize,
     reps: usize,
     mut f: impl FnMut() -> T + Send,
 ) -> (T, f64) {
     assert!(reps >= 1);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
     let mut best: Option<(T, f64)> = None;
     for _ in 0..reps {
-        let (out, secs) = timed_in_pool(threads, &mut f);
+        let t0 = Instant::now();
+        let out = pool.install(&mut f);
+        let secs = t0.elapsed().as_secs_f64();
         if best.as_ref().is_none_or(|(_, b)| secs < *b) {
             best = Some((out, secs));
         }
@@ -204,12 +199,28 @@ pub fn best_time<T: Send>(
     best.unwrap()
 }
 
-/// The thread counts exercised by the speedup figures: 1, 2, 4, ... up to
-/// the hardware parallelism (always including the maximum).
-pub fn thread_counts() -> Vec<usize> {
-    let max = std::thread::available_parallelism()
+/// Largest pool width the harness benches at: `PARCLUST_MAX_THREADS` when
+/// set to a positive integer (the `repro --threads` flag routes through
+/// it), otherwise the hardware parallelism. Oversubscription is allowed —
+/// benching 4-thread pools on a smaller machine measures scheduling
+/// overhead honestly rather than silently clamping.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("PARCLUST_MAX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1);
+        .unwrap_or(1)
+}
+
+/// The thread counts exercised by the speedup figures: 1, 2, 4, ... up to
+/// [`max_threads`] (always including the maximum).
+pub fn thread_counts() -> Vec<usize> {
+    let max = max_threads();
     let mut ts = vec![1usize];
     let mut t = 2;
     while t < max {

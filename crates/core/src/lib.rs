@@ -29,7 +29,9 @@
 //! ```
 //!
 //! All algorithms parallelize via rayon; run them inside a configured
-//! `rayon::ThreadPool` to control the number of threads.
+//! `rayon::ThreadPool` (`pool.install(|| ...)`) to control the number of
+//! threads. Results are bit-identical at every thread count — see
+//! `tests/parallel_semantics.rs` for the pinned contract.
 
 pub mod dbscan;
 pub mod dendrogram;

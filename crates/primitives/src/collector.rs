@@ -89,6 +89,58 @@ mod tests {
         assert_eq!(out, (0..100_000).collect::<Vec<_>>());
     }
 
+    /// Sharding stays sound when pushes come from more ad-hoc OS threads
+    /// than the pool has workers: outside-pool threads have no worker index
+    /// (they share the overflow shard) and nothing is lost or duplicated.
+    #[test]
+    fn adhoc_threads_exceeding_pool_width() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool");
+        let c: Collector<u64> = pool.install(Collector::new);
+        assert_eq!(c.shards.len(), 2 + 1, "sized by the installing pool");
+        std::thread::scope(|s| {
+            // 8 ad-hoc threads (4x the pool width) plus the pool itself.
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        c.push(t * 1_000 + i);
+                    }
+                });
+            }
+            pool.install(|| {
+                (8_000..20_000u64).into_par_iter().for_each(|i| c.push(i));
+            });
+        });
+        let mut out = c.into_vec();
+        out.sort_unstable();
+        assert_eq!(out, (0..20_000).collect::<Vec<_>>());
+    }
+
+    /// A collector built inside a *small* pool but fed from a *larger* one:
+    /// worker indices exceed the shard count and must wrap, not panic.
+    #[test]
+    fn pushes_from_wider_pool_than_construction() {
+        let small = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        let wide = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .expect("pool");
+        let c: Collector<u32> = small.install(Collector::new);
+        wide.install(|| {
+            (0..50_000u32).into_par_iter().for_each(|i| c.push(i));
+        });
+        assert_eq!(c.len(), 50_000);
+        let mut out = c.into_vec();
+        out.sort_unstable();
+        assert_eq!(out, (0..50_000).collect::<Vec<_>>());
+    }
+
     #[test]
     fn push_outside_pool() {
         let c: Collector<u32> = Collector::new();

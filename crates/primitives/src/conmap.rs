@@ -260,6 +260,44 @@ mod tests {
         });
     }
 
+    /// Scheduling stress under a real worker pool: many threads race
+    /// inserts and same-key overwrites through the pooled executor. Any
+    /// value observed by a reader must be one that some writer published.
+    #[test]
+    fn insert_update_races_under_pool() {
+        for threads in [2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let keys = 5_000u64;
+                let m = ConMap::with_capacity(keys as usize);
+                // Writers race overwrites of the same key (both values are
+                // legal); readers race the writers.
+                (0..100_000u64).into_par_iter().for_each(|i| {
+                    let k = i % keys + 1;
+                    match i % 4 {
+                        0 => m.insert(k, k * 2),
+                        1 => m.insert(k, k * 2 + 1),
+                        _ => {
+                            if let Some(v) = m.get(k) {
+                                assert!(
+                                    v == k * 2 || v == k * 2 + 1,
+                                    "torn or foreign value {v} for key {k}"
+                                );
+                            }
+                        }
+                    }
+                });
+                // Quiescent: every key holds one of its two candidates.
+                for (k, v) in m.iter_quiescent() {
+                    assert!(v == k * 2 || v == k * 2 + 1);
+                }
+            });
+        }
+    }
+
     #[test]
     #[should_panic(expected = "ConMap full")]
     fn panics_when_overfull() {

@@ -31,10 +31,11 @@ pub const SEQ_CUTOFF: usize = 8192;
 /// Chunk size used by blocked two-pass primitives (scan, pack, split).
 #[inline]
 pub(crate) fn block_size(n: usize) -> usize {
-    // Enough blocks to keep every worker busy, but blocks of at least 2048
-    // elements so the sequential pass dominates the bookkeeping.
-    let threads = rayon::current_num_threads().max(1);
-    (n / (8 * threads)).max(2048)
+    // Fixed fan-out, deliberately independent of the worker count: chunk
+    // boundaries are part of each primitive's deterministic output contract
+    // across thread counts. 256 blocks keep every realistic pool busy, and
+    // blocks of at least 2048 elements keep the sequential pass dominant.
+    (n / 256).max(2048)
 }
 
 /// A raw pointer wrapper that lets disjoint-index writes cross rayon task

@@ -182,6 +182,52 @@ mod tests {
         assert_eq!(got, want);
     }
 
+    /// Adversarial sizes around every boundary (empty, singleton, the
+    /// sequential cutoff, block-size multiples ± 1, and a large input),
+    /// driven through a real multi-worker pool.
+    #[test]
+    fn pack_adversarial_sizes_under_pool() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let bs = crate::block_size(crate::SEQ_CUTOFF);
+            let sizes = [
+                0,
+                1,
+                2,
+                bs - 1,
+                bs,
+                bs + 1,
+                crate::SEQ_CUTOFF - 1,
+                crate::SEQ_CUTOFF,
+                crate::SEQ_CUTOFF + 1,
+                7 * bs - 1,
+                7 * bs,
+                7 * bs + 1,
+                600_000,
+            ];
+            for n in sizes {
+                let xs: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 97).collect();
+                let got = pack(&xs, |&x| x % 3 == 0);
+                let want: Vec<u64> = xs.iter().copied().filter(|&x| x % 3 == 0).collect();
+                assert_eq!(got, want, "pack mismatch at n={n}");
+
+                let got_idx = pack_indices(n, |i| i % 5 == 2);
+                let want_idx: Vec<u32> = (0..n).filter(|i| i % 5 == 2).map(|i| i as u32).collect();
+                assert_eq!(got_idx, want_idx, "pack_indices mismatch at n={n}");
+
+                let (out, ntrue) = split(&xs, |&x| x & 1 == 0);
+                let want_t: Vec<u64> = xs.iter().copied().filter(|&x| x & 1 == 0).collect();
+                let want_f: Vec<u64> = xs.iter().copied().filter(|&x| x & 1 == 1).collect();
+                assert_eq!(ntrue, want_t.len(), "split count mismatch at n={n}");
+                assert_eq!(&out[..ntrue], &want_t[..], "split trues mismatch at n={n}");
+                assert_eq!(&out[ntrue..], &want_f[..], "split falses mismatch at n={n}");
+            }
+        });
+    }
+
     #[test]
     fn split_small_stable() {
         let xs = [5, 2, 7, 1, 8, 3];

@@ -136,6 +136,53 @@ mod tests {
         }
     }
 
+    /// Adversarial sizes (0, 1, block ± 1, cutoff ± 1, huge) under a real
+    /// multi-worker pool; scan results must also be identical across pool
+    /// widths (usize addition is exact, so this checks chunk bookkeeping).
+    #[test]
+    fn scan_adversarial_sizes_under_pool() {
+        let bs = crate::block_size(crate::SEQ_CUTOFF);
+        let sizes = [
+            0,
+            1,
+            bs - 1,
+            bs,
+            bs + 1,
+            SEQ_CUTOFF - 1,
+            SEQ_CUTOFF,
+            SEQ_CUTOFF + 1,
+            5 * bs + 3,
+            500_000,
+        ];
+        let reference: Vec<(Vec<usize>, usize)> = sizes
+            .iter()
+            .map(|&n| {
+                let xs: Vec<usize> = (0..n).map(|i| (i * 7919) % 31).collect();
+                let mut out = Vec::with_capacity(n);
+                let mut acc = 0usize;
+                for &x in &xs {
+                    out.push(acc);
+                    acc += x;
+                }
+                (out, acc)
+            })
+            .collect();
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                for (&n, want) in sizes.iter().zip(&reference) {
+                    let xs: Vec<usize> = (0..n).map(|i| (i * 7919) % 31).collect();
+                    let (pre, total) = scan_exclusive_usize(&xs);
+                    assert_eq!(pre, want.0, "scan mismatch at n={n}, {threads} threads");
+                    assert_eq!(total, want.1, "total mismatch at n={n}, {threads} threads");
+                }
+            });
+        }
+    }
+
     #[test]
     fn scan_with_max_operator() {
         let xs: Vec<u32> = vec![2, 9, 4, 7, 1, 9, 11, 0];

@@ -217,6 +217,27 @@ mod tests {
         check_grouping(&items, &got);
     }
 
+    /// The scatter writes each bucket in input order and all chunking is
+    /// width-independent, so the full output (permutation + ranges) must be
+    /// identical at every pool width.
+    #[test]
+    fn identical_across_pool_widths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items: Vec<(u64, u64)> = (0..120_000).map(|i| (rng.gen_range(0..3_000), i)).collect();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| semisort_by_key(&items, |t| t.0))
+        };
+        let base = run(1);
+        check_grouping(&items, &base);
+        for threads in [2, 4, 8] {
+            assert_eq!(base, run(threads), "semisort differs at {threads} threads");
+        }
+    }
+
     #[test]
     fn single_key() {
         let items: Vec<(u64, u64)> = (0..50_000).map(|i| (7, i)).collect();

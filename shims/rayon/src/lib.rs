@@ -2,33 +2,51 @@
 //! this workspace.
 //!
 //! The build environment has no network access to crates.io, so the real
-//! rayon cannot be vendored. This shim keeps the exact API shape the
-//! workspace compiles against while providing a much simpler execution
-//! model:
+//! rayon cannot be vendored. Unlike the first iteration of this shim (which
+//! ran iterator chains sequentially and spawned a fresh OS thread per
+//! `join`), this version executes on a **persistent worker pool**:
 //!
-//! * [`join`] runs its two closures on real OS threads (via
-//!   [`std::thread::scope`]) as long as a global token budget — sized to the
-//!   machine's hardware parallelism — has capacity, and degrades to
-//!   sequential execution once the budget is exhausted. Recursive
-//!   divide-and-conquer code therefore still fans out across cores without
-//!   risking unbounded thread creation.
-//! * The parallel-iterator surface ([`prelude`]) preserves rayon's method
-//!   names and signatures (including the `reduce(identity, op)` form that
-//!   differs from `std::iter::Iterator::reduce`) but evaluates sequentially
-//!   on the calling thread. Every algorithm in this workspace is written to
-//!   be scheduling-independent, so results are identical either way.
-//! * [`ThreadPool`] / [`ThreadPoolBuilder`] run installed closures on the
-//!   current thread, scoping the `join` budget to the pool's configured
-//!   thread count for the duration (so 1-thread pools give true sequential
-//!   baselines).
+//! * Every pool is a [`registry`]: a shared injector queue plus a fixed set
+//!   of long-lived worker threads. [`join`] enqueues its second closure as a
+//!   stack job, runs the first inline, then either *reclaims* the job from
+//!   the queue (the cheap uncontended path) or *helps* — executing other
+//!   queued jobs while it waits — which keeps nested fork-join deadlock-free
+//!   with a bounded thread count and no per-call spawning.
+//! * The parallel-iterator surface ([`prelude`]) is built on splittable
+//!   producers: terminal ops (`for_each`, `collect`, `reduce`, `sum`,
+//!   `count`, `min_by`/`max_by`) recursively split their input and dispatch
+//!   halves through [`join`], honoring `with_min_len` granularity hints.
+//!   The split tree depends only on the input length and the hint — never on
+//!   the worker count — so results are **bit-identical across thread
+//!   counts** even for non-associative floating-point reductions.
+//! * [`ThreadPool`] owns dedicated workers. [`install`](ThreadPool::install)
+//!   runs the closure *on a pool worker* and blocks the calling thread
+//!   without letting it execute pool jobs, so work stays scoped to the
+//!   pool: a 1-thread pool really is a sequential baseline, and
+//!   [`current_thread_index`] is always `< ` the pool width inside it.
+//! * [`scope`] spawns run as heap jobs on the current registry and the
+//!   scope helps until all of them (including nested spawns) finish.
+//!
+//! Env knobs: `RAYON_NUM_THREADS` caps the width of the implicit global
+//! pool (default: available hardware parallelism). Explicit
+//! [`ThreadPoolBuilder::num_threads`] pools are unaffected.
 //!
 //! Swapping the real rayon back in is a one-line change in the workspace
 //! manifest; no source code needs to change.
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::Duration;
 
 pub mod iter;
+mod registry;
+
+use registry::{
+    cooperative_wait, current_ctx, current_registry, default_width, HeapJob, Registry, StackJob,
+};
 
 pub mod prelude {
     pub use crate::iter::{
@@ -37,56 +55,33 @@ pub mod prelude {
     };
 }
 
-/// Number of worker threads the "pool" pretends to have: the machine's
-/// available parallelism.
+/// Number of worker threads of the pool governing the calling thread: the
+/// enclosing [`ThreadPool`]'s width on pool workers, the global pool's
+/// width elsewhere.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    match current_ctx() {
+        Some(ctx) => ctx.registry.width(),
+        // Same value the global registry is built with — answer the pure
+        // width query without spawning the global workers as a side effect.
+        None => default_width(),
+    }
 }
 
-/// Stable small index for the calling thread, assigned on first use.
-///
-/// Unlike real rayon this never returns `None`: every thread (pool or not)
-/// gets an index, which keeps per-thread sharding (e.g. `Collector`) mostly
-/// uncontended under the shim's ad-hoc threads.
+/// The calling thread's index within its pool: `Some(i)` with
+/// `i < current_num_threads()` on pool workers, `None` on threads outside
+/// any pool (matching real rayon). Per-thread sharded structures can rely
+/// on the bound — indices never grow past the pool width, no matter how
+/// many pools or ad-hoc threads a long-lived process creates.
 pub fn current_thread_index() -> Option<usize> {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
-    }
-    Some(INDEX.with(|i| *i))
-}
-
-/// Tokens available for spawning helper threads in [`join`]. Starts at
-/// `current_num_threads() - 1` (the calling thread is the extra worker).
-fn spawn_budget() -> &'static AtomicIsize {
-    static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
-    BUDGET.get_or_init(|| AtomicIsize::new(current_num_threads() as isize - 1))
-}
-
-struct BudgetToken;
-
-impl BudgetToken {
-    /// Try to reserve one helper thread; `None` when the budget is spent.
-    fn acquire() -> Option<BudgetToken> {
-        let budget = spawn_budget();
-        if budget.fetch_sub(1, Ordering::AcqRel) > 0 {
-            Some(BudgetToken)
-        } else {
-            budget.fetch_add(1, Ordering::AcqRel);
-            None
-        }
-    }
-}
-
-impl Drop for BudgetToken {
-    fn drop(&mut self) {
-        spawn_budget().fetch_add(1, Ordering::AcqRel);
-    }
+    current_ctx().map(|ctx| ctx.index)
 }
 
 /// Run the two closures, potentially in parallel, and return both results.
+///
+/// `oper_b` is enqueued on the current registry while `oper_a` runs on the
+/// calling thread; the call settles `oper_b` by reclaiming it or by helping
+/// the pool until a worker finishes it. On a width-1 registry both closures
+/// run inline, sequentially.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -94,45 +89,137 @@ where
     RA: Send,
     RB: Send,
 {
-    match BudgetToken::acquire() {
-        Some(_token) => std::thread::scope(|s| {
-            let handle_b = s.spawn(oper_b);
-            let ra = oper_a();
-            match handle_b.join() {
-                Ok(rb) => (ra, rb),
-                Err(payload) => std::panic::resume_unwind(payload),
+    let registry = current_registry();
+    if registry.width() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+
+    let job_b = StackJob::new(oper_b);
+    let job_ref = job_b.as_job_ref();
+    let tag = job_ref.data_ptr();
+    registry.inject(job_ref);
+
+    let ra = match panic::catch_unwind(AssertUnwindSafe(oper_a)) {
+        Ok(v) => v,
+        Err(payload) => {
+            // `oper_a` panicked, but `job_b` may still point into this stack
+            // frame: settle it before unwinding. Job bodies catch their own
+            // panics, so this cannot double-unwind.
+            if registry.try_reclaim(tag) {
+                job_b.run_inline();
+            } else {
+                cooperative_wait(&registry, || job_b.is_done());
             }
-        }),
-        None => (oper_a(), oper_b()),
+            panic::resume_unwind(payload);
+        }
+    };
+
+    if registry.try_reclaim(tag) {
+        job_b.run_inline();
+    } else {
+        cooperative_wait(&registry, || job_b.is_done());
+    }
+    (ra, job_b.into_result())
+}
+
+/// Scope for structured task spawning: every spawned closure runs as a pool
+/// job and [`scope`] does not return until all of them (including nested
+/// spawns) have finished, which is what makes borrowing non-`'static` data
+/// from the enclosing frame sound.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    owner: Thread,
+    marker: PhantomData<std::cell::Cell<&'scope ()>>,
+}
+
+/// Pointer wrapper that lets the scope reference cross into pool jobs; the
+/// scope outlives them by construction.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+// SAFETY: the Scope outlives every job (scope() blocks until pending == 0)
+// and all access through this pointer is internally synchronized: `pending`
+// is atomic, `panic` is behind a Mutex, `owner`/`registry` are only read
+// (Thread and Arc<Registry> are Sync). Note Scope itself is !Sync — the
+// invariant marker is a Cell — so anyone adding unsynchronized mutable
+// state to Scope must revisit this impl.
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Method (not field) access, so closures capture the whole Send
+    /// wrapper rather than the raw pointer field.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
     }
 }
 
-/// Scope for structured task spawning. The shim runs every spawned closure
-/// immediately on the calling thread, which preserves rayon's completion
-/// guarantee (all tasks finish before `scope` returns) trivially.
-pub struct Scope {
-    _priv: (),
-}
-
-impl Scope {
+impl<'scope> Scope<'scope> {
     pub fn spawn<F>(&self, f: F)
     where
-        F: FnOnce(&Scope) + Send,
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        f(self);
+        if self.registry.width() <= 1 {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(self))) {
+                self.panic.lock().unwrap().get_or_insert(payload);
+            }
+            return;
+        }
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let task = move || {
+            // SAFETY: `scope` blocks until pending == 0, so the Scope (and
+            // everything 'scope borrows) outlives this job.
+            let scope = unsafe { &*scope_ptr.get() };
+            struct Arrive<'a, 'scope>(&'a Scope<'scope>);
+            impl Drop for Arrive<'_, '_> {
+                fn drop(&mut self) {
+                    if self.0.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.0.owner.unpark();
+                    }
+                }
+            }
+            let _arrive = Arrive(scope);
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(scope))) {
+                scope.panic.lock().unwrap().get_or_insert(payload);
+            }
+        };
+        // SAFETY: the scope waits for every spawned job before returning.
+        unsafe { HeapJob::push(&self.registry, task) };
     }
 }
 
-pub fn scope<F, R>(f: F) -> R
+/// Create a scope, run `op` inside it, and wait for all spawned tasks. The
+/// first panic among `op` and the spawns is propagated after all tasks
+/// settle.
+pub fn scope<'scope, OP, R>(op: OP) -> R
 where
-    F: FnOnce(&Scope) -> R + Send,
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
     R: Send,
 {
-    f(&Scope { _priv: () })
+    let s = Scope {
+        registry: current_registry(),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        owner: thread::current(),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    cooperative_wait(&s.registry, || s.pending.load(Ordering::Acquire) == 0);
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = s.panic.lock().unwrap().take() {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+    }
 }
 
-/// Error type returned by [`ThreadPoolBuilder::build`]; the shim never
-/// actually fails to build.
+/// Error type returned by [`ThreadPoolBuilder::build`]; the shim only fails
+/// if worker threads cannot be spawned, which panics instead.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError {
     _priv: (),
@@ -146,8 +233,8 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Accepts rayon's pool configuration; the shim records the requested
-/// thread count for introspection but always executes on the caller.
+/// Builds a [`ThreadPool`] with a configurable worker count
+/// (`num_threads(0)` or default: the machine's available parallelism).
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -164,46 +251,70 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 {
-            current_num_threads()
+        let width = if self.num_threads == 0 {
+            default_width()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        let (registry, workers) = Registry::spawn(width, width);
+        Ok(ThreadPool { registry, workers })
     }
 }
 
-/// A "pool" that runs installed closures on the current thread.
+/// A pool of dedicated worker threads. Dropping the pool shuts the workers
+/// down (after the queue drains).
 #[derive(Debug)]
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("width", &self.width())
+            .finish()
+    }
 }
 
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.width()
     }
 
-    /// Run `op` on the calling thread with the [`join`] spawn budget scoped
-    /// to this pool's thread count, so `num_threads(1)` really does produce
-    /// a sequential run (the repro harness relies on this for its 1-thread
-    /// baselines). Like the rest of the shim this assumes one pool is
-    /// installed at a time; concurrent `install`s would share the global
-    /// budget.
+    /// Run `op` on one of this pool's workers and block until it returns.
+    /// All parallelism `op` forks (joins, scopes, `Par` chains) stays on
+    /// this pool's workers, so `num_threads(1)` gives a truly sequential
+    /// run (the repro harness relies on this for 1-thread baselines) and
+    /// [`current_thread_index`] inside `op` is always `< num_threads`.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        struct Restore(isize);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                spawn_budget().store(self.0, Ordering::Release);
+        if let Some(ctx) = current_ctx() {
+            if Arc::ptr_eq(&ctx.registry, &self.registry) {
+                // Already on this pool; run inline (matches rayon).
+                return op();
             }
         }
-        let previous = spawn_budget().swap(self.num_threads as isize - 1, Ordering::AcqRel);
-        let _restore = Restore(previous);
-        op()
+        let job = StackJob::new(op);
+        self.registry.inject(job.as_job_ref());
+        // Block without helping: executing pool jobs here would leak work
+        // onto a non-pool thread and break the thread-index bound.
+        while !job.is_done() {
+            thread::park_timeout(Duration::from_millis(1));
+        }
+        job.into_result()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -211,18 +322,11 @@ impl ThreadPool {
 mod tests {
     use super::prelude::*;
     use super::*;
-
-    /// The spawn budget is process-global, so tests that assert on its
-    /// value (or on sequential execution) must not run concurrently with
-    /// tests that consume tokens.
-    fn budget_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn join_returns_both() {
-        let _guard = budget_lock();
         let (a, b) = join(|| 1 + 1, || "x".to_string());
         assert_eq!(a, 2);
         assert_eq!(b, "x");
@@ -230,7 +334,6 @@ mod tests {
 
     #[test]
     fn join_nested_recursion() {
-        let _guard = budget_lock();
         fn sum(xs: &[u64]) -> u64 {
             if xs.len() < 4 {
                 return xs.iter().sum();
@@ -244,8 +347,43 @@ mod tests {
     }
 
     #[test]
+    fn join_uses_pool_workers() {
+        // Inside a pool of width >= 2, deeply nested joins must fan out to
+        // pool workers (not the install caller, not fresh threads).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caller = thread::current().id();
+        let ids = pool.install(|| {
+            fn collect_ids(depth: usize, out: &ConcurrentIds) {
+                out.record();
+                if depth == 0 {
+                    return;
+                }
+                join(
+                    || collect_ids(depth - 1, out),
+                    || collect_ids(depth - 1, out),
+                );
+            }
+            let out = ConcurrentIds::default();
+            collect_ids(6, &out);
+            out.into_set()
+        });
+        assert!(!ids.contains(&caller), "work must not run on the caller");
+        assert!(!ids.is_empty());
+    }
+
+    #[derive(Default)]
+    struct ConcurrentIds(Mutex<Vec<thread::ThreadId>>);
+    impl ConcurrentIds {
+        fn record(&self) {
+            self.0.lock().unwrap().push(thread::current().id());
+        }
+        fn into_set(self) -> HashSet<thread::ThreadId> {
+            self.0.into_inner().unwrap().into_iter().collect()
+        }
+    }
+
+    #[test]
     fn pool_installs() {
-        let _guard = budget_lock();
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.current_num_threads(), 3);
         assert_eq!(pool.install(|| 7), 7);
@@ -253,26 +391,88 @@ mod tests {
 
     #[test]
     fn single_thread_pool_runs_join_sequentially() {
-        let _guard = budget_lock();
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let caller = std::thread::current().id();
-        let (ta, tb) = pool.install(|| {
-            join(
-                || std::thread::current().id(),
-                || std::thread::current().id(),
-            )
+        let ids = pool.install(|| {
+            let worker = thread::current().id();
+            let (ta, tb) = join(|| thread::current().id(), || thread::current().id());
+            (worker, ta, tb)
         });
-        assert_eq!(ta, caller, "1-thread pool must not spawn helpers");
-        assert_eq!(tb, caller, "1-thread pool must not spawn helpers");
+        assert_eq!(ids.1, ids.0, "1-thread pool must not fan out");
+        assert_eq!(ids.2, ids.0, "1-thread pool must not fan out");
     }
 
     #[test]
-    fn install_restores_budget() {
-        let _guard = budget_lock();
-        let before = super::spawn_budget().load(Ordering::Acquire);
-        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        pool.install(|| ());
-        assert_eq!(super::spawn_budget().load(Ordering::Acquire), before);
+    fn install_runs_on_a_pool_worker() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caller = thread::current().id();
+        let inside = pool.install(|| thread::current().id());
+        assert_ne!(inside, caller, "install must run op on a pool worker");
+    }
+
+    #[test]
+    fn thread_index_bounded_by_pool_width() {
+        // Regression test: the old shim handed out a monotonically growing
+        // global counter, so a long-lived process eventually saw indices
+        // >= the pool width. Repeated pools + heavy fan-out must never
+        // yield an out-of-range index from inside `install`.
+        for round in 0..3 {
+            let width = 2 + round;
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let indices = pool.install(|| {
+                let seen = Mutex::new(HashSet::new());
+                (0..10_000u32)
+                    .into_par_iter()
+                    .with_min_len(64)
+                    .for_each(|_| {
+                        let idx = current_thread_index().expect("pool worker has an index");
+                        assert_eq!(current_num_threads(), width);
+                        seen.lock().unwrap().insert(idx);
+                    });
+                seen.into_inner().unwrap()
+            });
+            assert!(
+                indices.iter().all(|&i| i < width),
+                "indices {indices:?} exceed pool width {width}"
+            );
+        }
+        // Threads outside any pool have no index at all.
+        assert_eq!(thread::spawn(current_thread_index).join().unwrap(), None);
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom in pool"));
+        }));
+        assert!(result.is_err());
+        // The pool stays usable afterwards.
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn join_propagates_panics_from_both_sides() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        for side in 0..2 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.install(|| {
+                    join(
+                        || {
+                            if side == 0 {
+                                panic!("left")
+                            }
+                        },
+                        || {
+                            if side == 1 {
+                                panic!("right")
+                            }
+                        },
+                    )
+                })
+            }));
+            assert!(result.is_err(), "side {side} panic must propagate");
+        }
+        assert_eq!(pool.install(|| 1), 1);
     }
 
     #[test]
@@ -283,6 +483,45 @@ mod tests {
             s.spawn(move |_| *hits += 1);
         });
         assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns_in_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let total = pool.install(|| {
+            let counter = AtomicU64::new(0);
+            scope(|s| {
+                for i in 0..100u64 {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        });
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn nested_scope_spawns_complete() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let total = pool.install(|| {
+            let counter = AtomicU64::new(0);
+            scope(|s| {
+                for _ in 0..8 {
+                    let counter = &counter;
+                    s.spawn(move |inner| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inner.spawn(move |_| {
+                            counter.fetch_add(10, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        });
+        assert_eq!(total, 8 + 80);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The worker-pool core of the rayon shim.
+//!
+//! A [`Registry`] is one pool: a shared FIFO injector queue of erased
+//! [`JobRef`]s plus a fixed set of persistent worker threads that pop and
+//! execute them. Every pool-aware entry point (`join`, `scope`, the `Par`
+//! terminal ops, `ThreadPool::install`) resolves its registry through a
+//! thread-local: worker threads carry `(registry, index)` so nested
+//! parallelism stays inside the pool that spawned it, and foreign threads
+//! fall back to the lazily created global registry.
+//!
+//! Blocking protocol: a thread that must wait for a job it enqueued either
+//! *reclaims* it (removes it from the queue and runs it inline — the
+//! "steal-back" path that makes the common uncontended `join` cheap) or
+//! *helps* (executes other queued jobs until its own completes). Helping is
+//! what makes nested `join`s deadlock-free with a bounded worker count.
+//! Threads outside the pool (e.g. the caller of `install`) block without
+//! helping, so pool-scoped work only ever runs on pool workers and
+//! `current_thread_index` stays below the pool width.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::Duration;
+
+/// A type-erased pointer to a job living on a stack frame ([`StackJob`]) or
+/// on the heap ([`HeapJob`]). The pointee must stay alive until `execute`
+/// runs (or the ref is reclaimed from the queue); `join`/`scope` guarantee
+/// this by never returning before their jobs settle.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the owning construct
+// keeps the pointee alive until it is; the pointee's own synchronization
+// (atomics + catch_unwind) makes cross-thread execution sound.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    #[inline]
+    pub(crate) fn data_ptr(&self) -> *const () {
+        self.data
+    }
+
+    /// Run the job. Job bodies catch panics internally, so this never
+    /// unwinds into the caller.
+    ///
+    /// # Safety
+    /// The pointee must still be alive and not yet executed.
+    #[inline]
+    pub(crate) unsafe fn execute(self) {
+        unsafe { (self.execute)(self.data) }
+    }
+}
+
+/// One worker pool: injector queue + membership data.
+pub(crate) struct Registry {
+    queue: Mutex<VecDeque<JobRef>>,
+    available: Condvar,
+    width: usize,
+    shutdown: AtomicBool,
+}
+
+// SAFETY: the queue owns JobRefs (Send); everything else is Sync already.
+unsafe impl Sync for Registry {}
+unsafe impl Send for Registry {}
+
+impl Registry {
+    /// Create a registry of logical `width` and spawn `workers` persistent
+    /// worker threads (indices `0..workers`, always `< width`).
+    pub(crate) fn spawn(width: usize, workers: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
+        debug_assert!(workers <= width);
+        let registry = Arc::new(Registry {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            width: width.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let r = Arc::clone(&registry);
+                thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    // Recursive divide-and-conquer plus help-waiting can nest
+                    // deeply; give workers a roomy stack.
+                    .stack_size(8 * 1024 * 1024)
+                    .spawn(move || worker_main(r, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    #[inline]
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Enqueue a job and wake one sleeping worker.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Pop any queued job (help-waiting and steal-back both use this).
+    pub(crate) fn try_pop(&self) -> Option<JobRef> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Remove the specific job identified by `data` from the queue, if no
+    /// worker has claimed it yet. On success the caller owns the job again
+    /// and must run it inline.
+    pub(crate) fn try_reclaim(&self, data: *const ()) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        // Our job is most likely near the back (LIFO-ish for the reclaimer).
+        match q.iter().rposition(|j| j.data_ptr() == data) {
+            Some(pos) => {
+                q.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ask workers to exit once the queue drains.
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+
+    fn wait_for_job(&self) -> Option<JobRef> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.available.wait(q).unwrap();
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    CONTEXT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            registry: Arc::clone(&registry),
+            index,
+        })
+    });
+    while let Some(job) = registry.wait_for_job() {
+        // SAFETY: the job was injected by a construct that keeps it alive
+        // until executed; execute catches panics internally.
+        unsafe { job.execute() };
+    }
+}
+
+/// Per-thread pool membership.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) index: usize,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// The registry governing parallelism on the calling thread: its own pool
+/// if it is a worker, the global registry otherwise.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    match current_ctx() {
+        Some(ctx) => ctx.registry,
+        None => Arc::clone(global_registry()),
+    }
+}
+
+/// Default pool width: `RAYON_NUM_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub(crate) fn default_width() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool used by code running outside any explicit
+/// [`crate::ThreadPool`]. It spawns `width - 1` workers because the calling
+/// thread participates (via steal-back and help-waiting), keeping total
+/// parallelism at `width`.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let width = default_width();
+        let (registry, handles) = Registry::spawn(width, width.saturating_sub(1));
+        // Global workers live for the whole process; detach them.
+        drop(handles);
+        registry
+    })
+}
+
+/// Execute queued jobs while waiting for `done`; parks briefly when the
+/// queue is empty. Used by threads *inside* the pool's computation.
+pub(crate) fn cooperative_wait(registry: &Registry, done: impl Fn() -> bool) {
+    while !done() {
+        match registry.try_pop() {
+            // SAFETY: queued jobs are alive until executed (join/scope
+            // contract) and never unwind.
+            Some(job) => unsafe { job.execute() },
+            None => thread::park_timeout(Duration::from_micros(100)),
+        }
+    }
+}
+
+/// A job whose closure, result slot, and completion flag live on the stack
+/// frame of the thread that created it (`join` / `install`). That thread
+/// must not leave the frame before the job settles.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    done: AtomicBool,
+    owner: Thread,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+            owner: thread::current(),
+        }
+    }
+
+    /// Type-erase for injection. The returned ref's `data` pointer doubles
+    /// as the reclaim tag.
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let this = unsafe { &*(data as *const Self) };
+        let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        unsafe { *this.result.get() = Some(result) };
+        this.done.store(true, Ordering::Release);
+        this.owner.unpark();
+    }
+
+    /// Run on the current thread (after a successful reclaim).
+    pub(crate) fn run_inline(&self) {
+        // SAFETY: reclaiming removed the only other path to execution.
+        unsafe { Self::execute_erased(self as *const Self as *const ()) }
+    }
+
+    #[inline]
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Consume the settled job, resuming its panic if it had one.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner().expect("stack job not settled") {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by `scope` spawns). The
+/// pushed closure must catch its own panics and perform its own completion
+/// signalling; `scope` wraps spawns accordingly.
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    /// Box `func` and enqueue it.
+    ///
+    /// # Safety
+    /// `func` may capture non-`'static` data; the caller must guarantee the
+    /// captures outlive execution (scope blocks until all spawns finish).
+    pub(crate) unsafe fn push(registry: &Registry, func: F) {
+        let boxed = Box::new(HeapJob { func });
+        registry.inject(JobRef {
+            data: Box::into_raw(boxed) as *const (),
+            execute: Self::execute_erased,
+        });
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let boxed = unsafe { Box::from_raw(data as *mut Self) };
+        // The scope wrapper inside `func` catches panics; a stray unwind
+        // here would tear down a worker, so be defensive anyway.
+        let _ = panic::catch_unwind(AssertUnwindSafe(boxed.func));
+    }
+}
