@@ -1,0 +1,81 @@
+//! Criterion benches for the serving layer: query-engine throughput on a
+//! loaded model — flat cuts, EOM extraction (including the
+//! `cluster_selection_epsilon` path), cached labeling fetches, and batched
+//! out-of-sample assignment at several pool widths. The HTTP transport is
+//! measured separately by the `loadgen` binary; these benches isolate the
+//! engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parclust::{extract_eom_eps, single_linkage_cut, Point};
+use parclust_data::seed_spreader;
+use parclust_serve::{ClusterModel, LabelingSpec, QueryEngine};
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn model_20k() -> Arc<ClusterModel<2>> {
+    let pts: Vec<Point<2>> = seed_spreader(20_000, 42);
+    Arc::new(ClusterModel::build(&pts, 10, 10))
+}
+
+fn bench_labelings(c: &mut Criterion) {
+    let model = model_20k();
+    let engine = QueryEngine::new(Arc::clone(&model));
+    let mut g = c.benchmark_group("serving_labelings_20k");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    // Uncached core work (what the first request at a new eps pays).
+    g.bench_function("single_linkage_cut_uncached", |b| {
+        b.iter(|| single_linkage_cut(&model.dendrogram, 0.5).len())
+    });
+    g.bench_function("eom_uncached", |b| {
+        b.iter(|| extract_eom_eps(&model.condensed, 0.0).len())
+    });
+    g.bench_function("eom_selection_eps_uncached", |b| {
+        b.iter(|| extract_eom_eps(&model.condensed, 1.0).len())
+    });
+    // Steady-state cached fetch (what repeat requests pay).
+    engine.labeling(LabelingSpec::Cut { eps: 0.5 });
+    g.bench_function("cut_cached_fetch", |b| {
+        b.iter(|| engine.labeling(LabelingSpec::Cut { eps: 0.5 }).num_clusters)
+    });
+    g.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let model = model_20k();
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&model)));
+    let bbox = model.bbox();
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<Point<2>> = (0..512)
+        .map(|_| {
+            Point([
+                rng.gen_range(bbox.lo[0]..=bbox.hi[0]),
+                rng.gen_range(bbox.lo[1]..=bbox.hi[1]),
+            ])
+        })
+        .collect();
+    let spec = LabelingSpec::Eom {
+        cluster_selection_epsilon: 0.0,
+    };
+    // Warm the labeling cache so the bench isolates the kNN + rule work.
+    engine.labeling(spec);
+    let mut g = c.benchmark_group("serving_assign_512_of_20k");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        g.bench_with_input(
+            BenchmarkId::new("assign_batch", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| pool.install(|| engine.assign_batch(&queries, spec, f64::INFINITY).len()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_labelings, bench_assignment);
+criterion_main!(benches);

@@ -12,8 +12,9 @@
 //! comparison of the *shapes* (method rankings, ratios, crossovers).
 
 use parclust::{
-    dendrogram_par, dendrogram_seq, emst_boruvka, emst_delaunay, emst_gfk, emst_memogfk,
-    emst_naive, hdbscan_gantao, hdbscan_memogfk, optics_approx,
+    condense_tree, count_clusters, dendrogram_par, dendrogram_seq, emst_boruvka, emst_delaunay,
+    emst_gfk, emst_memogfk, emst_naive, extract_eom_eps, hdbscan_gantao, hdbscan_memogfk,
+    optics_approx, NOISE,
 };
 use parclust_bench::{
     best_time, dataset, fmt_secs, thread_counts, with_points, DataSpec, Report, ResultRow, DATASETS,
@@ -26,6 +27,7 @@ struct Opts {
     only_datasets: Option<Vec<String>>,
     out_dir: std::path::PathBuf,
     min_pts: usize,
+    cluster_eps: Vec<f64>,
 }
 
 fn parse_args() -> Opts {
@@ -36,6 +38,7 @@ fn parse_args() -> Opts {
         only_datasets: None,
         out_dir: "bench_results".into(),
         min_pts: 10,
+        cluster_eps: vec![0.0, 1.0, 5.0],
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +53,15 @@ fn parse_args() -> Opts {
             }
             "--reps" => opts.reps = args.next().expect("--reps N").parse().expect("int"),
             "--minpts" => opts.min_pts = args.next().expect("--minpts N").parse().expect("int"),
+            "--cluster-eps" => {
+                opts.cluster_eps = args
+                    .next()
+                    .expect("--cluster-eps a,b,c")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("float"))
+                    .collect();
+                assert!(!opts.cluster_eps.is_empty(), "--cluster-eps needs values");
+            }
             "--out" => opts.out_dir = args.next().expect("--out DIR").into(),
             "--datasets" => {
                 opts.only_datasets = Some(
@@ -62,8 +74,8 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table2|table3|table4|table5|fig6|fig7|fig8|fig9|fig10|memory|minpts|ablation|all]... \
-                     [--scale F] [--reps N] [--minpts N] [--threads N] [--datasets a,b] [--out DIR]"
+                    "usage: repro [table2|table3|table4|table5|fig6|fig7|fig8|fig9|fig10|memory|minpts|ablation|extract|all]... \
+                     [--scale F] [--reps N] [--minpts N] [--threads N] [--cluster-eps a,b,c] [--datasets a,b] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -760,6 +772,57 @@ fn ablation(opts: &Opts, report: &mut Report) {
     }
 }
 
+/// Flat-extraction study (beyond the paper's evaluated scope): EOM cluster
+/// selection across `cluster_selection_epsilon` values — cluster/noise
+/// counts and extraction time on top of one HDBSCAN* hierarchy per data
+/// set. The hierarchy is built once; only the selection sweep is timed.
+fn extraction(opts: &Opts, report: &mut Report) {
+    println!(
+        "\n=== EOM extraction: cluster_selection_epsilon sweep (minPts={}, minClusterSize=10) ===",
+        opts.min_pts
+    );
+    println!(
+        "{:<20} {:>12} {:>10} {:>10} {:>12}",
+        "dataset", "eps", "clusters", "noise", "extract(s)"
+    );
+    for spec in figure_subset(opts) {
+        let n = n_of(spec, opts.scale);
+        with_points!(spec, n, |pts| {
+            let h = hdbscan_memogfk(&pts, opts.min_pts);
+            let d = dendrogram_par(pts.len(), &h.edges, 0);
+            let ct = condense_tree(&d, 10);
+            for &eps in &opts.cluster_eps {
+                let t0 = std::time::Instant::now();
+                let labels = extract_eom_eps(&ct, eps);
+                let secs = t0.elapsed().as_secs_f64();
+                let noise = labels.iter().filter(|&&l| l == NOISE).count();
+                let clusters = count_clusters(&labels);
+                println!(
+                    "{:<20} {:>12} {:>10} {:>10} {:>12}",
+                    spec.name,
+                    format!("{eps}"),
+                    clusters,
+                    noise,
+                    fmt_secs(secs)
+                );
+                report.push(ResultRow {
+                    experiment: "extract".into(),
+                    dataset: spec.name.into(),
+                    method: format!("eom-eps={eps}"),
+                    threads: 0,
+                    n,
+                    seconds: secs,
+                    extra: Some(serde_json::json!({
+                        "cluster_selection_epsilon": eps,
+                        "clusters": clusters as u64,
+                        "noise": noise as u64,
+                    })),
+                });
+            }
+        });
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let run_all = opts.experiments.iter().any(|e| e == "all");
@@ -805,6 +868,9 @@ fn main() {
     }
     if want("ablation") {
         ablation(&opts, &mut report);
+    }
+    if want("extract") {
+        extraction(&opts, &mut report);
     }
 
     let out = opts.out_dir.join("repro.json");

@@ -79,9 +79,9 @@ impl Dendrogram {
         (node as usize) < self.n
     }
 
-    /// Number of nodes (2n - 1 for n ≥ 1).
+    /// Number of nodes (2n - 1 for n ≥ 1, 0 for the empty dendrogram).
     pub fn num_nodes(&self) -> usize {
-        2 * self.n - 1
+        (2 * self.n).saturating_sub(1)
     }
 }
 
@@ -154,7 +154,24 @@ fn build_dendrogram(
     start: u32,
     params: Option<DendrogramParams>,
 ) -> Dendrogram {
-    assert!(n >= 1, "dendrogram needs at least one vertex");
+    if n == 0 {
+        // The empty point set has an empty (rootless) dendrogram; every
+        // downstream query returns empty labelings. Serving layers hit this
+        // when a model is built over a filtered-to-nothing data slice.
+        assert!(edges.is_empty(), "empty vertex set cannot have edges");
+        return Dendrogram {
+            n: 0,
+            edge_u: Vec::new(),
+            edge_v: Vec::new(),
+            height: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            parent: Vec::new(),
+            root: NULL,
+            vertex_dist: Vec::new(),
+            start,
+        };
+    }
     assert_eq!(edges.len(), n - 1, "input must be a spanning tree");
     let m = edges.len();
 
@@ -449,6 +466,9 @@ fn solve_seq(ctx: &Ctx, mut edges: Vec<SubEdge>, payload: &FastMap<u32, u32>) ->
 pub fn reachability_plot(d: &Dendrogram) -> (Vec<u32>, Vec<f64>) {
     let mut order = Vec::with_capacity(d.n);
     let mut reach = Vec::with_capacity(d.n);
+    if d.n == 0 {
+        return (order, reach);
+    }
     if d.n == 1 {
         return (vec![0], vec![f64::INFINITY]);
     }
@@ -490,8 +510,13 @@ pub fn single_linkage_cut(d: &Dendrogram, eps: f64) -> Vec<u32> {
 }
 
 /// Flat single-linkage clustering into exactly `k` clusters: remove the
-/// `k - 1` heaviest edges (by the canonical `(w, id)` order).
+/// `k - 1` heaviest edges (by the canonical `(w, id)` order). `k` is
+/// clamped to `1..=n`; the empty dendrogram yields an empty labeling for
+/// any `k`.
 pub fn single_linkage_k(d: &Dendrogram, k: usize) -> Vec<u32> {
+    if d.n == 0 {
+        return Vec::new();
+    }
     let m = d.height.len();
     let k = k.clamp(1, d.n);
     let mut ids: Vec<u32> = (0..m as u32).collect();
@@ -521,6 +546,17 @@ pub fn dbscan_star_labels(d: &Dendrogram, core_distances: &[f64], eps: f64) -> V
     }
     let noise = |i: usize| core_distances[i] > eps;
     compact_labels(&mut uf, Some(&noise))
+}
+
+/// Number of distinct clusters in a flat labeling produced by this crate
+/// (cuts, DBSCAN\*, EOM): all producers emit labels consecutive from 0
+/// with [`NOISE`] for noise, so the count is max label + 1.
+pub fn count_clusters(labels: &[u32]) -> usize {
+    labels
+        .iter()
+        .filter(|&&l| l != NOISE)
+        .max()
+        .map_or(0, |&m| m as usize + 1)
 }
 
 /// Map union-find roots to consecutive labels; `noise(i)` forces
@@ -702,6 +738,54 @@ mod tests {
                     reach[i],
                     oracle.reachability[i]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dendrogram_all_queries() {
+        // n = 0 (e.g. a model built over a filtered-to-nothing slice): every
+        // construction and query must return empty results, not panic.
+        for d in [dendrogram_seq(0, &[], 0), dendrogram_par(0, &[], 0)] {
+            assert_eq!(d.num_nodes(), 0);
+            let (order, reach) = reachability_plot(&d);
+            assert!(order.is_empty() && reach.is_empty());
+            assert!(single_linkage_cut(&d, 1.0).is_empty());
+            assert!(single_linkage_cut(&d, f64::INFINITY).is_empty());
+            for k in [0, 1, 5] {
+                assert!(single_linkage_k(&d, k).is_empty());
+            }
+            assert!(dbscan_star_labels(&d, &[], 0.5).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_vertex_cut_queries() {
+        let d = dendrogram_seq(1, &[], 0);
+        assert_eq!(single_linkage_cut(&d, 0.0), vec![0]);
+        // k beyond n clamps; k = 0 clamps up to 1.
+        for k in [0, 1, 7] {
+            assert_eq!(single_linkage_k(&d, k), vec![0], "k={k}");
+        }
+    }
+
+    #[test]
+    fn all_duplicate_height_cuts() {
+        // Every merge at the same height: cuts and exact-k must stay
+        // consistent with the canonical (w, id) tie order.
+        let n = 64usize;
+        let w = 2.5;
+        let edges: Vec<Edge> = (1..n as u32).map(|v| Edge::new(v - 1, v, w)).collect();
+        for d in [dendrogram_seq(n, &edges, 0), dendrogram_par(n, &edges, 0)] {
+            let all_one = single_linkage_cut(&d, w);
+            assert!(all_one.iter().all(|&l| l == 0), "cut at the tie height");
+            let singletons = single_linkage_cut(&d, w * 0.999);
+            let distinct: std::collections::HashSet<u32> = singletons.iter().copied().collect();
+            assert_eq!(distinct.len(), n, "cut below the tie height");
+            for k in [1usize, 2, 17, n, n + 5] {
+                let labels = single_linkage_k(&d, k);
+                let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+                assert_eq!(distinct.len(), k.clamp(1, n), "k={k}");
             }
         }
     }

@@ -52,6 +52,17 @@ fn lambda_of(height: f64, cap: f64) -> f64 {
 pub fn condense_tree(d: &Dendrogram, min_cluster_size: usize) -> CondensedTree {
     assert!(min_cluster_size >= 2, "min_cluster_size must be at least 2");
     let n = d.n;
+    if n == 0 {
+        // Empty dendrogram: just the root cluster, no points.
+        return CondensedTree {
+            parent: vec![NOISE; 1],
+            birth_lambda: vec![0.0],
+            stability: vec![0.0],
+            size: vec![0],
+            point_cluster: Vec::new(),
+            point_lambda: Vec::new(),
+        };
+    }
     // λ cap keeps zero-height merges (duplicate points) finite: one decade
     // above the largest finite split level.
     let min_pos = d
@@ -162,6 +173,23 @@ pub fn condense_tree(d: &Dendrogram, min_cluster_size: usize) -> CondensedTree {
 /// standard `allow_single_cluster = false` behavior). Returns a label per
 /// point, [`NOISE`] for unclustered points; labels are consecutive from 0.
 pub fn extract_eom(ct: &CondensedTree) -> Vec<u32> {
+    extract_eom_eps(ct, 0.0)
+}
+
+/// EOM selection with the `cluster_selection_epsilon` post-processing of
+/// Malzer & Baum (*A Hybrid Approach To Hierarchical Density-based Cluster
+/// Selection*, 2019), as popularized by the reference `hdbscan` library:
+/// after stability selection, any chosen cluster born at a distance below
+/// `cluster_selection_epsilon` is replaced by its lowest ancestor born at a
+/// distance ≥ ε (clusters that only split "inside" ε are merged back
+/// together, absorbing the points that separated between the ancestor's
+/// birth and ε). `cluster_selection_epsilon = 0` is exactly
+/// [`extract_eom`].
+pub fn extract_eom_eps(ct: &CondensedTree, cluster_selection_epsilon: f64) -> Vec<u32> {
+    assert!(
+        cluster_selection_epsilon >= 0.0 && !cluster_selection_epsilon.is_nan(),
+        "cluster_selection_epsilon must be non-negative"
+    );
     let k = ct.num_clusters();
     // Children lists.
     let mut children: Vec<Vec<u32>> = vec![Vec::new(); k];
@@ -203,7 +231,55 @@ pub fn extract_eom(ct: &CondensedTree) -> Vec<u32> {
         }
     }
 
-    // Label points by their nearest selected ancestor cluster.
+    if cluster_selection_epsilon > 0.0 {
+        let eps = cluster_selection_epsilon;
+        // Birth distance of cluster c is 1/birth_lambda[c]; "born at or
+        // above ε" is birth_lambda · ε ≤ 1 (division-free, and λ > 0 for
+        // every non-root cluster).
+        let born_at_or_above = |c: u32| ct.birth_lambda[c as usize] * eps <= 1.0;
+        let chosen: Vec<u32> = (1..k as u32).filter(|&c| selected[c as usize]).collect();
+        let mut merged_away = vec![false; k];
+        selected.iter_mut().for_each(|s| *s = false);
+        for &c in &chosen {
+            if merged_away[c as usize] {
+                continue;
+            }
+            if born_at_or_above(c) {
+                selected[c as usize] = true;
+                continue;
+            }
+            // Climb to the lowest ancestor born strictly above ε (Malzer &
+            // Baum's `traverse_upwards`); stop below the root, which stays
+            // unselectable (allow_single_cluster = false).
+            let mut cur = c;
+            let target = loop {
+                let parent = ct.parent[cur as usize];
+                if parent == 0 {
+                    break cur;
+                }
+                if ct.birth_lambda[parent as usize] * eps < 1.0 {
+                    break parent;
+                }
+                cur = parent;
+            };
+            selected[target as usize] = true;
+            // Everything under the merged target is absorbed: later chosen
+            // leaves inside it must not climb again.
+            let mut stack = vec![target];
+            while let Some(x) = stack.pop() {
+                for &ch in &children[x as usize] {
+                    merged_away[ch as usize] = true;
+                    stack.push(ch);
+                }
+            }
+        }
+    }
+
+    // Label points by their nearest selected ancestor cluster (points whose
+    // chain reaches the root without crossing a selected cluster are noise —
+    // the same rule as the reference implementation's union-find labeling,
+    // whose λ-floor applies only to its `allow_single_cluster` root case,
+    // which we do not support).
     let mut label_of: FastMap<u32, u32> = FastMap::default();
     let mut next = 0u32;
     let mut labels = vec![NOISE; ct.point_cluster.len()];
@@ -241,13 +317,25 @@ pub fn hdbscan_cluster<const D: usize>(
     min_pts: usize,
     min_cluster_size: usize,
 ) -> Vec<u32> {
+    hdbscan_cluster_eps(points, min_pts, min_cluster_size, 0.0)
+}
+
+/// [`hdbscan_cluster`] with a `cluster_selection_epsilon` distance floor
+/// (see [`extract_eom_eps`]): clusters that only split below ε are merged
+/// back together, which suppresses over-fragmentation of dense regions.
+pub fn hdbscan_cluster_eps<const D: usize>(
+    points: &[parclust_geom::Point<D>],
+    min_pts: usize,
+    min_cluster_size: usize,
+    cluster_selection_epsilon: f64,
+) -> Vec<u32> {
     if points.len() < 2 {
         return vec![NOISE; points.len()];
     }
     let h = crate::hdbscan::hdbscan_memogfk(points, min_pts);
     let d = crate::dendrogram::dendrogram_par(points.len(), &h.edges, 0);
     let ct = condense_tree(&d, min_cluster_size);
-    extract_eom(&ct)
+    extract_eom_eps(&ct, cluster_selection_epsilon)
 }
 
 #[cfg(test)]
@@ -379,5 +467,79 @@ mod tests {
     fn tiny_inputs() {
         assert_eq!(hdbscan_cluster::<2>(&[], 5, 5), Vec::<u32>::new());
         assert_eq!(hdbscan_cluster(&[Point([1.0, 1.0])], 5, 5), vec![NOISE]);
+        assert_eq!(hdbscan_cluster_eps::<2>(&[], 5, 5, 1.0), Vec::<u32>::new());
+    }
+
+    fn num_clusters(labels: &[u32]) -> usize {
+        let mut d: Vec<u32> = labels.iter().copied().filter(|&l| l != NOISE).collect();
+        d.sort_unstable();
+        d.dedup();
+        d.len()
+    }
+
+    #[test]
+    fn epsilon_zero_is_plain_eom() {
+        let pts = blobs(&[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)], 60, 2.0, 6);
+        let h = hdbscan_memogfk(&pts, 5);
+        let d = dendrogram_par(pts.len(), &h.edges, 0);
+        let ct = condense_tree(&d, 5);
+        assert_eq!(extract_eom(&ct), extract_eom_eps(&ct, 0.0));
+    }
+
+    #[test]
+    fn epsilon_merges_subclusters_split_below_threshold() {
+        // Two tight sub-blobs 6 apart, and a third blob far away. EOM at
+        // ε = 0 separates the sub-blobs; ε = 10 must merge them (they split
+        // at distance ≈ 6 < ε) while keeping the far blob distinct.
+        let mut pts = blobs(&[(0.0, 0.0), (6.0, 0.0)], 80, 0.5, 7);
+        pts.extend(blobs(&[(200.0, 0.0)], 80, 0.5, 8));
+        let plain = hdbscan_cluster(&pts, 5, 10);
+        let merged = hdbscan_cluster_eps(&pts, 5, 10, 10.0);
+        assert_eq!(num_clusters(&plain), 3, "plain EOM splits the sub-blobs");
+        assert_eq!(num_clusters(&merged), 2, "epsilon merges the close pair");
+        // The two sub-blobs share one label; the far blob keeps its own.
+        assert_eq!(merged[0], merged[90]);
+        assert_ne!(merged[0], merged[200]);
+        assert_ne!(merged[200], NOISE);
+    }
+
+    #[test]
+    fn epsilon_below_every_split_is_a_no_op() {
+        // When every selected cluster is born at a distance ≥ ε, the
+        // epsilon search never climbs and the labeling must be *identical*
+        // to plain EOM (the reference implementation's behavior — its
+        // λ-floor only applies to allow_single_cluster root labeling).
+        let mut pts = blobs(&[(0.0, 0.0), (40.0, 0.0)], 100, 1.0, 9);
+        pts.push(Point([20.0, 0.0])); // between the blobs, departs late
+        let plain = hdbscan_cluster(&pts, 5, 10);
+        let eps = hdbscan_cluster_eps(&pts, 5, 10, 3.0);
+        assert_eq!(plain, eps, "blob splits happen far above eps=3");
+        assert_ne!(eps[0], NOISE);
+        assert_ne!(eps[150], NOISE);
+        assert_ne!(eps[0], eps[150], "well-separated blobs stay distinct");
+    }
+
+    #[test]
+    fn epsilon_huge_merges_everything_reachable() {
+        // ε beyond every split distance: every selected cluster climbs to a
+        // child of the root, so points cluster by root-child membership.
+        let pts = blobs(&[(0.0, 0.0), (30.0, 0.0), (60.0, 0.0)], 60, 1.0, 10);
+        let labels = hdbscan_cluster_eps(&pts, 5, 10, 1e6);
+        assert!(num_clusters(&labels) <= 2, "climbing stops below the root");
+        assert!(labels.iter().any(|&l| l != NOISE));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn epsilon_rejects_negative() {
+        let ct = CondensedTree {
+            parent: vec![NOISE],
+            birth_lambda: vec![0.0],
+            stability: vec![0.0],
+            size: vec![0],
+            point_cluster: Vec::new(),
+            point_lambda: Vec::new(),
+        };
+        extract_eom_eps(&ct, -1.0);
     }
 }

@@ -1,5 +1,7 @@
 //! Point-set IO: CSV (interoperability) and a little-endian binary format
-//! (fast reload of generated benchmark inputs).
+//! (fast reload of generated benchmark inputs), plus the low-level
+//! little-endian section codec ([`le`]) that downstream binary formats
+//! (e.g. `parclust-serve`'s model artifact) build on.
 
 use parclust_geom::Point;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -7,6 +9,95 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PCLD";
 const VERSION: u32 = 1;
+
+/// Little-endian primitive and slice codec shared by every parclust binary
+/// format. Writers are total; readers fail with `InvalidData`/`UnexpectedEof`
+/// on malformed input and bound allocations by what the stream can actually
+/// supply (a corrupt length prefix never triggers a huge up-front alloc).
+pub mod le {
+    use std::io::{self, Read, Write};
+
+    /// Cap on a single up-front `Vec` reservation while reading a
+    /// length-prefixed section; longer sections grow incrementally so a
+    /// corrupted length cannot OOM the reader before hitting EOF.
+    const MAX_PREALLOC_BYTES: usize = 1 << 24;
+
+    pub fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+        w.write_all(&v.to_le_bytes())
+    }
+
+    pub fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+        w.write_all(&v.to_le_bytes())
+    }
+
+    pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+        w.write_all(&v.to_le_bytes())
+    }
+
+    /// Length-prefixed (`u64`) slice of `u32`.
+    pub fn write_u32_slice<W: Write>(w: &mut W, vs: &[u32]) -> io::Result<()> {
+        write_u64(w, vs.len() as u64)?;
+        for &v in vs {
+            write_u32(w, v)?;
+        }
+        Ok(())
+    }
+
+    /// Length-prefixed (`u64`) slice of `f64`.
+    pub fn write_f64_slice<W: Write>(w: &mut W, vs: &[f64]) -> io::Result<()> {
+        write_u64(w, vs.len() as u64)?;
+        for &v in vs {
+            write_f64(w, v)?;
+        }
+        Ok(())
+    }
+
+    pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    fn checked_len(len: u64, elem_size: usize) -> io::Result<usize> {
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "section length overflow"))?;
+        len.checked_mul(elem_size)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "section length overflow"))?;
+        Ok(len)
+    }
+
+    /// Read a slice written by [`write_u32_slice`].
+    pub fn read_u32_vec<R: Read>(r: &mut R) -> io::Result<Vec<u32>> {
+        let len = checked_len(read_u64(r)?, 4)?;
+        let mut out = Vec::with_capacity(len.min(MAX_PREALLOC_BYTES / 4));
+        for _ in 0..len {
+            out.push(read_u32(r)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a slice written by [`write_f64_slice`].
+    pub fn read_f64_vec<R: Read>(r: &mut R) -> io::Result<Vec<f64>> {
+        let len = checked_len(read_u64(r)?, 8)?;
+        let mut out = Vec::with_capacity(len.min(MAX_PREALLOC_BYTES / 8));
+        for _ in 0..len {
+            out.push(read_f64(r)?);
+        }
+        Ok(out)
+    }
+}
 
 /// Write points as CSV, one point per row.
 pub fn write_csv<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
@@ -73,12 +164,12 @@ pub fn read_csv<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
 pub fn write_binary<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(D as u32).to_le_bytes())?;
-    w.write_all(&(points.len() as u64).to_le_bytes())?;
+    le::write_u32(&mut w, VERSION)?;
+    le::write_u32(&mut w, D as u32)?;
+    le::write_u64(&mut w, points.len() as u64)?;
     for p in points {
-        for c in p.coords() {
-            w.write_all(&c.to_le_bytes())?;
+        for &c in p.coords() {
+            le::write_f64(&mut w, c)?;
         }
     }
     w.flush()
@@ -88,33 +179,31 @@ pub fn write_binary<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Res
 /// equal `D`.
 pub fn read_binary<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
-    let mut head = [0u8; 4 + 4 + 4 + 8];
-    r.read_exact(&mut head)?;
-    if &head[0..4] != MAGIC {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
-    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    let version = le::read_u32(&mut r)?;
     if version != VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported version {version}"),
         ));
     }
-    let dims = u32::from_le_bytes(head[8..12].try_into().unwrap());
+    let dims = le::read_u32(&mut r)?;
     if dims as usize != D {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("file has {dims} dims, expected {D}"),
         ));
     }
-    let count = u64::from_le_bytes(head[12..20].try_into().unwrap()) as usize;
-    let mut out = Vec::with_capacity(count);
-    let mut buf = vec![0u8; D * 8];
+    let count = le::read_u64(&mut r)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        r.read_exact(&mut buf)?;
         let mut c = [0.0; D];
-        for (d, slot) in c.iter_mut().enumerate() {
-            *slot = f64::from_le_bytes(buf[d * 8..d * 8 + 8].try_into().unwrap());
+        for slot in c.iter_mut() {
+            *slot = le::read_f64(&mut r)?;
         }
         out.push(Point(c));
     }
@@ -179,5 +268,36 @@ mod tests {
         std::fs::write(&path, b"not a parclust file").unwrap();
         assert!(read_binary::<2>(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn le_codec_roundtrip() {
+        let mut buf = Vec::new();
+        le::write_u32(&mut buf, 7).unwrap();
+        le::write_u64(&mut buf, u64::MAX - 3).unwrap();
+        le::write_f64(&mut buf, -0.125).unwrap();
+        le::write_u32_slice(&mut buf, &[1, 2, u32::MAX]).unwrap();
+        le::write_f64_slice(&mut buf, &[f64::INFINITY, 0.5]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(le::read_u32(&mut r).unwrap(), 7);
+        assert_eq!(le::read_u64(&mut r).unwrap(), u64::MAX - 3);
+        assert_eq!(le::read_f64(&mut r).unwrap(), -0.125);
+        assert_eq!(le::read_u32_vec(&mut r).unwrap(), vec![1, 2, u32::MAX]);
+        assert_eq!(le::read_f64_vec(&mut r).unwrap(), vec![f64::INFINITY, 0.5]);
+        assert!(r.is_empty(), "everything consumed");
+    }
+
+    #[test]
+    fn le_codec_rejects_truncation_and_huge_lengths() {
+        assert!(le::read_u64(&mut [1u8, 2].as_slice()).is_err());
+        // A length prefix promising far more data than the stream holds must
+        // error out (not OOM on the reservation).
+        let mut buf = Vec::new();
+        le::write_u64(&mut buf, u64::MAX / 2).unwrap();
+        assert!(le::read_u32_vec(&mut buf.as_slice()).is_err());
+        let mut short = Vec::new();
+        le::write_u32_slice(&mut short, &[1, 2, 3]).unwrap();
+        short.truncate(short.len() - 2);
+        assert!(le::read_u32_vec(&mut short.as_slice()).is_err());
     }
 }

@@ -95,6 +95,98 @@ impl<const D: usize> KdTree<D> {
         }
     }
 
+    /// Reassemble a tree from previously serialized parts (e.g. a
+    /// `parclust-serve` model artifact) without re-running the parallel
+    /// build. `points` are the *permuted* points (tree order), `idx` maps
+    /// permuted position to original index, and `nodes` is the arena with
+    /// the root at slot 0 — exactly the public fields of a built tree.
+    ///
+    /// Validates the structural invariants the query paths rely on (arena
+    /// shape, child ranges partitioning their parent, in-bounds indices,
+    /// `idx` a permutation); returns `Err` with a description on the first
+    /// violation so corrupted artifacts are rejected instead of causing
+    /// panics or wrong answers deep inside a traversal.
+    pub fn from_parts(
+        points: Vec<Point<D>>,
+        idx: Vec<u32>,
+        nodes: Vec<Node<D>>,
+    ) -> Result<Self, String> {
+        let n = points.len();
+        if n == 0 {
+            return Err("tree must hold at least one point".into());
+        }
+        if idx.len() != n {
+            return Err(format!("idx length {} != point count {n}", idx.len()));
+        }
+        if nodes.len() != 2 * n - 1 {
+            return Err(format!(
+                "arena length {} != 2n-1 = {}",
+                nodes.len(),
+                2 * n - 1
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &i in &idx {
+            match seen.get_mut(i as usize) {
+                Some(s) if !*s => *s = true,
+                _ => return Err(format!("idx is not a permutation (index {i})")),
+            }
+        }
+        // Walk from the root: every node's range must be inside the parent's
+        // and children must partition it; every leaf must be a singleton.
+        let mut stack: Vec<NodeId> = vec![0];
+        let mut covered = 0usize;
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            if visited > nodes.len() {
+                // A node reachable via two parents (the arena encodes a DAG
+                // or cycle, not a tree) revisits slots; bail out rather than
+                // looping.
+                return Err("arena is not a tree (node visited twice)".into());
+            }
+            let node = nodes
+                .get(id as usize)
+                .ok_or_else(|| format!("node id {id} out of arena bounds"))?;
+            if node.start >= node.end || node.end as usize > n {
+                return Err(format!(
+                    "node {id} has invalid range {}..{}",
+                    node.start, node.end
+                ));
+            }
+            if node.is_leaf() {
+                if node.size() != 1 {
+                    return Err(format!(
+                        "leaf {id} covers {} points (must be 1)",
+                        node.size()
+                    ));
+                }
+                covered += 1;
+                continue;
+            }
+            let (l, r) = (node.left, node.right);
+            if l as usize >= nodes.len() || r as usize >= nodes.len() {
+                return Err(format!("node {id} has out-of-bounds children"));
+            }
+            let (ln, rn) = (&nodes[l as usize], &nodes[r as usize]);
+            if ln.start != node.start || ln.end != rn.start || rn.end != node.end {
+                return Err(format!("children of node {id} do not partition its range"));
+            }
+            stack.push(l);
+            stack.push(r);
+        }
+        if covered != n {
+            return Err(format!("leaves cover {covered} points, expected {n}"));
+        }
+        Ok(KdTree {
+            points,
+            idx,
+            nodes,
+            root: 0,
+            original_points: std::sync::OnceLock::new(),
+        })
+    }
+
     #[inline]
     pub fn root(&self) -> NodeId {
         self.root
@@ -414,6 +506,44 @@ mod tests {
                 stack.push(node.right);
             }
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_answers_queries() {
+        let pts = random_points::<3>(2_000, 8);
+        let built = KdTree::build(&pts);
+        let re = KdTree::from_parts(built.points.clone(), built.idx.clone(), built.nodes.clone())
+            .expect("valid parts");
+        check_tree_invariants(&re);
+        // Queries against the reassembled tree match the original.
+        for q in pts.iter().step_by(97) {
+            assert_eq!(built.knn(q, 5), re.knn(q, 5));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_arenas() {
+        let pts = random_points::<2>(64, 9);
+        let t = KdTree::build(&pts);
+        // Wrong arena length.
+        assert!(
+            KdTree::from_parts(t.points.clone(), t.idx.clone(), t.nodes[..5].to_vec()).is_err()
+        );
+        // idx not a permutation.
+        let mut bad_idx = t.idx.clone();
+        bad_idx[0] = bad_idx[1];
+        assert!(KdTree::from_parts(t.points.clone(), bad_idx, t.nodes.clone()).is_err());
+        // Child range corruption.
+        let mut bad_nodes = t.nodes.clone();
+        let root_left = bad_nodes[0].left as usize;
+        bad_nodes[root_left].end += 1;
+        assert!(KdTree::from_parts(t.points.clone(), t.idx.clone(), bad_nodes).is_err());
+        // Cycle: root points at itself.
+        let mut cyc = t.nodes.clone();
+        cyc[0].left = 0;
+        assert!(KdTree::from_parts(t.points.clone(), t.idx.clone(), cyc).is_err());
+        // Empty tree.
+        assert!(KdTree::<2>::from_parts(Vec::new(), Vec::new(), Vec::new()).is_err());
     }
 
     #[test]

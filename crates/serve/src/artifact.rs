@@ -1,0 +1,474 @@
+//! The clustering-model artifact: a versioned little-endian binary format
+//! bundling everything a query server needs — the point set, the kd-tree,
+//! the per-point core distances, the HDBSCAN\* dendrogram, and the
+//! condensed cluster tree — so one expensive hierarchy build can answer
+//! arbitrarily many cheap queries across process restarts.
+//!
+//! Layout (version 1, all little-endian, built on `parclust_data::io::le`):
+//!
+//! ```text
+//! "PCSM" | version u32 | dims u32 | n u64 | min_pts u64 | min_cluster_size u64
+//! points           n·D f64            (original order)
+//! kd-tree          idx u32[],  arena u64 + per-node {bbox 2·D f64, start,
+//!                  end, left, right u32}
+//! core distances   f64[]
+//! dendrogram       start u32, root u32, edge_u u32[], edge_v u32[],
+//!                  height f64[], left u32[], right u32[], parent u32[],
+//!                  vertex_dist u32[]
+//! condensed tree   parent u32[], birth_lambda f64[], stability f64[],
+//!                  size u32[], point_cluster u32[], point_lambda f64[]
+//! checksum         FNV-1a 64 of every preceding byte
+//! ```
+//!
+//! Versioning contract: the magic and `version` field come first and are
+//! checked before anything else is parsed; readers reject unknown versions
+//! instead of guessing. Any layout change bumps `FORMAT_VERSION`. The
+//! trailing checksum (plus structural validation on load, including
+//! [`parclust_kdtree::KdTree::from_parts`]'s invariant walk) turns
+//! truncated or bit-flipped files into clean `InvalidData` errors rather
+//! than panics or silently wrong query answers.
+
+use parclust::{condense_tree, dendrogram_par, hdbscan_memogfk, CondensedTree, Dendrogram, NOISE};
+use parclust_data::io::le;
+use parclust_geom::{Aabb, Point};
+use parclust_kdtree::{KdTree, Node};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Artifact magic: "ParClust Serving Model".
+pub const MAGIC: &[u8; 4] = b"PCSM";
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free corruption check.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A servable clustering model over `D`-dimensional points.
+pub struct ClusterModel<const D: usize> {
+    /// `minPts` the hierarchy was built with (also the kNN width used for
+    /// out-of-sample core distances).
+    pub min_pts: usize,
+    /// `min_cluster_size` the condensed tree was built with.
+    pub min_cluster_size: usize,
+    /// The training points, original order.
+    pub points: Vec<Point<D>>,
+    /// kd-tree over the points (answers kNN for out-of-sample assignment).
+    pub tree: KdTree<D>,
+    /// Core distance of every point, original order.
+    pub core_distances: Vec<f64>,
+    /// HDBSCAN\* ordered dendrogram (flat cuts, reachability).
+    pub dendrogram: Dendrogram,
+    /// Condensed cluster tree (EOM extraction).
+    pub condensed: CondensedTree,
+}
+
+impl<const D: usize> ClusterModel<D> {
+    /// Run the full batch pipeline (HDBSCAN\* MST → ordered dendrogram →
+    /// condensed tree) and package the results as a servable model.
+    ///
+    /// `min_cluster_size` must be ≥ 2 (condensed-tree requirement) and
+    /// `points` non-empty (the kd-tree needs at least one point).
+    pub fn build(points: &[Point<D>], min_pts: usize, min_cluster_size: usize) -> Self {
+        assert!(!points.is_empty(), "model needs at least one point");
+        let h = hdbscan_memogfk(points, min_pts);
+        let dendrogram = dendrogram_par(points.len(), &h.edges, 0);
+        let condensed = condense_tree(&dendrogram, min_cluster_size);
+        ClusterModel {
+            min_pts,
+            min_cluster_size,
+            points: points.to_vec(),
+            tree: KdTree::build(points),
+            core_distances: h.core_distances,
+            dendrogram,
+            condensed,
+        }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding box of the training points (the kd-tree root box).
+    pub fn bbox(&self) -> Aabb<D> {
+        self.tree.node(self.tree.root()).bbox
+    }
+
+    /// Serialize into `w` (no checksum — [`ClusterModel::save`] appends it).
+    fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let n = self.points.len();
+        w.write_all(MAGIC)?;
+        le::write_u32(w, FORMAT_VERSION)?;
+        le::write_u32(w, D as u32)?;
+        le::write_u64(w, n as u64)?;
+        le::write_u64(w, self.min_pts as u64)?;
+        le::write_u64(w, self.min_cluster_size as u64)?;
+        for p in &self.points {
+            for &c in p.coords() {
+                le::write_f64(w, c)?;
+            }
+        }
+        // kd-tree: the permuted point copy is reconstructed from points +
+        // idx on load, so only idx and the arena are stored.
+        le::write_u32_slice(w, &self.tree.idx)?;
+        le::write_u64(w, self.tree.nodes.len() as u64)?;
+        for node in &self.tree.nodes {
+            for &c in node.bbox.lo.coords() {
+                le::write_f64(w, c)?;
+            }
+            for &c in node.bbox.hi.coords() {
+                le::write_f64(w, c)?;
+            }
+            le::write_u32(w, node.start)?;
+            le::write_u32(w, node.end)?;
+            le::write_u32(w, node.left)?;
+            le::write_u32(w, node.right)?;
+        }
+        le::write_f64_slice(w, &self.core_distances)?;
+        let d = &self.dendrogram;
+        le::write_u32(w, d.start)?;
+        le::write_u32(w, d.root)?;
+        le::write_u32_slice(w, &d.edge_u)?;
+        le::write_u32_slice(w, &d.edge_v)?;
+        le::write_f64_slice(w, &d.height)?;
+        le::write_u32_slice(w, &d.left)?;
+        le::write_u32_slice(w, &d.right)?;
+        le::write_u32_slice(w, &d.parent)?;
+        le::write_u32_slice(w, &d.vertex_dist)?;
+        let ct = &self.condensed;
+        le::write_u32_slice(w, &ct.parent)?;
+        le::write_f64_slice(w, &ct.birth_lambda)?;
+        le::write_f64_slice(w, &ct.stability)?;
+        le::write_u32_slice(w, &ct.size)?;
+        le::write_u32_slice(w, &ct.point_cluster)?;
+        le::write_f64_slice(w, &ct.point_lambda)?;
+        Ok(())
+    }
+
+    /// Write the artifact to `path` (payload + trailing checksum).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)?;
+        let sum = fnv1a64(&buf);
+        le::write_u64(&mut buf, sum)?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, buf)
+    }
+
+    /// Load an artifact written by [`ClusterModel::save`], validating the
+    /// magic, version, dimensionality, checksum, and structural invariants.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Parse an artifact from bytes (checksum included).
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(bad("artifact too short"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv1a64(payload) != stored {
+            return Err(bad("artifact checksum mismatch (corrupt file)"));
+        }
+        let mut r = payload;
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad artifact magic"));
+        }
+        let version = le::read_u32(&mut r)?;
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported artifact version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let dims = le::read_u32(&mut r)?;
+        if dims as usize != D {
+            return Err(bad(format!("artifact has {dims} dims, expected {D}")));
+        }
+        let n = le::read_u64(&mut r)? as usize;
+        if n == 0 {
+            return Err(bad("artifact holds zero points"));
+        }
+        let min_pts = le::read_u64(&mut r)? as usize;
+        let min_cluster_size = le::read_u64(&mut r)? as usize;
+        let mut points = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let mut c = [0.0; D];
+            for slot in c.iter_mut() {
+                *slot = le::read_f64(&mut r)?;
+            }
+            points.push(Point(c));
+        }
+        let idx = le::read_u32_vec(&mut r)?;
+        if idx.len() != n {
+            return Err(bad("kd-tree idx length mismatch"));
+        }
+        let arena_len = le::read_u64(&mut r)? as usize;
+        if arena_len != 2 * n - 1 {
+            return Err(bad("kd-tree arena length mismatch"));
+        }
+        let mut nodes = Vec::with_capacity(arena_len.min(1 << 20));
+        for _ in 0..arena_len {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for slot in lo.iter_mut() {
+                *slot = le::read_f64(&mut r)?;
+            }
+            for slot in hi.iter_mut() {
+                *slot = le::read_f64(&mut r)?;
+            }
+            let start = le::read_u32(&mut r)?;
+            let end = le::read_u32(&mut r)?;
+            let left = le::read_u32(&mut r)?;
+            let right = le::read_u32(&mut r)?;
+            nodes.push(Node {
+                bbox: Aabb {
+                    lo: Point(lo),
+                    hi: Point(hi),
+                },
+                start,
+                end,
+                left,
+                right,
+            });
+        }
+        // Permuted copy: position i holds the point whose original index is
+        // idx[i] (validated as a permutation by from_parts).
+        let permuted: Vec<Point<D>> = idx
+            .iter()
+            .map(|&o| {
+                points
+                    .get(o as usize)
+                    .copied()
+                    .ok_or_else(|| bad("kd-tree idx out of range"))
+            })
+            .collect::<io::Result<_>>()?;
+        let tree = KdTree::from_parts(permuted, idx, nodes)
+            .map_err(|e| bad(format!("kd-tree validation failed: {e}")))?;
+
+        let core_distances = le::read_f64_vec(&mut r)?;
+        if core_distances.len() != n {
+            return Err(bad("core-distance length mismatch"));
+        }
+
+        let start = le::read_u32(&mut r)?;
+        let root = le::read_u32(&mut r)?;
+        let edge_u = le::read_u32_vec(&mut r)?;
+        let edge_v = le::read_u32_vec(&mut r)?;
+        let height = le::read_f64_vec(&mut r)?;
+        let left = le::read_u32_vec(&mut r)?;
+        let right = le::read_u32_vec(&mut r)?;
+        let parent = le::read_u32_vec(&mut r)?;
+        let vertex_dist = le::read_u32_vec(&mut r)?;
+        let m = n - 1;
+        if edge_u.len() != m
+            || edge_v.len() != m
+            || height.len() != m
+            || left.len() != m
+            || right.len() != m
+            || parent.len() != 2 * n - 1
+            || vertex_dist.len() != n
+        {
+            return Err(bad("dendrogram section length mismatch"));
+        }
+        let num_nodes = (2 * n - 1) as u32;
+        if root >= num_nodes || start >= n as u32 {
+            return Err(bad("dendrogram root/start out of range"));
+        }
+        if edge_u.iter().chain(&edge_v).any(|&v| v >= n as u32) {
+            return Err(bad("dendrogram edge endpoint out of range"));
+        }
+        if left.iter().chain(&right).any(|&v| v >= num_nodes) {
+            return Err(bad("dendrogram child id out of range"));
+        }
+        let dendrogram = Dendrogram {
+            n,
+            edge_u,
+            edge_v,
+            height,
+            left,
+            right,
+            parent,
+            root,
+            vertex_dist,
+            start,
+        };
+
+        let ct_parent = le::read_u32_vec(&mut r)?;
+        let birth_lambda = le::read_f64_vec(&mut r)?;
+        let stability = le::read_f64_vec(&mut r)?;
+        let size = le::read_u32_vec(&mut r)?;
+        let point_cluster = le::read_u32_vec(&mut r)?;
+        let point_lambda = le::read_f64_vec(&mut r)?;
+        let k = ct_parent.len();
+        if k == 0 {
+            return Err(bad("condensed tree must hold the root cluster"));
+        }
+        if birth_lambda.len() != k || stability.len() != k || size.len() != k {
+            return Err(bad("condensed-tree section length mismatch"));
+        }
+        if point_cluster.len() != n || point_lambda.len() != n {
+            return Err(bad("condensed-tree point section length mismatch"));
+        }
+        if point_cluster.iter().any(|&c| c != NOISE && c as usize >= k) {
+            return Err(bad("condensed-tree point cluster out of range"));
+        }
+        // Parents must precede children (the extraction sweeps rely on it).
+        for c in 1..k {
+            if ct_parent[c] >= c as u32 {
+                return Err(bad("condensed-tree parent order violated"));
+            }
+        }
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after artifact payload"));
+        }
+        let condensed = CondensedTree {
+            parent: ct_parent,
+            birth_lambda,
+            stability,
+            size,
+            point_cluster,
+            point_lambda,
+        };
+        Ok(ClusterModel {
+            min_pts,
+            min_cluster_size,
+            points,
+            tree,
+            core_distances,
+            dendrogram,
+            condensed,
+        })
+    }
+}
+
+/// Read just the header of an artifact and return its dimensionality —
+/// lets binaries dispatch to the right `ClusterModel::<D>` monomorphization
+/// before paying for a full load.
+pub fn peek_dims(path: &Path) -> io::Result<usize> {
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 12];
+    f.read_exact(&mut head)?;
+    if &head[0..4] != MAGIC {
+        return Err(bad("bad artifact magic"));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(bad(format!("unsupported artifact version {version}")));
+    }
+    Ok(u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn blobs2(n_per: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (50.0, 0.0)] {
+            for _ in 0..n_per {
+                pts.push(Point([
+                    cx + rng.gen_range(-2.0..2.0),
+                    cy + rng.gen_range(-2.0..2.0),
+                ]));
+            }
+        }
+        pts
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parclust-serve-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_everything() {
+        let pts = blobs2(120, 1);
+        let model = ClusterModel::build(&pts, 5, 10);
+        let path = tmp("roundtrip.pcsm");
+        model.save(&path).unwrap();
+        assert_eq!(peek_dims(&path).unwrap(), 2);
+        let back = ClusterModel::<2>::load(&path).unwrap();
+        assert_eq!(back.min_pts, 5);
+        assert_eq!(back.min_cluster_size, 10);
+        assert_eq!(back.points, model.points);
+        assert_eq!(back.core_distances, model.core_distances);
+        assert_eq!(back.dendrogram.height, model.dendrogram.height);
+        assert_eq!(back.dendrogram.left, model.dendrogram.left);
+        assert_eq!(back.dendrogram.right, model.dendrogram.right);
+        assert_eq!(back.dendrogram.parent, model.dendrogram.parent);
+        assert_eq!(back.dendrogram.root, model.dendrogram.root);
+        assert_eq!(back.condensed.parent, model.condensed.parent);
+        assert_eq!(back.condensed.point_cluster, model.condensed.point_cluster);
+        assert_eq!(back.tree.idx, model.tree.idx);
+        // The reassembled tree answers identical kNN queries.
+        for q in pts.iter().step_by(37) {
+            assert_eq!(back.tree.knn(q, 5), model.tree.knn(q, 5));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_dims_version_and_magic_are_rejected() {
+        let pts = blobs2(40, 2);
+        let model = ClusterModel::build(&pts, 3, 5);
+        let path = tmp("dims.pcsm");
+        model.save(&path).unwrap();
+        // Wrong dimensionality at the type level.
+        assert!(ClusterModel::<3>::load(&path).is_err());
+        let bytes = std::fs::read(&path).unwrap();
+        // Corrupt magic.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(ClusterModel::<2>::from_bytes(&bad_magic).is_err());
+        // Unknown version — recompute the checksum so versioning (not the
+        // checksum) is what rejects the file.
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        let plen = bad_version.len() - 8;
+        let sum = fnv1a64(&bad_version[..plen]).to_le_bytes();
+        bad_version[plen..].copy_from_slice(&sum);
+        let err = match ClusterModel::<2>::from_bytes(&bad_version) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown version must be rejected"),
+        };
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_point_model_roundtrips() {
+        let model = ClusterModel::build(&[Point([3.0, 4.0])], 5, 5);
+        let path = tmp("single.pcsm");
+        model.save(&path).unwrap();
+        let back = ClusterModel::<2>::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.dendrogram.height.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,252 @@
+//! Load generator for the `serve` HTTP server: drives a configurable mix
+//! of flat-cut, EOM, and out-of-sample-assignment requests over keep-alive
+//! connections and reports throughput/latency as JSON (the serving
+//! counterpart of the repro harness's bench reports).
+//!
+//! ```sh
+//! loadgen --addr 127.0.0.1:8077 --connections 4 --requests 2000 \
+//!         --batch 64 --mix cut,eom,assign --out bench_results/serving.json
+//! ```
+
+use rand::prelude::*;
+use serde_json::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Opts {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    batch: usize,
+    mix: Vec<String>,
+    out: Option<String>,
+    seed: u64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: loadgen --addr HOST:PORT [--connections C] [--requests N] \
+             [--batch B] [--mix cut,eom,assign] [--seed S] [--out PATH]"
+        );
+        std::process::exit(0);
+    }
+    Opts {
+        addr: flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into()),
+        connections: flag(&args, "--connections")
+            .unwrap_or_else(|| "4".into())
+            .parse()
+            .expect("--connections N"),
+        requests: flag(&args, "--requests")
+            .unwrap_or_else(|| "1000".into())
+            .parse()
+            .expect("--requests N"),
+        batch: flag(&args, "--batch")
+            .unwrap_or_else(|| "64".into())
+            .parse()
+            .expect("--batch N"),
+        mix: flag(&args, "--mix")
+            .unwrap_or_else(|| "cut,eom,assign".into())
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect(),
+        out: flag(&args, "--out"),
+        seed: flag(&args, "--seed")
+            .unwrap_or_else(|| "42".into())
+            .parse()
+            .expect("--seed S"),
+    }
+}
+
+/// Per-kind latency collection (nanoseconds).
+#[derive(Default)]
+struct KindStats {
+    latencies_ns: Vec<u64>,
+}
+
+impl KindStats {
+    fn summarize(&mut self) -> Value {
+        self.latencies_ns.sort_unstable();
+        let n = self.latencies_ns.len();
+        if n == 0 {
+            return serde_json::json!({"count": 0u64});
+        }
+        let total: u64 = self.latencies_ns.iter().sum();
+        let pct = |p: f64| self.latencies_ns[((n as f64 * p) as usize).min(n - 1)] as f64 / 1e6;
+        serde_json::json!({
+            "count": n as u64,
+            "mean_ms": total as f64 / n as f64 / 1e6,
+            "p50_ms": pct(0.50),
+            "p95_ms": pct(0.95),
+            "max_ms": *self.latencies_ns.last().unwrap() as f64 / 1e6,
+        })
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    // One probe connection learns the model shape (dims + bbox) so assign
+    // queries sample the data's own bounding box.
+    let mut probe = parclust_serve::Client::connect(&opts.addr).expect("connect");
+    let (status, model) = probe.get("/model").expect("GET /model");
+    assert_eq!(status, 200, "GET /model failed: {model}");
+    let dims = model.get("dims").and_then(Value::as_u64).expect("dims") as usize;
+    let n_points = model.get("n").and_then(Value::as_u64).unwrap_or(0);
+    let lo: Vec<f64> = model
+        .get("bbox_lo")
+        .and_then(Value::as_array)
+        .expect("bbox_lo")
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let hi: Vec<f64> = model
+        .get("bbox_hi")
+        .and_then(Value::as_array)
+        .expect("bbox_hi")
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let diag: f64 = lo
+        .iter()
+        .zip(&hi)
+        .map(|(a, b)| (b - a) * (b - a))
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-9);
+    drop(probe);
+    eprintln!(
+        "loadgen: {} requests over {} connections against {} ({n_points} points, {dims}D)",
+        opts.requests, opts.connections, opts.addr
+    );
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..opts.connections)
+        .map(|c| {
+            let opts = opts.clone();
+            let next = Arc::clone(&next);
+            let (lo, hi) = (lo.clone(), hi.clone());
+            std::thread::spawn(move || {
+                let mut client =
+                    parclust_serve::Client::connect(&opts.addr).expect("connect worker");
+                let mut rng = StdRng::seed_from_u64(opts.seed ^ (c as u64) << 32);
+                let mut stats: Vec<(String, KindStats)> = opts
+                    .mix
+                    .iter()
+                    .map(|k| (k.clone(), KindStats::default()))
+                    .collect();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= opts.requests {
+                        break;
+                    }
+                    let kind = &opts.mix[i % opts.mix.len()];
+                    let body = match kind.as_str() {
+                        // Eight distinct eps levels: the first hit of each
+                        // computes, later hits measure cache + transport.
+                        "cut" => serde_json::json!({
+                            "eps": diag * 0.002 * (1 + i % 8) as f64,
+                            "include_labels": false,
+                        }),
+                        "eom" => serde_json::json!({
+                            "cluster_selection_epsilon": diag * 0.004 * (i % 4) as f64,
+                            "include_labels": false,
+                        }),
+                        "assign" => {
+                            let pts: Vec<Value> = (0..opts.batch)
+                                .map(|_| {
+                                    Value::Array(
+                                        (0..dims)
+                                            .map(|d| Value::Float(rng.gen_range(lo[d]..=hi[d])))
+                                            .collect(),
+                                    )
+                                })
+                                .collect();
+                            serde_json::json!({"points": Value::Array(pts)})
+                        }
+                        other => panic!("unknown mix kind {other} (use cut,eom,assign)"),
+                    };
+                    let path = match kind.as_str() {
+                        "cut" => "/cut",
+                        "eom" => "/eom",
+                        _ => "/assign",
+                    };
+                    let q0 = Instant::now();
+                    let (status, resp) = client.post(path, &body).expect("request");
+                    let ns = q0.elapsed().as_nanos() as u64;
+                    assert_eq!(status, 200, "{path} failed: {resp}");
+                    stats
+                        .iter_mut()
+                        .find(|(k, _)| k == kind)
+                        .unwrap()
+                        .1
+                        .latencies_ns
+                        .push(ns);
+                }
+                stats
+            })
+        })
+        .collect();
+
+    let mut merged: Vec<(String, KindStats)> = opts
+        .mix
+        .iter()
+        .map(|k| (k.clone(), KindStats::default()))
+        .collect();
+    for h in handles {
+        for (kind, s) in h.join().expect("worker panicked") {
+            merged
+                .iter_mut()
+                .find(|(k, _)| *k == kind)
+                .unwrap()
+                .1
+                .latencies_ns
+                .extend(s.latencies_ns);
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let total: usize = merged.iter().map(|(_, s)| s.latencies_ns.len()).sum();
+    let rps = total as f64 / wall;
+    let assign_requests = merged
+        .iter()
+        .find(|(k, _)| k == "assign")
+        .map(|(_, s)| s.latencies_ns.len())
+        .unwrap_or(0);
+    let kind_objects: Vec<(String, Value)> = merged
+        .iter_mut()
+        .map(|(k, s)| (k.clone(), s.summarize()))
+        .collect();
+    let report = serde_json::json!({
+        "experiment": "serving-throughput",
+        "addr": opts.addr,
+        "model_points": n_points,
+        "dims": dims as u64,
+        "connections": opts.connections as u64,
+        "requests": total as u64,
+        "batch": opts.batch as u64,
+        "wall_secs": wall,
+        "requests_per_sec": rps,
+        "assign_points_per_sec": assign_requests as f64 * opts.batch as f64 / wall,
+        "kinds": Value::Object(kind_objects),
+    });
+    println!("{}", report.to_json_string_pretty());
+    if let Some(out) = &opts.out {
+        let path = std::path::Path::new(out);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create out dir");
+            }
+        }
+        std::fs::write(path, report.to_json_string_pretty()).expect("write report");
+        eprintln!("wrote {out}");
+    }
+}

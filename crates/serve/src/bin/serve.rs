@@ -1,0 +1,195 @@
+//! CLI for the serving stack: build a model artifact, serve it over HTTP,
+//! or query it locally.
+//!
+//! ```sh
+//! serve build --gen varden --dims 2 --n 20000 --out model.pcsm
+//! serve build --csv points.csv --dims 3 --minpts 10 --out model.pcsm
+//! serve serve --model model.pcsm --addr 127.0.0.1:8077 --workers 4 --threads 4
+//! serve query --model model.pcsm --eps 2.5
+//! serve query --model model.pcsm --eom-eps 1.0
+//! ```
+
+use parclust_serve::{with_model_dims, ClusterModel, LabelingSpec, QueryEngine, ServerConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  serve build (--csv PATH | --gen uniform|varden|gps|sensor) --dims D \
+         [--n N] [--seed S] [--minpts M] [--min-cluster-size C] --out PATH\n  \
+         serve serve --model PATH [--addr HOST:PORT] [--workers W] [--threads T]\n  \
+         serve query --model PATH (--eps F | --k N | --eom-eps F) [--labels]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "build" => build(rest),
+        "serve" => serve(rest),
+        "query" => query(rest),
+        _ => usage(),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn build(args: &[String]) {
+    let dims: usize = flag(args, "--dims")
+        .unwrap_or_else(|| "2".into())
+        .parse()
+        .expect("--dims D");
+    let out = flag(args, "--out").unwrap_or_else(|| usage());
+    let min_pts: usize = flag(args, "--minpts")
+        .unwrap_or_else(|| "10".into())
+        .parse()
+        .expect("--minpts N");
+    let min_cluster_size: usize = flag(args, "--min-cluster-size")
+        .unwrap_or_else(|| "10".into())
+        .parse()
+        .expect("--min-cluster-size N");
+    let n: usize = flag(args, "--n")
+        .unwrap_or_else(|| "10000".into())
+        .parse()
+        .expect("--n N");
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "42".into())
+        .parse()
+        .expect("--seed S");
+    let csv = flag(args, "--csv");
+    let gen = flag(args, "--gen");
+    with_model_dims!(dims, |D| {
+        let points: Vec<parclust::Point<D>> = if let Some(path) = &csv {
+            parclust_data::read_csv(std::path::Path::new(path)).expect("read csv")
+        } else {
+            match gen.as_deref().unwrap_or("varden") {
+                "uniform" => parclust_data::uniform_fill::<D>(n, seed),
+                "varden" => parclust_data::seed_spreader::<D>(n, seed),
+                "sensor" => parclust_data::sensor_like::<D>(n, seed, 8),
+                "gps" => {
+                    // gps_like returns Point<3>; the assert keeps the
+                    // coordinate copy below exact for the one legal dims.
+                    assert_eq!(D, 3, "--gen gps is 3-dimensional");
+                    let pts3 = parclust_data::gps_like(n, seed);
+                    let mut out = Vec::with_capacity(pts3.len());
+                    for p in pts3 {
+                        let mut c = [0.0; D];
+                        for (slot, &v) in c.iter_mut().zip(p.coords().iter()) {
+                            *slot = v;
+                        }
+                        out.push(parclust::Point(c));
+                    }
+                    out
+                }
+                other => panic!("unknown generator {other}"),
+            }
+        };
+        eprintln!(
+            "building model: {} points, {}D, minPts={min_pts}, minClusterSize={min_cluster_size}",
+            points.len(),
+            D
+        );
+        let t0 = std::time::Instant::now();
+        let model = ClusterModel::build(&points, min_pts, min_cluster_size);
+        eprintln!("built in {:.2}s", t0.elapsed().as_secs_f64());
+        model.save(std::path::Path::new(&out)).expect("save model");
+        let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "wrote {out} ({bytes} bytes, {} condensed clusters)",
+            model.condensed.num_clusters()
+        );
+    });
+}
+
+fn serve(args: &[String]) {
+    let model_path = flag(args, "--model").unwrap_or_else(|| usage());
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into());
+    let workers: usize = flag(args, "--workers")
+        .unwrap_or_else(|| "4".into())
+        .parse()
+        .expect("--workers N");
+    let pool_threads: usize = flag(args, "--threads")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .expect("--threads N");
+    let dims = parclust_serve::peek_dims(std::path::Path::new(&model_path)).expect("peek dims");
+    with_model_dims!(dims, |D| {
+        let model = ClusterModel::<D>::load(std::path::Path::new(&model_path)).expect("load model");
+        eprintln!(
+            "loaded {model_path}: {} points, {}D, minPts={}",
+            model.len(),
+            D,
+            model.min_pts
+        );
+        let engine = Arc::new(QueryEngine::new(Arc::new(model)));
+        let server = parclust_serve::start(
+            engine,
+            &ServerConfig {
+                addr,
+                workers,
+                pool_threads,
+            },
+        )
+        .expect("bind server");
+        // Parseable by scripts (CI greps for this line to learn the port).
+        println!("listening on {}", server.addr());
+        // Serve until killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    });
+}
+
+fn query(args: &[String]) {
+    let model_path = flag(args, "--model").unwrap_or_else(|| usage());
+    let spec = if let Some(eps) = flag(args, "--eps") {
+        LabelingSpec::Cut {
+            eps: eps.parse().expect("--eps F"),
+        }
+    } else if let Some(k) = flag(args, "--k") {
+        LabelingSpec::CutK {
+            k: k.parse().expect("--k N"),
+        }
+    } else if let Some(e) = flag(args, "--eom-eps") {
+        LabelingSpec::Eom {
+            cluster_selection_epsilon: e.parse().expect("--eom-eps F"),
+        }
+    } else {
+        LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        }
+    };
+    let dims = parclust_serve::peek_dims(std::path::Path::new(&model_path)).expect("peek dims");
+    with_model_dims!(dims, |D| {
+        let model = ClusterModel::<D>::load(std::path::Path::new(&model_path)).expect("load model");
+        let engine = QueryEngine::new(Arc::new(model));
+        let labeling = engine.labeling(spec);
+        println!(
+            "{}",
+            serde_json::json!({
+                "spec": format!("{spec:?}"),
+                "num_clusters": labeling.num_clusters as u64,
+                "noise": labeling.num_noise as u64,
+            })
+            .to_json_string_pretty()
+        );
+        if has_flag(args, "--labels") {
+            let signed: Vec<i64> = labeling
+                .labels
+                .iter()
+                .map(|&l| if l == parclust::NOISE { -1 } else { l as i64 })
+                .collect();
+            println!("{}", serde_json::to_string(&signed).unwrap());
+        }
+    });
+}

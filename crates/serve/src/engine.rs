@@ -1,0 +1,289 @@
+//! The query engine: cheap reuse of one expensive hierarchy build.
+//!
+//! Three query families over a loaded [`ClusterModel`]:
+//!
+//! * **flat cuts** — single-linkage labelings at an arbitrary distance
+//!   `eps` or an exact cluster count `k` ([`LabelingSpec::Cut`],
+//!   [`LabelingSpec::CutK`]);
+//! * **EOM extraction** — stability-based flat clusters with the
+//!   `cluster_selection_epsilon` merge knob ([`LabelingSpec::Eom`]);
+//! * **out-of-sample assignment** — label a point the model has never seen
+//!   by kNN against the kd-tree plus the nearest-core-distance rule
+//!   ([`QueryEngine::assign`]).
+//!
+//! Labelings are memoized (many requests ask for the same `eps`), and
+//! batched assignments fan out over the rayon pooled executor — run them
+//! inside a `ThreadPool::install` to pick the width.
+
+use crate::artifact::ClusterModel;
+use parclust::{count_clusters, extract_eom_eps, single_linkage_cut, single_linkage_k, NOISE};
+use parclust_geom::Point;
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Which labeling of the training points a query refers to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelingSpec {
+    /// EOM extraction with the given `cluster_selection_epsilon`
+    /// (0.0 = plain excess-of-mass selection).
+    Eom { cluster_selection_epsilon: f64 },
+    /// Single-linkage cut at distance `eps`.
+    Cut { eps: f64 },
+    /// Single-linkage cut into exactly `k` clusters.
+    CutK { k: usize },
+}
+
+/// A materialized labeling of the training points.
+pub struct Labeling {
+    pub spec: LabelingSpec,
+    /// Per-point labels, [`NOISE`] for noise; consecutive from 0.
+    pub labels: Vec<u32>,
+    pub num_clusters: usize,
+    pub num_noise: usize,
+}
+
+/// Result of one out-of-sample assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Label under the requested labeling ([`NOISE`] if the nearest core
+    /// neighbor is noise or farther than `max_dist`).
+    pub label: u32,
+    /// Training point the label was taken from.
+    pub neighbor: u32,
+    /// Mutual reachability distance to that neighbor.
+    pub distance: f64,
+}
+
+/// Upper bound on memoized labelings; past it the cache resets (labelings
+/// are cheap to recompute, the cache only smooths steady-state traffic).
+const LABELING_CACHE_CAP: usize = 64;
+
+pub struct QueryEngine<const D: usize> {
+    model: Arc<ClusterModel<D>>,
+    cache: Mutex<Vec<(LabelingSpec, Arc<Labeling>)>>,
+}
+
+impl<const D: usize> QueryEngine<D> {
+    pub fn new(model: Arc<ClusterModel<D>>) -> Self {
+        QueryEngine {
+            model,
+            cache: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn model(&self) -> &ClusterModel<D> {
+        &self.model
+    }
+
+    /// Compute (or fetch from cache) the labeling described by `spec`.
+    ///
+    /// `Eom`/`Cut` specs with NaN parameters are rejected by the HTTP layer;
+    /// at this level NaN would simply never hit the cache.
+    pub fn labeling(&self, spec: LabelingSpec) -> Arc<Labeling> {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, l)| Arc::clone(l))
+        {
+            return hit;
+        }
+        let labels = match spec {
+            LabelingSpec::Eom {
+                cluster_selection_epsilon,
+            } => extract_eom_eps(&self.model.condensed, cluster_selection_epsilon),
+            LabelingSpec::Cut { eps } => single_linkage_cut(&self.model.dendrogram, eps),
+            LabelingSpec::CutK { k } => single_linkage_k(&self.model.dendrogram, k),
+        };
+        let num_noise = labels.iter().filter(|&&l| l == NOISE).count();
+        let num_clusters = count_clusters(&labels);
+        let out = Arc::new(Labeling {
+            spec,
+            labels,
+            num_clusters,
+            num_noise,
+        });
+        let mut cache = self.cache.lock().unwrap();
+        if cache.len() >= LABELING_CACHE_CAP {
+            cache.clear();
+        }
+        cache.push((spec, Arc::clone(&out)));
+        out
+    }
+
+    /// Core distance of an *unseen* query point, defined as if it were
+    /// inserted into the training set: the distance to its `minPts`-th
+    /// nearest neighbor counting the query itself — i.e. the
+    /// `(minPts − 1)`-th nearest training point (0 when `minPts ≤ 1`).
+    /// `knn` must be the sorted result of a kd-tree query with at least
+    /// `min(minPts − 1, n)` entries.
+    fn query_core_distance(&self, knn: &[(f64, u32)]) -> f64 {
+        if self.model.min_pts <= 1 || knn.is_empty() {
+            return 0.0;
+        }
+        let i = (self.model.min_pts - 2).min(knn.len() - 1);
+        knn[i].0.sqrt()
+    }
+
+    /// Out-of-sample assignment: among the query's `minPts` nearest
+    /// training points, pick the one minimizing the mutual reachability
+    /// distance `max{d(q,p), cd(q), cd(p)}` (ties toward the earlier
+    /// neighbor) and inherit its label under `labeling`; the result is
+    /// noise if that distance exceeds `max_dist`.
+    pub fn assign(&self, q: &Point<D>, labeling: &Labeling, max_dist: f64) -> Assignment {
+        let k = self.model.min_pts.max(1);
+        let knn = self.model.tree.knn(q, k);
+        debug_assert!(!knn.is_empty(), "models hold at least one point");
+        let cd_q = self.query_core_distance(&knn);
+        let mut best: Option<(f64, u32)> = None;
+        for &(d_sq, id) in &knn {
+            let m = d_sq
+                .sqrt()
+                .max(cd_q)
+                .max(self.model.core_distances[id as usize]);
+            if best.is_none() || m < best.unwrap().0 {
+                best = Some((m, id));
+            }
+        }
+        let (distance, neighbor) = best.expect("non-empty kNN");
+        let label = if distance <= max_dist {
+            labeling.labels[neighbor as usize]
+        } else {
+            NOISE
+        };
+        Assignment {
+            label,
+            neighbor,
+            distance,
+        }
+    }
+
+    /// Batched [`QueryEngine::assign`], fanned out over the rayon pooled
+    /// executor (order-preserving). Call inside `ThreadPool::install` to
+    /// control the width.
+    pub fn assign_batch(
+        &self,
+        queries: &[Point<D>],
+        spec: LabelingSpec,
+        max_dist: f64,
+    ) -> Vec<Assignment> {
+        let labeling = self.labeling(spec);
+        queries
+            .par_iter()
+            .with_min_len(8)
+            .map(|q| self.assign(q, &labeling, max_dist))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn two_blobs(n_per: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (60.0, 0.0)] {
+            for _ in 0..n_per {
+                pts.push(Point([
+                    cx + rng.gen_range(-2.0..2.0),
+                    cy + rng.gen_range(-2.0..2.0),
+                ]));
+            }
+        }
+        pts
+    }
+
+    fn engine(pts: &[Point<2>]) -> QueryEngine<2> {
+        QueryEngine::new(Arc::new(ClusterModel::build(pts, 5, 10)))
+    }
+
+    #[test]
+    fn labelings_match_direct_calls_and_cache() {
+        let pts = two_blobs(80, 1);
+        let e = engine(&pts);
+        let eom = e.labeling(LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        });
+        assert_eq!(eom.labels, extract_eom_eps(&e.model().condensed, 0.0));
+        assert_eq!(eom.num_clusters, 2);
+        let cut = e.labeling(LabelingSpec::Cut { eps: 10.0 });
+        assert_eq!(cut.labels, single_linkage_cut(&e.model().dendrogram, 10.0));
+        assert_eq!(cut.num_clusters, 2);
+        let k3 = e.labeling(LabelingSpec::CutK { k: 3 });
+        assert_eq!(k3.num_clusters, 3);
+        // Second fetch is the same Arc (cache hit).
+        let again = e.labeling(LabelingSpec::Cut { eps: 10.0 });
+        assert!(Arc::ptr_eq(&cut, &again));
+    }
+
+    #[test]
+    fn assign_recovers_training_labels() {
+        let pts = two_blobs(80, 2);
+        let e = engine(&pts);
+        let labeling = e.labeling(LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        });
+        // Queries near the blob centers inherit the blob labels.
+        let a0 = e.assign(&Point([0.5, 0.5]), &labeling, f64::INFINITY);
+        let a1 = e.assign(&Point([60.5, -0.5]), &labeling, f64::INFINITY);
+        assert_eq!(a0.label, labeling.labels[0]);
+        assert_eq!(a1.label, labeling.labels[80]);
+        assert_ne!(a0.label, a1.label);
+        assert!(a0.distance < 5.0);
+        // A faraway query is noise under a finite max_dist but inherits the
+        // nearest blob under an infinite one.
+        let far = Point([1000.0, 1000.0]);
+        assert_eq!(e.assign(&far, &labeling, 50.0).label, NOISE);
+        assert_ne!(e.assign(&far, &labeling, f64::INFINITY).label, NOISE);
+    }
+
+    #[test]
+    fn assign_batch_matches_singles() {
+        let pts = two_blobs(60, 3);
+        let e = engine(&pts);
+        let spec = LabelingSpec::Cut { eps: 10.0 };
+        let labeling = e.labeling(spec);
+        let mut rng = StdRng::seed_from_u64(7);
+        let queries: Vec<Point<2>> = (0..100)
+            .map(|_| Point([rng.gen_range(-10.0..70.0), rng.gen_range(-10.0..10.0)]))
+            .collect();
+        let batch = e.assign_batch(&queries, spec, 25.0);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(*got, e.assign(q, &labeling, 25.0));
+        }
+    }
+
+    #[test]
+    fn single_point_model_queries() {
+        let e = QueryEngine::new(Arc::new(ClusterModel::build(&[Point([1.0, 2.0])], 5, 5)));
+        let cut = e.labeling(LabelingSpec::Cut { eps: 1.0 });
+        assert_eq!(cut.labels, vec![0]);
+        let labeling = e.labeling(LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        });
+        let a = e.assign(&Point([1.0, 2.0]), &labeling, f64::INFINITY);
+        assert_eq!(a.neighbor, 0);
+        // The lone training point is noise under EOM, so the query is too.
+        assert_eq!(a.label, NOISE);
+    }
+
+    #[test]
+    fn duplicate_heavy_model_assigns_consistently() {
+        let mut pts = two_blobs(40, 4);
+        for i in 0..30 {
+            pts.push(pts[i]);
+        }
+        let e = engine(&pts);
+        let spec = LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        };
+        let labeling = e.labeling(spec);
+        // A query exactly on a duplicated training point stays in its blob.
+        let a = e.assign(&pts[0], &labeling, f64::INFINITY);
+        assert_eq!(a.label, labeling.labels[0]);
+    }
+}

@@ -1,0 +1,570 @@
+//! A std-only threaded HTTP/1.1 + JSON front end for the query engine, and
+//! the minimal client the load generator and tests drive it with.
+//!
+//! No network dependencies: `std::net` sockets, the workspace serde shim
+//! for JSON. The server runs `workers` connection threads (shared
+//! non-blocking listener, keep-alive connections) and fans batched queries
+//! out over a dedicated rayon pool of `pool_threads` workers — so request
+//! concurrency and data parallelism are tuned independently.
+//!
+//! Routes (all responses JSON):
+//!
+//! | route | body | answer |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness |
+//! | `GET /model` | — | model metadata (n, dims, minPts, bbox, ...) |
+//! | `POST /cut` | `{"eps": f}` or `{"k": n}` | single-linkage labeling |
+//! | `POST /eom` | `{"cluster_selection_epsilon": f?}` | EOM labeling |
+//! | `POST /assign` | `{"points": [[..]..], "labeling"?, "max_dist"?}` | out-of-sample labels |
+//!
+//! Labels are JSON integers with noise as `-1`. Pass `"include_labels":
+//! false` to `/cut` / `/eom` to get counts only.
+
+use crate::engine::{LabelingSpec, QueryEngine};
+use parclust::NOISE;
+use parclust_geom::Point;
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reject request bodies above this size (64 MiB) — bounds memory per
+/// connection regardless of what a client claims in Content-Length.
+const MAX_BODY: usize = 64 << 20;
+
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8077` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Rayon pool width for batched query fan-out.
+    pub pool_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            pool_threads: 0, // 0 = rayon default (hardware parallelism)
+        }
+    }
+}
+
+/// A running server; dropping it does NOT stop the workers — call
+/// [`Server::shutdown`] (tests) or let the process own it (the binary).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the workers and join them. In-flight requests finish; idle
+    /// keep-alive connections are abandoned to their read timeouts.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start serving `engine` per `cfg`; returns once the listener is bound.
+pub fn start<const D: usize>(
+    engine: Arc<QueryEngine<D>>,
+    cfg: &ServerConfig,
+) -> io::Result<Server> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut builder = rayon::ThreadPoolBuilder::new();
+    if cfg.pool_threads > 0 {
+        builder = builder.num_threads(cfg.pool_threads);
+    }
+    let pool = Arc::new(builder.build().map_err(io::Error::other)?);
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let listener = listener.try_clone().expect("clone listener");
+            let engine = Arc::clone(&engine);
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("parclust-serve-{i}"))
+                .spawn(move || worker_loop(listener, engine, pool, stop))
+                .expect("spawn worker")
+        })
+        .collect();
+    Ok(Server {
+        addr,
+        stop,
+        workers,
+    })
+}
+
+fn worker_loop<const D: usize>(
+    listener: TcpListener,
+    engine: Arc<QueryEngine<D>>,
+    pool: Arc<rayon::ThreadPool>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Per-connection errors (resets, malformed framing) only
+                // tear down that connection.
+                let _ = handle_connection(stream, &engine, &pool, &stop);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+fn handle_connection<const D: usize>(
+    stream: TcpStream,
+    engine: &QueryEngine<D>,
+    pool: &rayon::ThreadPool,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while !stop.load(Ordering::SeqCst) {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean EOF between requests
+            Err(e) => {
+                // Framing error: answer 400 if the peer still listens.
+                let _ = write_response(
+                    &mut writer,
+                    400,
+                    &serde_json::json!({"error": format!("{e}")}),
+                    false,
+                );
+                break;
+            }
+        };
+        let keep = req.keep_alive;
+        let (status, body) = route(engine, pool, &req);
+        write_response(&mut writer, status, &body, keep)?;
+        if !keep {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Cap on a single request/header line and on the header count — bounds
+/// per-connection memory independently of [`MAX_BODY`] (which only limits
+/// declared Content-Length bodies).
+const MAX_LINE: usize = 16 << 10;
+const MAX_HEADERS: usize = 128;
+
+/// `read_line` with a length cap: a line longer than `MAX_LINE` is an
+/// error, not an unbounded allocation. Returns `None` on clean EOF.
+fn read_line_limited<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.take(MAX_LINE as u64).read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n == MAX_LINE && !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line too long",
+        ));
+    }
+    Ok(Some(line))
+}
+
+fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let Some(line) = read_line_limited(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request path"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+    let mut keep_alive = version.trim() != "HTTP/1.0";
+    let mut content_length = 0usize;
+    for seen in 0.. {
+        if seen >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let Some(h) = read_line_limited(r)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        };
+        let h = h.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &Value,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let payload = body.to_json_string();
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{payload}",
+        payload.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------- routing
+
+fn route<const D: usize>(
+    engine: &QueryEngine<D>,
+    pool: &rayon::ThreadPool,
+    req: &Request,
+) -> (u16, Value) {
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(serde_json::json!({"status": "ok"})),
+        ("GET", "/model") => Ok(model_info(engine)),
+        ("POST", "/cut") => parse_body(&req.body).and_then(|v| cut_handler(engine, &v)),
+        ("POST", "/eom") => parse_body(&req.body).and_then(|v| eom_handler(engine, &v)),
+        ("POST", "/assign") => parse_body(&req.body).and_then(|v| assign_handler(engine, pool, &v)),
+        ("GET", _) | ("POST", _) => {
+            return (404, serde_json::json!({"error": "unknown route"}));
+        }
+        _ => return (405, serde_json::json!({"error": "method not allowed"})),
+    };
+    match result {
+        Ok(body) => (200, body),
+        Err(msg) => (400, serde_json::json!({"error": msg})),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Ok(Value::Object(Vec::new()));
+    }
+    serde_json::from_str(text).map_err(|e| format!("{e}"))
+}
+
+fn model_info<const D: usize>(engine: &QueryEngine<D>) -> Value {
+    let m = engine.model();
+    let bbox = m.bbox();
+    serde_json::json!({
+        "n": m.len() as u64,
+        "dims": D as u64,
+        "min_pts": m.min_pts as u64,
+        "min_cluster_size": m.min_cluster_size as u64,
+        "condensed_clusters": m.condensed.num_clusters() as u64,
+        "format_version": crate::artifact::FORMAT_VERSION,
+        "bbox_lo": bbox.lo.coords().to_vec(),
+        "bbox_hi": bbox.hi.coords().to_vec(),
+    })
+}
+
+fn finite_f64(v: &Value, what: &str) -> Result<f64, String> {
+    let x = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if x.is_nan() {
+        return Err(format!("{what} must not be NaN"));
+    }
+    Ok(x)
+}
+
+/// Signed view of a labeling for JSON: noise renders as -1.
+fn labels_json(labels: &[u32]) -> Value {
+    Value::Array(
+        labels
+            .iter()
+            .map(|&l| {
+                if l == NOISE {
+                    Value::Int(-1)
+                } else {
+                    Value::UInt(l as u64)
+                }
+            })
+            .collect(),
+    )
+}
+
+fn labeling_response(labeling: &crate::engine::Labeling, include_labels: bool) -> Value {
+    let mut fields = vec![
+        (
+            "num_clusters".to_string(),
+            Value::UInt(labeling.num_clusters as u64),
+        ),
+        ("noise".to_string(), Value::UInt(labeling.num_noise as u64)),
+    ];
+    if include_labels {
+        fields.push(("labels".to_string(), labels_json(&labeling.labels)));
+    }
+    Value::Object(fields)
+}
+
+fn include_labels(v: &Value) -> bool {
+    v.get("include_labels")
+        .and_then(Value::as_bool)
+        .unwrap_or(true)
+}
+
+fn cut_handler<const D: usize>(engine: &QueryEngine<D>, v: &Value) -> Result<Value, String> {
+    let spec = match (v.get("eps"), v.get("k")) {
+        (Some(eps), None) => LabelingSpec::Cut {
+            eps: finite_f64(eps, "eps")?,
+        },
+        (None, Some(k)) => LabelingSpec::CutK {
+            k: k.as_u64().ok_or("k must be a non-negative integer")? as usize,
+        },
+        _ => return Err("pass exactly one of \"eps\" or \"k\"".to_string()),
+    };
+    Ok(labeling_response(&engine.labeling(spec), include_labels(v)))
+}
+
+fn eom_handler<const D: usize>(engine: &QueryEngine<D>, v: &Value) -> Result<Value, String> {
+    let eps = match v.get("cluster_selection_epsilon") {
+        Some(e) => {
+            let e = finite_f64(e, "cluster_selection_epsilon")?;
+            if e < 0.0 {
+                return Err("cluster_selection_epsilon must be non-negative".to_string());
+            }
+            e
+        }
+        None => 0.0,
+    };
+    let spec = LabelingSpec::Eom {
+        cluster_selection_epsilon: eps,
+    };
+    Ok(labeling_response(&engine.labeling(spec), include_labels(v)))
+}
+
+/// Parse the labeling selector shared by `/assign`: `{"eps": f}`,
+/// `{"k": n}`, or `{"cluster_selection_epsilon": f}`; default plain EOM.
+fn labeling_spec(v: &Value) -> Result<LabelingSpec, String> {
+    let Some(l) = v.get("labeling") else {
+        return Ok(LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        });
+    };
+    if let Some(eps) = l.get("eps") {
+        return Ok(LabelingSpec::Cut {
+            eps: finite_f64(eps, "labeling.eps")?,
+        });
+    }
+    if let Some(k) = l.get("k") {
+        return Ok(LabelingSpec::CutK {
+            k: k.as_u64()
+                .ok_or("labeling.k must be a non-negative integer")? as usize,
+        });
+    }
+    if let Some(e) = l.get("cluster_selection_epsilon") {
+        let e = finite_f64(e, "labeling.cluster_selection_epsilon")?;
+        if e < 0.0 {
+            return Err("labeling.cluster_selection_epsilon must be non-negative".to_string());
+        }
+        return Ok(LabelingSpec::Eom {
+            cluster_selection_epsilon: e,
+        });
+    }
+    Err("labeling must set one of eps / k / cluster_selection_epsilon".to_string())
+}
+
+fn assign_handler<const D: usize>(
+    engine: &QueryEngine<D>,
+    pool: &rayon::ThreadPool,
+    v: &Value,
+) -> Result<Value, String> {
+    let spec = labeling_spec(v)?;
+    let max_dist = match v.get("max_dist") {
+        Some(md) => {
+            let md = finite_f64(md, "max_dist")?;
+            if md < 0.0 {
+                return Err("max_dist must be non-negative".to_string());
+            }
+            md
+        }
+        None => f64::INFINITY,
+    };
+    let raw = v
+        .get("points")
+        .and_then(Value::as_array)
+        .ok_or("points must be an array of coordinate arrays")?;
+    let mut queries = Vec::with_capacity(raw.len());
+    for (i, p) in raw.iter().enumerate() {
+        let coords = p
+            .as_array()
+            .ok_or_else(|| format!("points[{i}] must be an array"))?;
+        if coords.len() != D {
+            return Err(format!(
+                "points[{i}] has {} coordinates, model is {D}-dimensional",
+                coords.len()
+            ));
+        }
+        let mut c = [0.0; D];
+        for (d, slot) in c.iter_mut().enumerate() {
+            *slot = finite_f64(&coords[d], "coordinate")?;
+        }
+        queries.push(Point(c));
+    }
+    let assignments = pool.install(|| engine.assign_batch(&queries, spec, max_dist));
+    let labels: Vec<u32> = assignments.iter().map(|a| a.label).collect();
+    let neighbors: Vec<u64> = assignments.iter().map(|a| a.neighbor as u64).collect();
+    let distances: Vec<f64> = assignments.iter().map(|a| a.distance).collect();
+    Ok(serde_json::json!({
+        "labels": labels_json(&labels),
+        "neighbors": neighbors,
+        "distances": distances,
+    }))
+}
+
+// ----------------------------------------------------------------- client
+
+/// A keep-alive HTTP/JSON client for the server above — used by the load
+/// generator, the CI smoke test, and the end-to-end tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, Value)> {
+        self.request("GET", path, None)
+    }
+
+    pub fn post(&mut self, path: &str, body: &Value) -> io::Result<(u16, Value)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> io::Result<(u16, Value)> {
+        let payload = body.map(|b| b.to_json_string()).unwrap_or_default();
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: parclust\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{payload}",
+            payload.len(),
+        )?;
+        self.writer.flush()?;
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            if self.reader.read_line(&mut h)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ));
+            }
+            let h = h.trim();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        Ok((status, value))
+    }
+}

@@ -1,0 +1,86 @@
+//! # parclust-serve — clustering-model serving
+//!
+//! The paper's algorithms produce EMSTs and HDBSCAN\* hierarchies as
+//! one-shot batch outputs; this crate turns a finished run into a
+//! *servable model* for the "heavy traffic from millions of users" north
+//! star. Three layers:
+//!
+//! * [`artifact`] — a versioned binary **model artifact** bundling the
+//!   point set, kd-tree, core distances, dendrogram, and condensed tree,
+//!   with checksummed save/load round-trip ([`ClusterModel`]);
+//! * [`engine`] — a **query engine** answering flat cuts at arbitrary
+//!   `eps`/`k`, EOM extraction with `cluster_selection_epsilon`, and
+//!   out-of-sample point assignment, with batches fanned out over the
+//!   rayon pooled executor ([`QueryEngine`]);
+//! * [`http`] — a std-only threaded **HTTP/JSON server** plus the matching
+//!   keep-alive client ([`http::start`], [`http::Client`]).
+//!
+//! Build → save → serve → query:
+//!
+//! ```
+//! use parclust_serve::{ClusterModel, LabelingSpec, QueryEngine};
+//! use parclust::Point;
+//! use std::sync::Arc;
+//!
+//! let points: Vec<Point<2>> = (0..100)
+//!     .map(|i| Point([(i % 10) as f64, (i / 10) as f64]))
+//!     .collect();
+//! let model = ClusterModel::build(&points, 5, 5);
+//! // model.save(path)? / ClusterModel::load(path)? persist it.
+//! let engine = QueryEngine::new(Arc::new(model));
+//! let cut = engine.labeling(LabelingSpec::Cut { eps: 2.0 });
+//! assert_eq!(cut.num_clusters, 1);
+//! let assignment = engine.assign_batch(
+//!     &[Point([4.2, 4.8])],
+//!     LabelingSpec::Eom { cluster_selection_epsilon: 0.0 },
+//!     f64::INFINITY,
+//! );
+//! assert_eq!(assignment.len(), 1);
+//! ```
+//!
+//! The `serve` binary wraps the same layers as a CLI (`build`, `serve`,
+//! `query` subcommands); `loadgen` measures serving throughput over HTTP.
+
+pub mod artifact;
+pub mod engine;
+pub mod http;
+
+pub use artifact::{peek_dims, ClusterModel, FORMAT_VERSION};
+pub use engine::{Assignment, Labeling, LabelingSpec, QueryEngine};
+pub use http::{start, Client, Server, ServerConfig};
+
+/// Dispatch a runtime artifact dimensionality to a `ClusterModel::<D>`
+/// monomorphization. The serving stack supports the workspace's data-set
+/// dimensions (2, 3, 5, 7, 10, 16).
+#[macro_export]
+macro_rules! with_model_dims {
+    ($dims:expr, |$d:ident| $body:expr) => {{
+        match $dims {
+            2 => {
+                const $d: usize = 2;
+                $body
+            }
+            3 => {
+                const $d: usize = 3;
+                $body
+            }
+            5 => {
+                const $d: usize = 5;
+                $body
+            }
+            7 => {
+                const $d: usize = 7;
+                $body
+            }
+            10 => {
+                const $d: usize = 10;
+                $body
+            }
+            16 => {
+                const $d: usize = 16;
+                $body
+            }
+            other => panic!("unsupported model dimensionality {other} (supported: 2,3,5,7,10,16)"),
+        }
+    }};
+}

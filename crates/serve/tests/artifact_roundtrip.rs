@@ -1,0 +1,116 @@
+//! Property tests for the model artifact: persistence must be invisible to
+//! queries (labels and assignment answers identical before/after a
+//! save/load round-trip), and corrupt or truncated files must be rejected
+//! with errors, never panics or silently wrong models.
+
+use parclust::Point;
+use parclust_serve::{ClusterModel, LabelingSpec, QueryEngine};
+use proptest::prelude::*;
+use rand::prelude::*;
+use std::sync::Arc;
+
+fn clumpy_points_2d(max_n: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0i32..30, 0i32..30, 0u8..4), 1..max_n).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, jitter)| {
+                Point([
+                    x as f64 + jitter as f64 * 0.25,
+                    y as f64 - jitter as f64 * 0.125,
+                ])
+            })
+            .collect()
+    })
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "parclust-roundtrip-{}-{tag}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn queries_identical_across_persistence(
+        pts in clumpy_points_2d(120),
+        min_pts in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let model = ClusterModel::build(&pts, min_pts, 3);
+        let path = tmp("prop");
+        model.save(&path).unwrap();
+        let reloaded = ClusterModel::<2>::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let before = QueryEngine::new(Arc::new(model));
+        let after = QueryEngine::new(Arc::new(reloaded));
+        let specs = [
+            LabelingSpec::Eom { cluster_selection_epsilon: 0.0 },
+            LabelingSpec::Eom { cluster_selection_epsilon: 2.0 },
+            LabelingSpec::Cut { eps: 1.0 },
+            LabelingSpec::Cut { eps: 5.5 },
+            LabelingSpec::CutK { k: 3 },
+        ];
+        for spec in specs {
+            let a = before.labeling(spec);
+            let b = after.labeling(spec);
+            prop_assert_eq!(&a.labels, &b.labels, "{:?}", spec);
+            prop_assert_eq!(a.num_clusters, b.num_clusters);
+        }
+        // Out-of-sample assignment answers survive persistence bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries: Vec<Point<2>> = (0..32)
+            .map(|_| Point([rng.gen_range(-5.0..35.0), rng.gen_range(-5.0..35.0)]))
+            .collect();
+        let spec = LabelingSpec::Eom { cluster_selection_epsilon: 0.0 };
+        let got_a = before.assign_batch(&queries, spec, 10.0);
+        let got_b = after.assign_batch(&queries, spec, 10.0);
+        prop_assert_eq!(got_a, got_b);
+    }
+
+    #[test]
+    fn truncated_files_are_rejected(
+        pts in clumpy_points_2d(60),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let model = ClusterModel::build(&pts, 3, 3);
+        let path = tmp("trunc");
+        model.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(ClusterModel::<2>::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflipped_files_are_rejected(
+        pts in clumpy_points_2d(60),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let model = ClusterModel::build(&pts, 3, 3);
+        let path = tmp("flip");
+        model.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        // Any single-bit flip breaks the checksum (or, if it lands in the
+        // checksum itself, the comparison) — the load must fail cleanly.
+        prop_assert!(ClusterModel::<2>::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn empty_file_and_garbage_are_rejected() {
+    assert!(ClusterModel::<2>::from_bytes(&[]).is_err());
+    assert!(ClusterModel::<2>::from_bytes(b"PCSM").is_err());
+    assert!(ClusterModel::<2>::from_bytes(&[0u8; 64]).is_err());
+    let garbage: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+    assert!(ClusterModel::<2>::from_bytes(&garbage).is_err());
+}

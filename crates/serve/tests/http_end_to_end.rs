@@ -1,0 +1,239 @@
+//! End-to-end test of the serving stack over real sockets: build a model,
+//! save + load it, serve it over HTTP, and check every route's answers
+//! against direct engine calls.
+
+use parclust::{Point, NOISE};
+use parclust_serve::{start, Client, ClusterModel, LabelingSpec, QueryEngine, ServerConfig};
+use rand::prelude::*;
+use serde_json::Value;
+use std::sync::Arc;
+
+fn three_blobs(per: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for &(cx, cy) in &[(0.0, 0.0), (80.0, 0.0), (0.0, 80.0)] {
+        for _ in 0..per {
+            pts.push(Point([
+                cx + rng.gen_range(-2.0..2.0),
+                cy + rng.gen_range(-2.0..2.0),
+            ]));
+        }
+    }
+    pts
+}
+
+fn signed_labels(v: &Value) -> Vec<i64> {
+    v.as_array()
+        .expect("labels array")
+        .iter()
+        .map(|l| l.as_i64().expect("integer label"))
+        .collect()
+}
+
+fn to_signed(labels: &[u32]) -> Vec<i64> {
+    labels
+        .iter()
+        .map(|&l| if l == NOISE { -1 } else { l as i64 })
+        .collect()
+}
+
+#[test]
+fn serves_flat_cuts_eom_and_assignment_over_http() {
+    let pts = three_blobs(80, 5);
+    let built = ClusterModel::build(&pts, 5, 10);
+
+    // Persist + reload: the server must answer from the loaded artifact.
+    let mut path = std::env::temp_dir();
+    path.push(format!("parclust-e2e-{}.pcsm", std::process::id()));
+    built.save(&path).unwrap();
+    let model = Arc::new(ClusterModel::<2>::load(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&model)));
+    let server = start(
+        Arc::clone(&engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 3,
+            pool_threads: 2,
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Liveness + metadata.
+    let (status, health) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    let (status, info) = client.get("/model").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(info.get("n").and_then(Value::as_u64), Some(240));
+    assert_eq!(info.get("dims").and_then(Value::as_u64), Some(2));
+    assert_eq!(info.get("min_pts").and_then(Value::as_u64), Some(5));
+
+    // Flat cut at eps: matches the engine exactly, noise encoded as -1.
+    let (status, cut) = client
+        .post("/cut", &serde_json::json!({"eps": 20.0}))
+        .unwrap();
+    assert_eq!(status, 200);
+    let want = engine.labeling(LabelingSpec::Cut { eps: 20.0 });
+    assert_eq!(cut.get("num_clusters").and_then(Value::as_u64), Some(3));
+    assert_eq!(
+        signed_labels(cut.get("labels").unwrap()),
+        to_signed(&want.labels)
+    );
+
+    // Exact-k cut without labels.
+    let (status, k2) = client
+        .post(
+            "/cut",
+            &serde_json::json!({"k": 2u64, "include_labels": false}),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(k2.get("num_clusters").and_then(Value::as_u64), Some(2));
+    assert!(k2.get("labels").is_none());
+
+    // EOM with cluster_selection_epsilon.
+    for eps in [0.0, 5.0] {
+        let (status, eom) = client
+            .post(
+                "/eom",
+                &serde_json::json!({"cluster_selection_epsilon": eps}),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let want = engine.labeling(LabelingSpec::Eom {
+            cluster_selection_epsilon: eps,
+        });
+        assert_eq!(
+            eom.get("num_clusters").and_then(Value::as_u64),
+            Some(want.num_clusters as u64),
+            "eps={eps}"
+        );
+        assert_eq!(
+            signed_labels(eom.get("labels").unwrap()),
+            to_signed(&want.labels)
+        );
+    }
+
+    // Out-of-sample assignment: batch over HTTP equals the engine.
+    let queries = [[1.0, -1.0], [79.0, 1.5], [2.0, 81.0], [40.0, 40.0]];
+    let body = serde_json::json!({
+        "points": queries.as_slice(),
+        "max_dist": 15.0,
+    });
+    let (status, assigned) = client.post("/assign", &body).unwrap();
+    assert_eq!(status, 200, "{assigned}");
+    let want = engine.assign_batch(
+        &queries.map(Point),
+        LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        },
+        15.0,
+    );
+    let got = signed_labels(assigned.get("labels").unwrap());
+    assert_eq!(
+        got,
+        to_signed(&want.iter().map(|a| a.label).collect::<Vec<_>>())
+    );
+    // The three blob queries land in three distinct clusters; the centroid
+    // query is farther than max_dist from everything → noise.
+    assert_eq!(got[3], -1);
+    let mut blob_labels = got[..3].to_vec();
+    blob_labels.sort_unstable();
+    blob_labels.dedup();
+    assert_eq!(blob_labels.len(), 3);
+
+    // Assignment under a cut labeling.
+    let (status, under_cut) = client
+        .post(
+            "/assign",
+            &serde_json::json!({
+                "points": [[1.0, -1.0]],
+                "labeling": serde_json::json!({"eps": 20.0}),
+            }),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let want = engine.assign_batch(
+        &[Point([1.0, -1.0])],
+        LabelingSpec::Cut { eps: 20.0 },
+        f64::INFINITY,
+    );
+    assert_eq!(
+        signed_labels(under_cut.get("labels").unwrap())[0],
+        to_signed(&[want[0].label])[0]
+    );
+
+    // Error paths: bad JSON, missing parameters, unknown routes.
+    let (status, err) = client
+        .post("/cut", &serde_json::json!({"eps": "fast"}))
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(err.get("error").is_some());
+    let (status, _) = client.post("/cut", &serde_json::json!({})).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client
+        .post("/assign", &serde_json::json!({"points": [[1.0]]}))
+        .unwrap();
+    assert_eq!(status, 400, "wrong arity");
+    let (status, _) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+
+    // Concurrent clients on separate connections.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for j in 0..10 {
+                    let eps = 5.0 + ((i * 10 + j) % 7) as f64;
+                    let (status, v) = c
+                        .post(
+                            "/cut",
+                            &serde_json::json!({"eps": eps, "include_labels": false}),
+                        )
+                        .unwrap();
+                    assert_eq!(status, 200);
+                    assert!(v.get("num_clusters").and_then(Value::as_u64).unwrap() >= 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_http_is_survivable() {
+    let pts = three_blobs(20, 9);
+    let engine = Arc::new(QueryEngine::new(Arc::new(ClusterModel::build(&pts, 3, 5))));
+    let server = start(
+        engine,
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            pool_threads: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    // Raw garbage on the socket must not take the worker down.
+    {
+        use std::io::Write;
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+    }
+    // The server still answers real requests afterwards.
+    let mut client = Client::connect(addr).unwrap();
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    drop(client);
+    server.shutdown();
+}

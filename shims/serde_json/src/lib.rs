@@ -1,24 +1,321 @@
 //! Offline stand-in for the subset of
 //! [serde_json](https://docs.rs/serde_json) used by this workspace:
-//! [`Value`], [`to_value`], [`to_string`], [`to_string_pretty`], and a
-//! [`json!`] macro for flat object literals.
+//! [`Value`], [`to_value`], [`to_string`], [`to_string_pretty`], a
+//! [`from_str`] parser into [`Value`], and a [`json!`] macro for flat
+//! object literals.
+//!
+//! Simplification vs. the real crate: [`from_str`] is not generic over
+//! `Deserialize` — it always produces a [`Value`] tree, which callers walk
+//! with the accessor methods (`get`, `as_f64`, `as_array`, ...).
 
 pub use serde::Value;
 
-/// Serialization error. The shim's serializer is total, so this is only
-/// here to keep `Result`-shaped signatures source-compatible.
+/// Serialization/parse error carrying a human-readable message.
 #[derive(Debug)]
 pub struct Error {
-    _priv: (),
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
 }
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json shim error")
+        write!(f, "serde_json shim: {}", self.msg)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parse a JSON document into a [`Value`]. Accepts the full JSON grammar
+/// (RFC 8259): nested arrays/objects, escaped strings including `\uXXXX`
+/// (with surrogate pairs), and numbers parsed as `UInt`/`Int` when integral
+/// and in range, `Float` otherwise. Trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+/// Maximum nesting depth accepted by [`from_str`] — bounds stack use on
+/// adversarial inputs (the parser recurses per nesting level).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(Error::new("control character in string"));
+                }
+                Some(b) => {
+                    // Copy one UTF-8 character: validate only its own bytes
+                    // (validating the whole remaining input per character
+                    // would make string parsing quadratic).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(Error::new("invalid UTF-8 in string")),
+                    };
+                    let end = self.pos + len;
+                    if end > self.bytes.len() {
+                        return Err(Error::new("truncated UTF-8 in string"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(Error::new(format!("invalid number at byte {start}")));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(Error::new(format!("invalid number at byte {start}")));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(Error::new(format!("invalid number at byte {start}")));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number '{text}'")))
+    }
+}
 
 pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
     Ok(value.serialize_json())
@@ -65,5 +362,86 @@ mod tests {
         let rows = vec![1u32, 2, 3];
         assert_eq!(crate::to_string(&rows).unwrap(), "[1,2,3]");
         assert!(crate::to_string_pretty(&rows).unwrap().contains('\n'));
+    }
+
+    use crate::{from_str, Value};
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-0.125").unwrap(), Value::Float(-0.125));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v =
+            from_str(r#"{"eps": 1.5, "points": [[0.0, 1.0], [2.0, 3.0]], "tag": null}"#).unwrap();
+        assert_eq!(v.get("eps").and_then(Value::as_f64), Some(1.5));
+        let pts = v.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].as_array().unwrap()[0].as_f64(), Some(2.0));
+        assert!(v.get("tag").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\n\u0041\ud83d\ude00""#).unwrap(),
+            Value::String("a\"b\\c\nA😀".into())
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_renderer() {
+        let original = json!({"a": 1u32, "b": [1.5f64, 2.0f64], "c": "x\"y"});
+        let parsed = from_str(&original.to_json_string()).unwrap();
+        assert_eq!(parsed, original);
+        let pretty = from_str(&original.to_json_string_pretty()).unwrap();
+        assert_eq!(pretty, original);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":}",
+            "[1,]",
+            "- 5",
+            "01x",
+            "\"\\q\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(from_str(&deep).is_err());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression guard: per-character whole-input UTF-8 validation made
+        // this quadratic (a 256 KiB string took minutes).
+        let long = "aé😀".repeat(40_000);
+        let doc = format!("{{\"s\": \"{long}\"}}");
+        let v = from_str(&doc).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some(long.as_str()));
     }
 }
