@@ -1,0 +1,146 @@
+//! CI bench-regression gate: diff a fresh smoke run against the committed
+//! baseline and exit nonzero on a >tolerance slowdown in any gated metric.
+//!
+//! ```sh
+//! compare_bench --baseline BENCH_pr4.json \
+//!     --rows bench_results/repro.json \
+//!     --serving t1=bench_results/serving_t1.json \
+//!     --serving t4=bench_results/serving_t4.json \
+//!     [--tolerance 0.25]
+//! ```
+//!
+//! Gated metrics: table2 speedup ratios and serving assign throughput.
+//! Override knobs (documented in the README):
+//! * `BENCH_GATE_SKIP=1` — skip the gate entirely (emergency landing).
+//! * `BENCH_GATE_TOLERANCE=0.4` — widen/narrow the threshold without a
+//!   workflow edit; the `--tolerance` flag wins over the env var.
+
+use parclust_bench::gate::{
+    compare, metrics_from_baseline, metrics_from_loadgen, metrics_from_rows, Metric,
+    DEFAULT_TOLERANCE,
+};
+
+struct Opts {
+    baseline: std::path::PathBuf,
+    rows: Vec<std::path::PathBuf>,
+    serving: Vec<(String, std::path::PathBuf)>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        baseline: std::path::PathBuf::new(),
+        rows: Vec::new(),
+        serving: Vec::new(),
+        tolerance: std::env::var("BENCH_GATE_TOLERANCE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_TOLERANCE),
+    };
+    let mut args = std::env::args().skip(1);
+    let mut have_baseline = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                opts.baseline = args.next().expect("--baseline FILE").into();
+                have_baseline = true;
+            }
+            "--rows" => opts.rows.push(args.next().expect("--rows FILE").into()),
+            "--serving" => {
+                let spec = args.next().expect("--serving LABEL=FILE");
+                let (label, file) = spec
+                    .split_once('=')
+                    .expect("--serving takes LABEL=FILE (e.g. t4=serving_t4.json)");
+                opts.serving.push((label.to_string(), file.into()));
+            }
+            "--tolerance" => {
+                opts.tolerance = args
+                    .next()
+                    .expect("--tolerance F")
+                    .parse()
+                    .expect("tolerance must be a float")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: compare_bench --baseline FILE [--rows FILE]... \
+                     [--serving LABEL=FILE]... [--tolerance F]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(have_baseline, "--baseline is required");
+    assert!(
+        (0.0..1.0).contains(&opts.tolerance),
+        "tolerance must be in [0, 1)"
+    );
+    opts
+}
+
+fn load_json(path: &std::path::Path) -> serde_json::Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() {
+    if std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1") {
+        println!("compare_bench: BENCH_GATE_SKIP=1 — gate skipped");
+        return;
+    }
+    let opts = parse_args();
+
+    let baseline = metrics_from_baseline(&load_json(&opts.baseline));
+    let mut current: Vec<Metric> = Vec::new();
+    for path in &opts.rows {
+        current.extend(metrics_from_rows(&load_json(path)));
+    }
+    for (label, path) in &opts.serving {
+        current.extend(metrics_from_loadgen(label, &load_json(path)));
+    }
+
+    let outcome = compare(&baseline, &current, opts.tolerance);
+    println!(
+        "bench gate vs {} (tolerance {:.0}%): {} baseline metrics, {} current, {} shared gated",
+        opts.baseline.display(),
+        opts.tolerance * 100.0,
+        baseline.len(),
+        current.len(),
+        outcome.shared_gated,
+    );
+    println!(
+        "{:<60} {:>14} {:>14} {:>8}  status",
+        "metric", "baseline", "current", "ratio"
+    );
+    for c in &outcome.comparisons {
+        let status = if c.regressed {
+            "REGRESSED"
+        } else if !c.gated {
+            "info"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<60} {:>14.3} {:>14.3} {:>7.2}x  {status}",
+            c.key, c.baseline, c.current, c.ratio
+        );
+    }
+    if outcome.shared_gated == 0 {
+        eprintln!(
+            "compare_bench: no gated metric is shared between baseline and current \
+             — the gate wiring is broken (wrong files or labels?)"
+        );
+        std::process::exit(1);
+    }
+    if outcome.failures > 0 {
+        eprintln!(
+            "compare_bench: {} metric(s) regressed more than {:.0}% below baseline \
+             (set BENCH_GATE_TOLERANCE to widen, BENCH_GATE_SKIP=1 to bypass)",
+            outcome.failures,
+            opts.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("compare_bench: gate passed");
+}

@@ -28,6 +28,9 @@ struct Opts {
     out_dir: std::path::PathBuf,
     min_pts: usize,
     cluster_eps: Vec<f64>,
+    points_file: Option<std::path::PathBuf>,
+    max_memory: u64,
+    strict_memory: bool,
 }
 
 fn parse_args() -> Opts {
@@ -39,6 +42,9 @@ fn parse_args() -> Opts {
         out_dir: "bench_results".into(),
         min_pts: 10,
         cluster_eps: vec![0.0, 1.0, 5.0],
+        points_file: None,
+        max_memory: parclust_bench::memory::parse_bytes("2G").unwrap(),
+        strict_memory: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -63,6 +69,15 @@ fn parse_args() -> Opts {
                 assert!(!opts.cluster_eps.is_empty(), "--cluster-eps needs values");
             }
             "--out" => opts.out_dir = args.next().expect("--out DIR").into(),
+            "--points-file" => {
+                opts.points_file = Some(args.next().expect("--points-file PATH").into())
+            }
+            "--max-memory" => {
+                opts.max_memory =
+                    parclust_bench::memory::parse_bytes(&args.next().expect("--max-memory SIZE"))
+                        .expect("byte size like 512M or 2G")
+            }
+            "--strict-memory" => opts.strict_memory = true,
             "--datasets" => {
                 opts.only_datasets = Some(
                     args.next()
@@ -74,8 +89,9 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table2|table3|table4|table5|fig6|fig7|fig8|fig9|fig10|memory|minpts|ablation|extract|all]... \
-                     [--scale F] [--reps N] [--minpts N] [--threads N] [--cluster-eps a,b,c] [--datasets a,b] [--out DIR]"
+                    "usage: repro [table2|table3|table4|table5|fig6|fig7|fig8|fig9|fig10|memory|minpts|ablation|extract|scale|all]... \
+                     [--scale F] [--reps N] [--minpts N] [--threads N] [--cluster-eps a,b,c] [--datasets a,b] [--out DIR] \
+                     [--points-file PATH] [--max-memory SIZE] [--strict-memory]"
                 );
                 std::process::exit(0);
             }
@@ -823,6 +839,148 @@ fn extraction(opts: &Opts, report: &mut Report) {
     }
 }
 
+/// Scale experiment (beyond the laptop-class tables): out-of-core
+/// ingestion + streaming EMST on a multi-million-point input under a
+/// bounded working set, with peak RSS recorded next to the timings.
+///
+/// Input resolution: `--points-file` (any dimensionality in the chunked
+/// `PCLS` format) or, by default, `2M × --scale` generated
+/// 3D-GeoLife-like points streamed into a chunked file first — so the run
+/// always exercises the file-ingestion path end to end. Explicit-only
+/// (not part of `all`): it is sized for the nightly deep leg.
+fn scale_experiment(opts: &Opts, report: &mut Report) -> bool {
+    use parclust_bench::memory::fmt_bytes;
+    use parclust_data::io::{chunked_header, ChunkedWriter};
+
+    println!(
+        "\n=== Scale: out-of-core ingestion + streaming EMST (max-memory {}) ===",
+        fmt_bytes(opts.max_memory)
+    );
+    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
+    let (path, generated) = match &opts.points_file {
+        Some(p) => (p.clone(), false),
+        None => {
+            let n = ((2_000_000f64 * opts.scale) as usize).max(10_000);
+            let p = opts.out_dir.join("scale_points.pcls");
+            let t0 = std::time::Instant::now();
+            let pts = parclust_data::gps_like(n, 42);
+            let mut w = ChunkedWriter::<3, _>::create(&p, parclust_data::DEFAULT_CHUNK_LEN)
+                .expect("create chunked file");
+            w.push_all(&pts).expect("write points");
+            w.finish().expect("finish chunked file");
+            println!(
+                "generated {n} 3D GeoLife-like points -> {} ({:.1}s)",
+                p.display(),
+                t0.elapsed().as_secs_f64()
+            );
+            (p, true)
+        }
+    };
+    let header = chunked_header(&path).expect("readable chunked header");
+    let ok = match header.dims {
+        2 => scale_run::<2>(&path, opts, report),
+        3 => scale_run::<3>(&path, opts, report),
+        5 => scale_run::<5>(&path, opts, report),
+        7 => scale_run::<7>(&path, opts, report),
+        10 => scale_run::<10>(&path, opts, report),
+        16 => scale_run::<16>(&path, opts, report),
+        d => panic!("unsupported point-file dimensionality {d}"),
+    };
+    if generated {
+        std::fs::remove_file(&path).ok();
+    }
+    ok
+}
+
+fn scale_run<const D: usize>(path: &std::path::Path, opts: &Opts, report: &mut Report) -> bool {
+    use parclust_bench::memory::{fmt_bytes, peak_rss_bytes, MemoryBudget};
+    use parclust_data::io::{collect_points, ChunkedReader, PointSource};
+
+    let max_t = *thread_counts().last().unwrap();
+    let budget = MemoryBudget::new(opts.max_memory);
+
+    let t0 = std::time::Instant::now();
+    let mut reader = ChunkedReader::<D>::open(path).expect("open chunked file");
+    let file_total = reader.total();
+    let pts = collect_points(&mut reader).expect("stream ingestion");
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(pts.len(), file_total, "ingestion must deliver every point");
+
+    let n = pts.len();
+    let cap = budget.batch_cap(n, D);
+    let fixed = budget.fixed_bytes(n, D);
+    if fixed >= opts.max_memory {
+        eprintln!(
+            "warning: estimated fixed cost {} of {n} points exceeds --max-memory {} — \
+             batches stay bounded at the floor, but the bound cannot hold",
+            fmt_bytes(fixed),
+            fmt_bytes(opts.max_memory)
+        );
+    }
+    println!(
+        "streaming EMST: n={n} dims={D} batch-cap={cap} pairs (fixed est. {})",
+        fmt_bytes(fixed)
+    );
+
+    let (stats, secs) = best_time(max_t, opts.reps, || {
+        parclust::emst_streaming(&pts, cap).stats
+    });
+    let rss = peak_rss_bytes();
+    let within = rss.map(|r| r <= opts.max_memory);
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>12} {:>14} {:>12}",
+        "dataset", "ingest(s)", "emst(s)", "batches", "peak pairs", "peak RSS", "in budget"
+    );
+    println!(
+        "{:<22} {:>10.2} {:>12} {:>10} {:>12} {:>14} {:>12}",
+        format!("{D}D-file"),
+        ingest_secs,
+        fmt_secs(secs),
+        stats.rounds,
+        stats.peak_live_pairs,
+        rss.map(fmt_bytes).unwrap_or_else(|| "n/a".into()),
+        match within {
+            Some(true) => "yes",
+            Some(false) => "NO",
+            None => "n/a",
+        },
+    );
+    report.push(ResultRow {
+        experiment: "scale".into(),
+        dataset: format!("{D}D-points-file"),
+        method: "EMST-Streaming".into(),
+        threads: max_t,
+        n,
+        seconds: secs,
+        extra: Some(serde_json::json!({
+            "ingest_seconds": ingest_secs,
+            "batch_cap_pairs": cap as u64,
+            "batches": stats.rounds,
+            "peak_live_pairs": stats.peak_live_pairs,
+            "peak_pair_bytes": stats.peak_pair_bytes,
+            "bccp_calls": stats.bccp_calls,
+            "max_memory_bytes": opts.max_memory,
+            "peak_rss_bytes": rss.unwrap_or(0),
+            "rss_within_budget": within.unwrap_or(false),
+        })),
+    });
+    if opts.strict_memory {
+        match within {
+            Some(true) => true,
+            Some(false) => {
+                eprintln!("scale: peak RSS exceeded --max-memory under --strict-memory — failing");
+                false
+            }
+            None => {
+                eprintln!("scale: RSS unavailable on this platform; --strict-memory passes");
+                true
+            }
+        }
+    } else {
+        true
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let run_all = opts.experiments.iter().any(|e| e == "all");
@@ -872,8 +1030,16 @@ fn main() {
     if want("extract") {
         extraction(&opts, &mut report);
     }
+    // Explicit-only: multi-million-point streaming run sized for nightly.
+    let mut scale_ok = true;
+    if opts.experiments.iter().any(|e| e == "scale") {
+        scale_ok = scale_experiment(&opts, &mut report);
+    }
 
     let out = opts.out_dir.join("repro.json");
     report.write(&out).expect("write JSON report");
     println!("\nwrote {} rows to {}", report.rows.len(), out.display());
+    if !scale_ok {
+        std::process::exit(1);
+    }
 }

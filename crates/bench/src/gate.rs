@@ -1,0 +1,306 @@
+//! Bench-regression gate: diff a fresh smoke run against a committed
+//! baseline and fail on slowdowns beyond a tolerance.
+//!
+//! Metrics are deliberately restricted to quantities that transfer across
+//! machines better than raw seconds: the table2 speedup ratios
+//! (dimensionless) and the serving throughputs the roadmap tracks. Raw
+//! per-experiment seconds are *not* gated — CI hardware differs from the
+//! machine that recorded the baseline. `requests_per_sec` is reported but
+//! ungated (latency-bound, noisier than batch throughput).
+//!
+//! Driven by the `compare_bench` binary; see README "Bench regression
+//! gate" for the CI wiring and the override knobs.
+
+use serde_json::Value;
+
+/// Default failure threshold: >25% below baseline fails the gate.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One comparable quantity extracted from a bench JSON file. `gated`
+/// metrics fail the gate when they regress; ungated ones are reported
+/// only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub key: String,
+    pub value: f64,
+    pub gated: bool,
+}
+
+/// Extract metrics from a `repro.json`-style array of result rows.
+pub fn metrics_from_rows(rows: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let Some(items) = rows.as_array() else {
+        return out;
+    };
+    for row in items {
+        let experiment = row.get("experiment").and_then(Value::as_str).unwrap_or("");
+        if experiment != "table2" {
+            continue;
+        }
+        let dataset = row.get("dataset").and_then(Value::as_str).unwrap_or("?");
+        let method = row.get("method").and_then(Value::as_str).unwrap_or("?");
+        let Some(extra) = row.get("extra") else {
+            continue;
+        };
+        for field in ["self_relative_speedup", "speedup_over_best_seq"] {
+            if let Some(v) = extra.get(field).and_then(Value::as_f64) {
+                out.push(Metric {
+                    key: format!("table2/{dataset}/{method}/{field}"),
+                    value: v,
+                    gated: true,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extract metrics from a `loadgen --out` report, labeled by serving
+/// configuration (e.g. `t4` = 4 pool threads).
+pub fn metrics_from_loadgen(label: &str, v: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(x) = v.get("assign_points_per_sec").and_then(Value::as_f64) {
+        out.push(Metric {
+            key: format!("serving/{label}/assign_points_per_sec"),
+            value: x,
+            gated: true,
+        });
+    }
+    if let Some(x) = v.get("requests_per_sec").and_then(Value::as_f64) {
+        out.push(Metric {
+            key: format!("serving/{label}/requests_per_sec"),
+            value: x,
+            gated: false,
+        });
+    }
+    out
+}
+
+/// Extract every metric from a committed `BENCH_prN.json` baseline:
+/// a `rows` array (repro rows) and/or a `serving` object mapping labels to
+/// loadgen reports. A bare rows array is also accepted.
+pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if v.as_array().is_some() {
+        out.extend(metrics_from_rows(v));
+        return out;
+    }
+    if let Some(rows) = v.get("rows") {
+        out.extend(metrics_from_rows(rows));
+    }
+    if let Some(serving) = v.get("serving").and_then(Value::as_object) {
+        for (label, blob) in serving {
+            out.extend(metrics_from_loadgen(label, blob));
+        }
+    }
+    out
+}
+
+/// One baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub key: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// `current / baseline`; above 1.0 is an improvement.
+    pub ratio: f64,
+    pub gated: bool,
+    pub regressed: bool,
+}
+
+/// Outcome of a gate run.
+#[derive(Debug)]
+pub struct GateOutcome {
+    pub comparisons: Vec<Comparison>,
+    /// Gated metrics present on both sides.
+    pub shared_gated: usize,
+    /// Gated metrics that regressed beyond the tolerance.
+    pub failures: usize,
+}
+
+impl GateOutcome {
+    /// The gate passes only if at least one gated metric was compared and
+    /// none regressed — zero shared metrics means the wiring is broken,
+    /// which must fail loudly rather than silently green-light.
+    pub fn passed(&self) -> bool {
+        self.shared_gated > 0 && self.failures == 0
+    }
+}
+
+/// Compare `current` metrics against `baseline` at the given tolerance:
+/// a gated metric regresses when `current < baseline * (1 - tolerance)`.
+pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> GateOutcome {
+    let mut comparisons = Vec::new();
+    let mut shared_gated = 0;
+    let mut failures = 0;
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key) else {
+            continue;
+        };
+        let ratio = if b.value > 0.0 {
+            c.value / b.value
+        } else {
+            f64::INFINITY
+        };
+        let gated = b.gated && c.gated;
+        let regressed = gated && ratio < 1.0 - tolerance;
+        if gated {
+            shared_gated += 1;
+        }
+        if regressed {
+            failures += 1;
+        }
+        comparisons.push(Comparison {
+            key: b.key.clone(),
+            baseline: b.value,
+            current: c.value,
+            ratio,
+            gated,
+            regressed,
+        });
+    }
+    GateOutcome {
+        comparisons,
+        shared_gated,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn table2_row(dataset: &str, method: &str, self_rel: f64, over_best: f64) -> Value {
+        json!({
+            "experiment": "table2",
+            "dataset": dataset,
+            "method": method,
+            "threads": 4u64,
+            "n": 0u64,
+            "seconds": 0.0,
+            "extra": json!({
+                "self_relative_speedup": self_rel,
+                "speedup_over_best_seq": over_best,
+            })
+        })
+    }
+
+    #[test]
+    fn extracts_table2_metrics_only() {
+        let other = json!({"experiment": "table4", "dataset": "ds", "method": "m", "seconds": 9.0});
+        let rows = Value::Array(vec![table2_row("ds", "EMST-MemoGFK", 2.0, 1.5), other]);
+        let ms = metrics_from_rows(&rows);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.gated));
+        assert!(ms[0].key.starts_with("table2/ds/EMST-MemoGFK/"));
+    }
+
+    #[test]
+    fn extracts_loadgen_metrics_with_gating_split() {
+        let blob = json!({"requests_per_sec": 10_000.0, "assign_points_per_sec": 200_000.0});
+        let ms = metrics_from_loadgen("t4", &blob);
+        let assign = ms
+            .iter()
+            .find(|m| m.key == "serving/t4/assign_points_per_sec")
+            .unwrap();
+        assert!(assign.gated);
+        let rps = ms
+            .iter()
+            .find(|m| m.key == "serving/t4/requests_per_sec")
+            .unwrap();
+        assert!(!rps.gated, "latency-bound metric is informational");
+    }
+
+    #[test]
+    fn baseline_combines_rows_and_serving() {
+        let baseline = json!({
+            "note": "x",
+            "rows": Value::Array(vec![table2_row("ds", "m", 2.0, 1.5)]),
+            "serving": json!({"t1": json!({"assign_points_per_sec": 1000.0})}),
+        });
+        let ms = metrics_from_baseline(&baseline);
+        assert_eq!(ms.len(), 3);
+        assert!(ms
+            .iter()
+            .any(|m| m.key == "serving/t1/assign_points_per_sec"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = vec![Metric {
+            key: "k".into(),
+            value: 100.0,
+            gated: true,
+        }];
+        let ok = vec![Metric {
+            key: "k".into(),
+            value: 80.0,
+            gated: true,
+        }];
+        let bad = vec![Metric {
+            key: "k".into(),
+            value: 74.0,
+            gated: true,
+        }];
+        assert!(compare(&base, &ok, 0.25).passed(), "-20% is inside 25%");
+        let out = compare(&base, &bad, 0.25);
+        assert!(!out.passed(), "-26% must fail");
+        assert_eq!(out.failures, 1);
+        // Improvements always pass.
+        let better = vec![Metric {
+            key: "k".into(),
+            value: 500.0,
+            gated: true,
+        }];
+        assert!(compare(&base, &better, 0.25).passed());
+    }
+
+    #[test]
+    fn gate_fails_with_no_shared_metrics() {
+        let base = vec![Metric {
+            key: "a".into(),
+            value: 1.0,
+            gated: true,
+        }];
+        let cur = vec![Metric {
+            key: "b".into(),
+            value: 1.0,
+            gated: true,
+        }];
+        let out = compare(&base, &cur, 0.25);
+        assert_eq!(out.shared_gated, 0);
+        assert!(!out.passed(), "broken wiring must not pass silently");
+    }
+
+    #[test]
+    fn ungated_metrics_never_fail() {
+        let base = vec![
+            Metric {
+                key: "gated".into(),
+                value: 100.0,
+                gated: true,
+            },
+            Metric {
+                key: "info".into(),
+                value: 100.0,
+                gated: false,
+            },
+        ];
+        let cur = vec![
+            Metric {
+                key: "gated".into(),
+                value: 99.0,
+                gated: true,
+            },
+            Metric {
+                key: "info".into(),
+                value: 1.0,
+                gated: false,
+            },
+        ];
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.passed(), "a collapsed ungated metric is reported only");
+        assert_eq!(out.comparisons.len(), 2);
+    }
+}

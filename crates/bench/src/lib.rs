@@ -7,6 +7,9 @@
 //! generators standing in for the non-redistributable real data sets
 //! (DESIGN.md, substitution 2).
 
+pub mod gate;
+pub mod memory;
+
 use serde::Serialize;
 use std::time::Instant;
 

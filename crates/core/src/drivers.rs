@@ -20,13 +20,15 @@
 //! order); callers map endpoints back through `tree.idx`.
 
 use parclust_kdtree::{KdTree, NodeId};
-use parclust_mst::{kruskal_batch, Edge};
+use parclust_mst::{kruskal_batch, Edge, StreamingForest};
 use parclust_primitives::atomic::AtomicF64Min;
 use parclust_primitives::collector::Collector;
 use parclust_primitives::conmap::ShardedMap;
 use parclust_primitives::pack::{pack, split};
 use parclust_primitives::unionfind::UnionFind;
-use parclust_wspd::{bccp, wspd_materialize, wspd_traverse, Bccp, SeparationPolicy};
+use parclust_wspd::{
+    bccp, wspd_materialize, wspd_stream_batches, wspd_traverse, Bccp, NodePair, SeparationPolicy,
+};
 use rayon::prelude::*;
 
 use crate::stats::{Counters, Stats};
@@ -370,6 +372,71 @@ pub(crate) fn wspd_mst_memogfk_sched<const D: usize, P: SeparationPolicy<D>>(
     stats.peak_pair_bytes = (peak_live * std::mem::size_of::<Edge>()) as u64;
     counters.fold_into(stats);
     out
+}
+
+/// Bounded-memory streaming driver: WSPD pairs are produced in batches of
+/// at most `batch_pairs` ([`wspd_stream_batches`]), each batch is BCCP'd in
+/// parallel, and the resulting candidate edges are folded into a
+/// [`StreamingForest`] — the MST sparsification `MST(A ∪ B) =
+/// MST(MST(A) ∪ B)`, exact under the strict `(w, u, v)` edge order. Peak
+/// pair memory is `O(batch_pairs)` instead of `O(|WSPD|)`, and the output
+/// is bit-identical to the materializing drivers for every batch size.
+///
+/// Two deterministic prunes keep the BCCP work far below the naive
+/// driver's: a pair both of whose nodes lie in one already-connected
+/// forest component is skipped outright when its weight lower bound
+/// exceeds that component's maximum forest edge (cycle property — the
+/// candidate would be the strict maximum on the cycle it closes).
+pub(crate) fn wspd_mst_streaming<const D: usize, P: SeparationPolicy<D>>(
+    tree: &KdTree<D>,
+    policy: &P,
+    stats: &mut Stats,
+    batch_pairs: usize,
+) -> Vec<Edge> {
+    let n = tree.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let cap = batch_pairs.max(1);
+    let counters = Counters::default();
+    let mut forest = StreamingForest::new(n);
+    let mut peak = 0usize;
+    wspd_stream_batches(tree, policy, cap, &mut |pairs: &mut Vec<NodePair>| {
+        stats.rounds += 1;
+        peak = peak.max(pairs.len());
+        counters.pairs(pairs.len() as u64);
+        // Per-node component annotation against the *current* forest; the
+        // prune below only ever skips edges that provably cannot enter
+        // the MST, so the result is independent of batching.
+        let batch: Vec<Edge> = Stats::time(&mut stats.wspd, || {
+            let comp = component_annotation(tree, forest.uf());
+            let fref = &forest;
+            let candidates: Vec<Option<Edge>> = pairs
+                .par_iter()
+                .map(|&(a, b)| {
+                    let ca = comp[a as usize];
+                    if ca != MIXED
+                        && ca == comp[b as usize]
+                        && fref.can_skip_within(ca, policy.lower_bound(tree, a, b))
+                    {
+                        return None;
+                    }
+                    counters.bccp();
+                    let r = bccp(tree, policy, a, b);
+                    Some(Edge::new(r.u, r.v, r.w))
+                })
+                .collect();
+            candidates.into_iter().flatten().collect()
+        });
+        Stats::time(&mut stats.kruskal, || forest.absorb(batch));
+    });
+    stats.peak_live_pairs = peak as u64;
+    stats.peak_pair_bytes = (peak
+        * (std::mem::size_of::<NodePair>()
+            + std::mem::size_of::<Option<Edge>>()
+            + std::mem::size_of::<Edge>())) as u64;
+    counters.fold_into(stats);
+    forest.into_edges()
 }
 
 /// Map position-space MST edges back to original point indices and put them

@@ -123,6 +123,30 @@ pub fn emst_memogfk_with_schedule<const D: usize>(
     Emst::from_position_edges(&tree, edges, stats, t0)
 }
 
+/// EMST via the bounded-memory streaming pipeline: well-separated pairs
+/// are produced in batches of at most `max_batch_pairs` and folded into a
+/// streaming Kruskal forest, so peak pair memory is `O(max_batch_pairs)`
+/// instead of `O(|WSPD|)`. The result is **bit-identical** to
+/// [`emst_naive`]/[`emst_gfk`]/[`emst_memogfk`] for every batch size (MST
+/// sparsification under the strict `(w, u, v)` edge order); the contract is
+/// pinned by `tests/streaming_semantics.rs`.
+pub fn emst_streaming<const D: usize>(points: &[Point<D>], max_batch_pairs: usize) -> Emst {
+    let t0 = std::time::Instant::now();
+    let mut stats = Stats::default();
+    if points.len() < 2 {
+        stats.total = t0.elapsed().as_secs_f64();
+        return Emst {
+            edges: Vec::new(),
+            total_weight: 0.0,
+            stats,
+        };
+    }
+    let tree = Stats::time(&mut stats.build_tree, || KdTree::build(points));
+    let policy = GeometricSep::PAPER_DEFAULT;
+    let edges = crate::drivers::wspd_mst_streaming(&tree, &policy, &mut stats, max_batch_pairs);
+    Emst::from_position_edges(&tree, edges, stats, t0)
+}
+
 /// EMST via Delaunay triangulation (Appendix A.1) — the 2D-only
 /// EMST-Delaunay baseline of §5: the EMST is a subgraph of the Delaunay
 /// triangulation, so an MST over its `O(n)` edges suffices.
@@ -284,6 +308,46 @@ mod tests {
             "incrementing β must take more rounds ({} vs {})",
             increment.stats.rounds,
             double.stats.rounds
+        );
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_bitwise() {
+        let pts = random_points::<2>(600, 31);
+        let want = emst_memogfk(&pts);
+        for cap in [1usize, 64, 100_000] {
+            let got = emst_streaming(&pts, cap);
+            assert_eq!(got.edges.len(), want.edges.len(), "cap={cap}");
+            for (a, b) in got.edges.iter().zip(&want.edges) {
+                assert_eq!((a.u, a.v, a.w.to_bits()), (b.u, b.v, b.w.to_bits()));
+            }
+            assert_eq!(got.total_weight.to_bits(), want.total_weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_bounds_live_pairs() {
+        let pts = random_points::<2>(2000, 37);
+        let naive = emst_naive(&pts);
+        let cap = 256;
+        let streamed = emst_streaming(&pts, cap);
+        assert!(
+            streamed.stats.peak_live_pairs <= cap as u64,
+            "peak {} exceeds cap {cap}",
+            streamed.stats.peak_live_pairs
+        );
+        assert!(streamed.stats.peak_live_pairs < naive.stats.peak_live_pairs);
+        assert!(
+            streamed.stats.rounds > 1,
+            "must have taken multiple batches"
+        );
+        // The component/cycle prune must save BCCP work vs. the naive
+        // driver, which computes one per pair.
+        assert!(
+            streamed.stats.bccp_calls < naive.stats.bccp_calls,
+            "streamed {} vs naive {}",
+            streamed.stats.bccp_calls,
+            naive.stats.bccp_calls
         );
     }
 

@@ -25,8 +25,18 @@ use parclust_mst::{total_weight, Edge};
 use parclust_wspd::policy::core_distance_annotations;
 use parclust_wspd::{MutualReachSep, SepMode};
 
-use crate::drivers::{edges_to_original, wspd_mst_memogfk};
+use crate::drivers::{edges_to_original, wspd_mst_memogfk, wspd_mst_streaming};
 use crate::stats::Stats;
+
+/// Which MST engine a HDBSCAN\* driver runs on top of the chosen
+/// separation policy.
+#[derive(Debug, Clone, Copy)]
+enum MstEngine {
+    /// MemoGFK (Algorithm 3) — the in-memory default.
+    Memo,
+    /// Bounded-memory streaming batches of at most this many pairs.
+    Streaming(usize),
+}
 
 /// MST of the mutual reachability graph plus the quantities needed to build
 /// the HDBSCAN\* hierarchy.
@@ -66,6 +76,7 @@ fn hdbscan_driver<const D: usize>(
     points: &[Point<D>],
     min_pts: usize,
     mode: SepMode,
+    engine: MstEngine,
 ) -> HdbscanMst {
     assert!(min_pts >= 1, "minPts must be at least 1");
     let t0 = std::time::Instant::now();
@@ -96,7 +107,10 @@ fn hdbscan_driver<const D: usize>(
     });
 
     let policy = MutualReachSep::new(mode, &cd_pos, &cd_min, &cd_max);
-    let edges = wspd_mst_memogfk(&tree, &policy, &mut stats);
+    let edges = match engine {
+        MstEngine::Memo => wspd_mst_memogfk(&tree, &policy, &mut stats),
+        MstEngine::Streaming(cap) => wspd_mst_streaming(&tree, &policy, &mut stats, cap),
+    };
     let edges = edges_to_original(&tree, edges);
     stats.total = t0.elapsed().as_secs_f64();
     HdbscanMst {
@@ -111,13 +125,46 @@ fn hdbscan_driver<const D: usize>(
 /// HDBSCAN\* MST via the improved algorithm (§3.2.2): new well-separation,
 /// MemoGFK, exact BCCP\*. The paper's recommended method.
 pub fn hdbscan_memogfk<const D: usize>(points: &[Point<D>], min_pts: usize) -> HdbscanMst {
-    hdbscan_driver(points, min_pts, SepMode::Combined)
+    hdbscan_driver(points, min_pts, SepMode::Combined, MstEngine::Memo)
 }
 
 /// HDBSCAN\* MST via the parallelized exact Gan–Tao baseline (§3.2.1):
 /// standard well-separation, MemoGFK, exact BCCP\*.
 pub fn hdbscan_gantao<const D: usize>(points: &[Point<D>], min_pts: usize) -> HdbscanMst {
-    hdbscan_driver(points, min_pts, SepMode::Standard)
+    hdbscan_driver(points, min_pts, SepMode::Standard, MstEngine::Memo)
+}
+
+/// HDBSCAN\* MST via the bounded-memory streaming pipeline (new
+/// well-separation of §3.2.2, pair batches of at most `max_batch_pairs`,
+/// streaming Kruskal merges). Bit-identical to [`hdbscan_memogfk`] for
+/// every batch size — pinned by `tests/streaming_semantics.rs`.
+pub fn hdbscan_streaming<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    max_batch_pairs: usize,
+) -> HdbscanMst {
+    hdbscan_driver(
+        points,
+        min_pts,
+        SepMode::Combined,
+        MstEngine::Streaming(max_batch_pairs),
+    )
+}
+
+/// Streaming HDBSCAN\* under the *standard* (Gan–Tao) well-separation —
+/// the streamed counterpart of [`hdbscan_gantao`], used to pin that the
+/// streaming path is exact for both separation definitions.
+pub fn hdbscan_gantao_streaming<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    max_batch_pairs: usize,
+) -> HdbscanMst {
+    hdbscan_driver(
+        points,
+        min_pts,
+        SepMode::Standard,
+        MstEngine::Streaming(max_batch_pairs),
+    )
 }
 
 /// Compute the HDBSCAN\* MST. Alias for [`hdbscan_memogfk`].
@@ -256,6 +303,35 @@ mod tests {
         let h = hdbscan_memogfk(&pts, 3);
         assert_eq!(h.core_distances, vec![3.0, 2.0, 3.0, 6.0]);
         assert_close(h.total_weight, 12.0, "minPts=3 line");
+    }
+
+    #[test]
+    fn streaming_variants_match_in_memory_bitwise() {
+        let pts = random_points::<2>(500, 41);
+        for min_pts in [2usize, 10] {
+            let memo = hdbscan_memogfk(&pts, min_pts);
+            let gan = hdbscan_gantao(&pts, min_pts);
+            for cap in [17usize, 4096] {
+                for (got, want, name) in [
+                    (hdbscan_streaming(&pts, min_pts, cap), &memo, "combined"),
+                    (
+                        hdbscan_gantao_streaming(&pts, min_pts, cap),
+                        &gan,
+                        "standard",
+                    ),
+                ] {
+                    assert_eq!(got.edges.len(), want.edges.len(), "{name} cap={cap}");
+                    for (a, b) in got.edges.iter().zip(&want.edges) {
+                        assert_eq!(
+                            (a.u, a.v, a.w.to_bits()),
+                            (b.u, b.v, b.w.to_bits()),
+                            "{name} cap={cap}"
+                        );
+                    }
+                    assert_eq!(got.core_distances, want.core_distances);
+                }
+            }
+        }
     }
 
     #[test]

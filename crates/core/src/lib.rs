@@ -52,12 +52,17 @@ pub use dendrogram::{
     count_clusters, dbscan_star_labels, dendrogram_par, dendrogram_par_with, dendrogram_seq,
     reachability_plot, single_linkage_cut, single_linkage_k, Dendrogram, DendrogramParams, NOISE,
 };
-pub use emst::{emst, emst_boruvka, emst_delaunay, emst_gfk, emst_memogfk, emst_naive, Emst};
+pub use emst::{
+    emst, emst_boruvka, emst_delaunay, emst_gfk, emst_memogfk, emst_naive, emst_streaming, Emst,
+};
 pub use extract::{
     condense_tree, extract_eom, extract_eom_eps, hdbscan_cluster, hdbscan_cluster_eps,
     CondensedTree,
 };
-pub use hdbscan::{core_distances, hdbscan, hdbscan_gantao, hdbscan_memogfk, HdbscanMst};
+pub use hdbscan::{
+    core_distances, hdbscan, hdbscan_gantao, hdbscan_gantao_streaming, hdbscan_memogfk,
+    hdbscan_streaming, HdbscanMst,
+};
 pub use optics::optics_approx;
 pub use stats::Stats;
 

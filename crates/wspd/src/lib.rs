@@ -17,16 +17,20 @@
 //!   `s = sqrt(8/ρ)` (Appendix C).
 //!
 //! [`traverse::wspd_traverse`] additionally exposes the pruning hook that
-//! MemoGFK's `GetRho`/`GetPairs` passes (Algorithm 3) are built on, and
-//! [`bccp`] provides the exact BCCP/BCCP\* branch-and-bound used to turn
-//! well-separated pairs into candidate MST edges.
+//! MemoGFK's `GetRho`/`GetPairs` passes (Algorithm 3) are built on,
+//! [`stream::wspd_stream_batches`] produces the same decomposition in
+//! bounded batches for the out-of-core pipeline, and [`bccp`] provides the
+//! exact BCCP/BCCP\* branch-and-bound used to turn well-separated pairs
+//! into candidate MST edges.
 
 pub mod ann;
 pub mod bccp;
 pub mod policy;
+pub mod stream;
 pub mod traverse;
 
 pub use ann::{all_nearest_neighbors, all_nearest_neighbors_by_original};
 pub use bccp::{bccp, Bccp};
 pub use policy::{GeometricSep, MutualReachSep, SepMode, SeparationPolicy};
+pub use stream::wspd_stream_batches;
 pub use traverse::{wspd_materialize, wspd_traverse, NodePair};

@@ -1,0 +1,222 @@
+//! Streaming (bounded-batch) well-separated pair production.
+//!
+//! [`wspd_stream_batches`] enumerates exactly the pair set of
+//! [`crate::wspd_materialize`] — the same recursion, the same split rule —
+//! but never holds more than `cap` pairs at once: whenever the buffer
+//! fills, it is handed to the caller's batch callback and cleared. This is
+//! the ingestion side of the bounded-memory pipeline: batches flow straight
+//! into BCCP computation and streaming Kruskal merges instead of a
+//! materialized `Vec` of the whole decomposition.
+//!
+//! Enumeration is sequential depth-first (deterministic batch boundaries;
+//! the expensive per-pair work — BCCP — parallelizes *within* each batch
+//! downstream), and each batch arrives canonically ordered the way the
+//! traversal discovers pairs. Consumers that need scheduling-independent
+//! output re-sort, exactly as they do for the materialized path.
+
+use parclust_kdtree::{KdTree, NodeId};
+
+use crate::policy::SeparationPolicy;
+use crate::traverse::NodePair;
+
+/// Enumerate the WSPD of `tree` under `policy`, delivering pairs in batches
+/// of at most `cap`. `on_batch` receives a buffer of canonically-ordered
+/// (`a < b`) pairs; the buffer is cleared after each call, so callers must
+/// consume it before returning.
+pub fn wspd_stream_batches<const D: usize, P, F>(
+    tree: &KdTree<D>,
+    policy: &P,
+    cap: usize,
+    on_batch: &mut F,
+) where
+    P: SeparationPolicy<D>,
+    F: FnMut(&mut Vec<NodePair>),
+{
+    assert!(cap >= 1, "batch capacity must be positive");
+    let mut buf: Vec<NodePair> = Vec::with_capacity(cap.min(1 << 20));
+    if tree.len() > 1 {
+        stream_node(tree, policy, cap, &mut buf, on_batch, tree.root());
+    }
+    if !buf.is_empty() {
+        on_batch(&mut buf);
+        buf.clear();
+    }
+}
+
+fn stream_node<const D: usize, P, F>(
+    tree: &KdTree<D>,
+    policy: &P,
+    cap: usize,
+    buf: &mut Vec<NodePair>,
+    on_batch: &mut F,
+    a: NodeId,
+) where
+    P: SeparationPolicy<D>,
+    F: FnMut(&mut Vec<NodePair>),
+{
+    let node = tree.node(a);
+    if node.is_leaf() {
+        return;
+    }
+    let (l, r) = (node.left, node.right);
+    stream_node(tree, policy, cap, buf, on_batch, l);
+    stream_node(tree, policy, cap, buf, on_batch, r);
+    stream_pair(tree, policy, cap, buf, on_batch, l, r);
+}
+
+fn stream_pair<const D: usize, P, F>(
+    tree: &KdTree<D>,
+    policy: &P,
+    cap: usize,
+    buf: &mut Vec<NodePair>,
+    on_batch: &mut F,
+    a: NodeId,
+    b: NodeId,
+) where
+    P: SeparationPolicy<D>,
+    F: FnMut(&mut Vec<NodePair>),
+{
+    if policy.well_separated(tree, a, b) {
+        buf.push(if a < b { (a, b) } else { (b, a) });
+        if buf.len() >= cap {
+            on_batch(buf);
+            buf.clear();
+        }
+        return;
+    }
+    // Same split rule as `traverse::find_pair` (shared helper) so the
+    // streamed pair set matches the materialized one exactly.
+    let (a, b) = crate::traverse::split_order(tree, a, b);
+    let node_a = tree.node(a);
+    debug_assert!(
+        !node_a.is_leaf(),
+        "two leaves are always well-separated; cannot split a singleton"
+    );
+    let (l, r) = (node_a.left, node_a.right);
+    stream_pair(tree, policy, cap, buf, on_batch, l, b);
+    stream_pair(tree, policy, cap, buf, on_batch, r, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::GeometricSep;
+    use crate::traverse::wspd_materialize;
+    use parclust_geom::Point;
+    use rand::prelude::*;
+
+    fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = [0.0; D];
+                for x in c.iter_mut() {
+                    *x = rng.gen_range(-100.0..100.0);
+                }
+                Point(c)
+            })
+            .collect()
+    }
+
+    fn streamed_union<const D: usize>(tree: &KdTree<D>, cap: usize) -> Vec<NodePair> {
+        let mut all = Vec::new();
+        let mut batches = 0usize;
+        wspd_stream_batches(
+            tree,
+            &GeometricSep::PAPER_DEFAULT,
+            cap,
+            &mut |batch: &mut Vec<NodePair>| {
+                assert!(!batch.is_empty(), "empty batches are never delivered");
+                assert!(
+                    batch.len() <= cap,
+                    "batch of {} exceeds cap {cap}",
+                    batch.len()
+                );
+                all.extend_from_slice(batch);
+                batches += 1;
+            },
+        );
+        // Every batch except possibly the last is exactly full.
+        if batches > 1 {
+            assert!(all.len() > (batches - 1) * cap - cap, "uneven batching");
+        }
+        all
+    }
+
+    #[test]
+    fn batched_union_equals_materialized() {
+        let pts = random_points::<2>(400, 1);
+        let tree = KdTree::build(&pts);
+        let want = wspd_materialize(&tree, &GeometricSep::PAPER_DEFAULT);
+        for cap in [1usize, 7, 64, 1000, usize::MAX / 2] {
+            let mut got = streamed_union(&tree, cap);
+            got.sort_unstable();
+            assert_eq!(got, want, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn batched_union_equals_materialized_3d() {
+        let pts = random_points::<3>(256, 2);
+        let tree = KdTree::build(&pts);
+        let want = wspd_materialize(&tree, &GeometricSep::PAPER_DEFAULT);
+        let mut got = streamed_union(&tree, 33);
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deterministic_batch_boundaries() {
+        let pts = random_points::<2>(300, 3);
+        let tree = KdTree::build(&pts);
+        let runs: Vec<Vec<Vec<NodePair>>> = (0..2)
+            .map(|_| {
+                let mut batches = Vec::new();
+                wspd_stream_batches(
+                    &tree,
+                    &GeometricSep::PAPER_DEFAULT,
+                    50,
+                    &mut |b: &mut Vec<NodePair>| batches.push(b.clone()),
+                );
+                batches
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "batch boundaries must be reproducible");
+    }
+
+    #[test]
+    fn tiny_inputs_stream_cleanly() {
+        let tree = KdTree::build(&[Point([0.0, 0.0])]);
+        let mut calls = 0;
+        wspd_stream_batches(
+            &tree,
+            &GeometricSep::PAPER_DEFAULT,
+            4,
+            &mut |_: &mut Vec<NodePair>| calls += 1,
+        );
+        assert_eq!(calls, 0, "singleton has no pairs");
+
+        let tree = KdTree::build(&[Point([0.0, 0.0]), Point([1.0, 1.0])]);
+        let mut pairs = Vec::new();
+        wspd_stream_batches(
+            &tree,
+            &GeometricSep::PAPER_DEFAULT,
+            4,
+            &mut |b: &mut Vec<NodePair>| pairs.extend_from_slice(b),
+        );
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_stream_to_full_cover() {
+        let mut pts = random_points::<2>(60, 4);
+        for i in 0..20 {
+            pts.push(pts[i % 6]);
+        }
+        let tree = KdTree::build(&pts);
+        let want = wspd_materialize(&tree, &GeometricSep::PAPER_DEFAULT);
+        let mut got = streamed_union(&tree, 13);
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

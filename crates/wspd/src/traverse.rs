@@ -62,13 +62,32 @@ fn wspd_node<const D: usize, P, Pr, V>(
     find_pair(tree, policy, prune, visit, l, r);
 }
 
+/// Choose which node of a non-well-separated pair to split (Algorithm 1
+/// line 8): the one with the larger bounding sphere, breaking diameter
+/// ties toward the larger node so a leaf is never chosen while its partner
+/// is splittable. Returns `(split, other)`. Shared by the recursive
+/// traversal and the streaming batcher — the streamed pair set is only
+/// guaranteed to match the materialized one while both use this rule.
+pub(crate) fn split_order<const D: usize>(
+    tree: &KdTree<D>,
+    a: NodeId,
+    b: NodeId,
+) -> (NodeId, NodeId) {
+    let (da, db) = (tree.node(a).bbox.diag_sq(), tree.node(b).bbox.diag_sq());
+    if da < db || (da == db && tree.node(a).size() < tree.node(b).size()) {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
 fn find_pair<const D: usize, P, Pr, V>(
     tree: &KdTree<D>,
     policy: &P,
     prune: &Pr,
     visit: &V,
-    mut a: NodeId,
-    mut b: NodeId,
+    a: NodeId,
+    b: NodeId,
 ) where
     P: SeparationPolicy<D>,
     Pr: Fn(NodeId, NodeId) -> bool + Sync,
@@ -81,13 +100,7 @@ fn find_pair<const D: usize, P, Pr, V>(
         visit(a, b);
         return;
     }
-    // Split the set with the larger bounding sphere (Algorithm 1 line 8),
-    // breaking diameter ties toward the larger node so a leaf is never
-    // chosen while its partner is splittable.
-    let (da, db) = (tree.node(a).bbox.diag_sq(), tree.node(b).bbox.diag_sq());
-    if da < db || (da == db && tree.node(a).size() < tree.node(b).size()) {
-        std::mem::swap(&mut a, &mut b);
-    }
+    let (a, b) = split_order(tree, a, b);
     let node_a = tree.node(a);
     debug_assert!(
         !node_a.is_leaf(),

@@ -1,0 +1,200 @@
+//! The streaming pipeline's exactness contract.
+//!
+//! The bounded-memory path (chunked ingestion via `PointSource`, batched
+//! WSPD production, streaming Kruskal merges) must be **bit-identical** to
+//! the in-memory path: same edges, same weights-by-bits, same core
+//! distances — for all three EMST methods, both HDBSCAN\* variants, every
+//! batch size, and every thread count. These tests pin that contract the
+//! same way `tests/parallel_semantics.rs` pins thread-count determinism.
+
+use parclust::{
+    emst_gfk, emst_memogfk, emst_naive, emst_streaming, hdbscan_gantao, hdbscan_gantao_streaming,
+    hdbscan_memogfk, hdbscan_streaming, Edge, Point,
+};
+use parclust_data::{
+    collect_points, seed_spreader, uniform_fill, ChunkedReader, ChunkedWriter, SliceSource,
+};
+use proptest::prelude::*;
+
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn edge_bits(edges: &[Edge]) -> Vec<(u64, u32, u32)> {
+    edges.iter().map(|e| (e.w.to_bits(), e.u, e.v)).collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "parclust-stream-test-{}-{name}",
+        std::process::id()
+    ));
+    p
+}
+
+#[test]
+fn streaming_emst_identical_to_all_in_memory_methods() {
+    let pts: Vec<Point<2>> = seed_spreader(3_000, 51);
+    let naive = emst_naive(&pts);
+    let gfk = emst_gfk(&pts);
+    let memo = emst_memogfk(&pts);
+    // The in-memory methods agree with each other (pinned elsewhere);
+    // streaming must match all three at every batch size.
+    for cap in [64usize, 1_000, 1 << 22] {
+        let streamed = emst_streaming(&pts, cap);
+        assert!(
+            streamed.stats.peak_live_pairs <= cap as u64,
+            "cap={cap}: peak {} pairs",
+            streamed.stats.peak_live_pairs
+        );
+        for (name, want) in [("naive", &naive), ("gfk", &gfk), ("memogfk", &memo)] {
+            assert_eq!(
+                edge_bits(&streamed.edges),
+                edge_bits(&want.edges),
+                "streaming vs {name} at cap={cap}"
+            );
+            assert_eq!(
+                streamed.total_weight.to_bits(),
+                want.total_weight.to_bits(),
+                "weight vs {name} at cap={cap}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_hdbscan_identical_to_both_variants() {
+    let pts: Vec<Point<3>> = seed_spreader(2_000, 52);
+    let min_pts = 10;
+    let memo = hdbscan_memogfk(&pts, min_pts);
+    let gan = hdbscan_gantao(&pts, min_pts);
+    for cap in [128usize, 1 << 20] {
+        let s_comb = hdbscan_streaming(&pts, min_pts, cap);
+        let s_std = hdbscan_gantao_streaming(&pts, min_pts, cap);
+        assert_eq!(
+            edge_bits(&s_comb.edges),
+            edge_bits(&memo.edges),
+            "combined cap={cap}"
+        );
+        assert_eq!(
+            edge_bits(&s_std.edges),
+            edge_bits(&gan.edges),
+            "standard cap={cap}"
+        );
+        assert_eq!(s_comb.core_distances, memo.core_distances);
+        assert_eq!(s_comb.total_weight.to_bits(), memo.total_weight.to_bits());
+    }
+}
+
+#[test]
+fn streaming_emst_identical_across_thread_counts() {
+    let pts: Vec<Point<2>> = uniform_fill(2_500, 53);
+    let cap = 512;
+    let baseline = in_pool(1, || emst_streaming(&pts, cap));
+    assert_eq!(baseline.edges.len(), pts.len() - 1);
+    for threads in [2usize, 4, 8] {
+        let run = in_pool(threads, || emst_streaming(&pts, cap));
+        assert_eq!(
+            edge_bits(&baseline.edges),
+            edge_bits(&run.edges),
+            "streaming EMST differs at {threads} threads"
+        );
+        assert_eq!(baseline.total_weight.to_bits(), run.total_weight.to_bits());
+    }
+}
+
+#[test]
+fn streaming_hdbscan_identical_across_thread_counts() {
+    let pts: Vec<Point<2>> = seed_spreader(2_000, 54);
+    let cap = 256;
+    let baseline = in_pool(1, || hdbscan_streaming(&pts, 10, cap));
+    for threads in [2usize, 4, 8] {
+        let run = in_pool(threads, || hdbscan_streaming(&pts, 10, cap));
+        assert_eq!(
+            edge_bits(&baseline.edges),
+            edge_bits(&run.edges),
+            "streaming HDBSCAN differs at {threads} threads"
+        );
+        assert_eq!(baseline.core_distances, run.core_distances);
+    }
+}
+
+#[test]
+fn file_fed_pipeline_equals_generator_fed() {
+    // Generator → chunked file → streamed ingestion → clustering must
+    // equal running directly on the generator output: ingestion is
+    // lossless (f64 bits round-trip through the chunked codec).
+    let pts: Vec<Point<3>> = seed_spreader(1_500, 55);
+    let path = tmp("pipeline.pcls");
+    {
+        let mut w = ChunkedWriter::<3, _>::create(&path, 700).unwrap();
+        w.push_all(&pts).unwrap();
+        assert_eq!(w.finish().unwrap(), pts.len() as u64);
+    }
+    let from_file = collect_points(&mut ChunkedReader::<3>::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(from_file, pts, "chunked ingestion must be bit-lossless");
+
+    let want = hdbscan_memogfk(&pts, 10);
+    let got = hdbscan_streaming(&from_file, 10, 1_000);
+    assert_eq!(edge_bits(&got.edges), edge_bits(&want.edges));
+    assert_eq!(got.core_distances, want.core_distances);
+}
+
+fn small_points_2d(max_n: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0i32..50, 0i32..50, 0u8..4), 0..max_n).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, jitter)| {
+                Point([
+                    x as f64 + jitter as f64 * 0.5,
+                    y as f64 - jitter as f64 * 0.25,
+                ])
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked round-trips are bit-lossless at every (n, chunk_len)
+    /// combination, including n = 0, n = 1, and n not divisible by the
+    /// chunk length.
+    #[test]
+    fn chunked_roundtrip_any_shape(
+        pts in small_points_2d(120),
+        chunk_len in 1usize..40,
+    ) {
+        let path = tmp(&format!("prop-{}-{chunk_len}.pcls", pts.len()));
+        let mut w = ChunkedWriter::<2, _>::create(&path, chunk_len).unwrap();
+        w.push_all(&pts).unwrap();
+        prop_assert_eq!(w.finish().unwrap(), pts.len() as u64);
+        let back = collect_points(&mut ChunkedReader::<2>::open(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, pts);
+    }
+
+    /// `PointSource`-fed HDBSCAN* (slice-chunked ingestion + streaming
+    /// batches) equals the in-memory run, bit for bit.
+    #[test]
+    fn source_fed_hdbscan_equals_in_memory(
+        pts in small_points_2d(90),
+        chunk_len in 1usize..32,
+        min_pts in 1usize..8,
+        cap in 1usize..2_000,
+    ) {
+        let mut src = SliceSource::new(&pts, chunk_len);
+        let ingested = collect_points(&mut src).unwrap();
+        prop_assert_eq!(&ingested, &pts);
+        let want = hdbscan_memogfk(&pts, min_pts);
+        let got = hdbscan_streaming(&ingested, min_pts, cap);
+        prop_assert_eq!(edge_bits(&got.edges), edge_bits(&want.edges));
+        prop_assert_eq!(got.core_distances, want.core_distances);
+        prop_assert_eq!(got.total_weight.to_bits(), want.total_weight.to_bits());
+    }
+}
