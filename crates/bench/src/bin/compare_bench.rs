@@ -2,21 +2,27 @@
 //! baseline and exit nonzero on a >tolerance slowdown in any gated metric.
 //!
 //! ```sh
-//! compare_bench --baseline BENCH_pr4.json \
+//! compare_bench --baseline BENCH_pr5.json \
 //!     --rows bench_results/repro.json \
 //!     --serving t1=bench_results/serving_t1.json \
 //!     --serving t4=bench_results/serving_t4.json \
+//!     --serving t4bin=bench_results/serving_t4bin.json \
+//!     --min-ratio t4bin/t4=1.5 \
 //!     [--tolerance 0.25]
 //! ```
 //!
 //! Gated metrics: table2 speedup ratios and serving assign throughput.
-//! Override knobs (documented in the README):
+//! `--min-ratio NUM/DEN=MIN` additionally requires the current run's
+//! `assign_points_per_sec` under label NUM to be at least MIN× the one
+//! under DEN (the binary-vs-JSON protocol gate). Override knobs
+//! (documented in the README):
 //! * `BENCH_GATE_SKIP=1` — skip the gate entirely (emergency landing).
 //! * `BENCH_GATE_TOLERANCE=0.4` — widen/narrow the threshold without a
 //!   workflow edit; the `--tolerance` flag wins over the env var.
+//! * `BENCH_RATIO_MIN=1.2` — override the minimum of every `--min-ratio`.
 
 use parclust_bench::gate::{
-    compare, metrics_from_baseline, metrics_from_loadgen, metrics_from_rows, Metric,
+    compare, metrics_from_baseline, metrics_from_loadgen, metrics_from_rows, Metric, RatioCheck,
     DEFAULT_TOLERANCE,
 };
 
@@ -24,6 +30,7 @@ struct Opts {
     baseline: std::path::PathBuf,
     rows: Vec<std::path::PathBuf>,
     serving: Vec<(String, std::path::PathBuf)>,
+    ratios: Vec<RatioCheck>,
     tolerance: f64,
 }
 
@@ -32,6 +39,7 @@ fn parse_args() -> Opts {
         baseline: std::path::PathBuf::new(),
         rows: Vec::new(),
         serving: Vec::new(),
+        ratios: Vec::new(),
         tolerance: std::env::var("BENCH_GATE_TOLERANCE")
             .ok()
             .and_then(|v| v.trim().parse().ok())
@@ -53,6 +61,17 @@ fn parse_args() -> Opts {
                     .expect("--serving takes LABEL=FILE (e.g. t4=serving_t4.json)");
                 opts.serving.push((label.to_string(), file.into()));
             }
+            "--min-ratio" => {
+                let spec = args.next().expect("--min-ratio NUM/DEN=MIN");
+                let mut check = RatioCheck::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+                if let Some(min) = std::env::var("BENCH_RATIO_MIN")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+                {
+                    check.min = min;
+                }
+                opts.ratios.push(check);
+            }
             "--tolerance" => {
                 opts.tolerance = args
                     .next()
@@ -63,7 +82,7 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: compare_bench --baseline FILE [--rows FILE]... \
-                     [--serving LABEL=FILE]... [--tolerance F]"
+                     [--serving LABEL=FILE]... [--min-ratio NUM/DEN=MIN]... [--tolerance F]"
                 );
                 std::process::exit(0);
             }
@@ -140,6 +159,25 @@ fn main() {
             outcome.failures,
             opts.tolerance * 100.0
         );
+        std::process::exit(1);
+    }
+    let mut ratio_failures = 0;
+    for check in &opts.ratios {
+        match check.evaluate(&current) {
+            Ok(ratio) => println!(
+                "ratio {}/{}: {ratio:.2}x (minimum {:.2}x)  ok",
+                check.numerator, check.denominator, check.min
+            ),
+            Err(msg) => {
+                eprintln!(
+                    "compare_bench: ratio check failed: {msg} \
+                     (set BENCH_RATIO_MIN to lower, BENCH_GATE_SKIP=1 to bypass)"
+                );
+                ratio_failures += 1;
+            }
+        }
+    }
+    if ratio_failures > 0 {
         std::process::exit(1);
     }
     println!("compare_bench: gate passed");

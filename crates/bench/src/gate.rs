@@ -166,6 +166,71 @@ pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> GateO
     }
 }
 
+/// A cross-label ratio requirement on the *current* run: the numerator
+/// label's `assign_points_per_sec` must be at least `min` times the
+/// denominator label's. This is how CI enforces "the binary protocol beats
+/// the JSON path by ≥1.5×" — a property of one run, unlike the
+/// baseline-relative regression gate above.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioCheck {
+    pub numerator: String,
+    pub denominator: String,
+    pub min: f64,
+}
+
+impl RatioCheck {
+    /// Parse `NUM/DEN=MIN` (e.g. `t4bin/t4=1.5`).
+    pub fn parse(spec: &str) -> Result<RatioCheck, String> {
+        let (labels, min) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("ratio spec {spec:?} must be NUM/DEN=MIN"))?;
+        let (num, den) = labels
+            .split_once('/')
+            .ok_or_else(|| format!("ratio spec {spec:?} must be NUM/DEN=MIN"))?;
+        let min: f64 = min
+            .parse()
+            .map_err(|_| format!("ratio minimum {min:?} must be a float"))?;
+        if min.is_nan() || min <= 0.0 {
+            return Err(format!("ratio minimum must be positive, got {min}"));
+        }
+        Ok(RatioCheck {
+            numerator: num.to_string(),
+            denominator: den.to_string(),
+            min,
+        })
+    }
+
+    fn throughput(&self, metrics: &[Metric], label: &str) -> Result<f64, String> {
+        let key = format!("serving/{label}/assign_points_per_sec");
+        metrics
+            .iter()
+            .find(|m| m.key == key)
+            .map(|m| m.value)
+            .ok_or_else(|| format!("metric {key} missing from the current run"))
+    }
+
+    /// Evaluate against the current run's metrics; `Ok(ratio)` when the
+    /// requirement holds.
+    pub fn evaluate(&self, current: &[Metric]) -> Result<f64, String> {
+        let num = self.throughput(current, &self.numerator)?;
+        let den = self.throughput(current, &self.denominator)?;
+        if den <= 0.0 {
+            return Err(format!(
+                "serving/{}/assign_points_per_sec is {den}, ratio undefined",
+                self.denominator
+            ));
+        }
+        let ratio = num / den;
+        if ratio < self.min {
+            return Err(format!(
+                "serving/{} is only {ratio:.2}x serving/{} (minimum {:.2}x)",
+                self.numerator, self.denominator, self.min
+            ));
+        }
+        Ok(ratio)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +336,39 @@ mod tests {
         let out = compare(&base, &cur, 0.25);
         assert_eq!(out.shared_gated, 0);
         assert!(!out.passed(), "broken wiring must not pass silently");
+    }
+
+    #[test]
+    fn ratio_check_parse_and_evaluate() {
+        let rc = RatioCheck::parse("t4bin/t4=1.5").unwrap();
+        assert_eq!(
+            rc,
+            RatioCheck {
+                numerator: "t4bin".into(),
+                denominator: "t4".into(),
+                min: 1.5
+            }
+        );
+        for bad in ["t4bin/t4", "t4bin=1.5", "a/b=x", "a/b=-1"] {
+            assert!(RatioCheck::parse(bad).is_err(), "{bad:?}");
+        }
+        let metrics = |bin: f64, json: f64| {
+            let mut m = metrics_from_loadgen("t4bin", &json!({"assign_points_per_sec": bin}));
+            m.extend(metrics_from_loadgen(
+                "t4",
+                &json!({"assign_points_per_sec": json}),
+            ));
+            m
+        };
+        assert_eq!(rc.evaluate(&metrics(300.0, 100.0)).unwrap(), 3.0);
+        assert!(rc.evaluate(&metrics(140.0, 100.0)).is_err(), "1.4x < 1.5x");
+        // Missing labels fail loudly instead of passing vacuously.
+        assert!(rc
+            .evaluate(&metrics_from_loadgen(
+                "t4",
+                &json!({"assign_points_per_sec": 100.0})
+            ))
+            .is_err());
     }
 
     #[test]

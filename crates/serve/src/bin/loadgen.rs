@@ -3,11 +3,17 @@
 //! connections and reports throughput/latency as JSON (the serving
 //! counterpart of the repro harness's bench reports).
 //!
+//! `--binary` switches the assignment traffic to the checksummed binary
+//! batch protocol (`/assign_binary`); `--model ID` targets one model of a
+//! multi-model server instead of the default-model routes.
+//!
 //! ```sh
 //! loadgen --addr 127.0.0.1:8077 --connections 4 --requests 2000 \
 //!         --batch 64 --mix cut,eom,assign --out bench_results/serving.json
+//! loadgen --addr 127.0.0.1:8077 --model geo --binary --mix assign --batch 512
 //! ```
 
+use parclust_serve::{AssignRequest, AssignResponse, LabelingSpec};
 use rand::prelude::*;
 use serde_json::Value;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -23,6 +29,11 @@ struct Opts {
     mix: Vec<String>,
     out: Option<String>,
     seed: u64,
+    /// Model id to route at (`/models/{id}/...`); None = legacy default
+    /// routes.
+    model: Option<String>,
+    /// Assignment over the binary protocol instead of JSON.
+    binary: bool,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -36,7 +47,8 @@ fn parse_opts() -> Opts {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: loadgen --addr HOST:PORT [--connections C] [--requests N] \
-             [--batch B] [--mix cut,eom,assign] [--seed S] [--out PATH]"
+             [--batch B] [--mix cut,eom,assign] [--model ID] [--binary] \
+             [--seed S] [--out PATH]"
         );
         std::process::exit(0);
     }
@@ -64,6 +76,8 @@ fn parse_opts() -> Opts {
             .unwrap_or_else(|| "42".into())
             .parse()
             .expect("--seed S"),
+        model: flag(&args, "--model"),
+        binary: args.iter().any(|a| a == "--binary"),
     }
 }
 
@@ -92,13 +106,40 @@ impl KindStats {
     }
 }
 
+/// Route prefix for query paths: `/models/{id}` or "" (default model).
+fn prefix(model: &Option<String>) -> String {
+    match model {
+        Some(id) => format!("/models/{id}"),
+        None => String::new(),
+    }
+}
+
 fn main() {
     let opts = parse_opts();
-    // One probe connection learns the model shape (dims + bbox) so assign
-    // queries sample the data's own bounding box.
+    // One probe connection learns the model shape (dims + bbox + id) so
+    // assign queries sample the data's own bounding box and binary frames
+    // carry the right model id.
     let mut probe = parclust_serve::Client::connect(&opts.addr).expect("connect");
-    let (status, model) = probe.get("/model").expect("GET /model");
-    assert_eq!(status, 200, "GET /model failed: {model}");
+    let info_path = match &opts.model {
+        Some(id) => format!("/models/{id}"),
+        None => "/model".to_string(),
+    };
+    let (status, model) = probe.get(&info_path).expect("GET model info");
+    assert_eq!(status, 200, "GET {info_path} failed: {model}");
+    // The id binary frames must carry: the routed id, or the server's
+    // default when running against the legacy routes.
+    let model_id = match &opts.model {
+        Some(id) => id.clone(),
+        None => {
+            let (status, index) = probe.get("/models").expect("GET /models");
+            assert_eq!(status, 200, "GET /models failed: {index}");
+            index
+                .get("default")
+                .and_then(Value::as_str)
+                .expect("server has a default model")
+                .to_string()
+        }
+    };
     let dims = model.get("dims").and_then(Value::as_u64).expect("dims") as usize;
     let n_points = model.get("n").and_then(Value::as_u64).unwrap_or(0);
     let lo: Vec<f64> = model
@@ -124,8 +165,12 @@ fn main() {
         .max(1e-9);
     drop(probe);
     eprintln!(
-        "loadgen: {} requests over {} connections against {} ({n_points} points, {dims}D)",
-        opts.requests, opts.connections, opts.addr
+        "loadgen: {} requests over {} connections against {} ({n_points} points, {dims}D, \
+         assign protocol: {})",
+        opts.requests,
+        opts.connections,
+        opts.addr,
+        if opts.binary { "binary" } else { "json" },
     );
 
     let next = Arc::new(AtomicUsize::new(0));
@@ -135,6 +180,7 @@ fn main() {
             let opts = opts.clone();
             let next = Arc::clone(&next);
             let (lo, hi) = (lo.clone(), hi.clone());
+            let model_id = model_id.clone();
             std::thread::spawn(move || {
                 let mut client =
                     parclust_serve::Client::connect(&opts.addr).expect("connect worker");
@@ -144,23 +190,63 @@ fn main() {
                     .iter()
                     .map(|k| (k.clone(), KindStats::default()))
                     .collect();
+                let route = prefix(&opts.model);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= opts.requests {
                         break;
                     }
                     let kind = &opts.mix[i % opts.mix.len()];
-                    let body = match kind.as_str() {
+                    let ns = match kind.as_str() {
                         // Eight distinct eps levels: the first hit of each
                         // computes, later hits measure cache + transport.
-                        "cut" => serde_json::json!({
-                            "eps": diag * 0.002 * (1 + i % 8) as f64,
-                            "include_labels": false,
-                        }),
-                        "eom" => serde_json::json!({
-                            "cluster_selection_epsilon": diag * 0.004 * (i % 4) as f64,
-                            "include_labels": false,
-                        }),
+                        "cut" => {
+                            let body = serde_json::json!({
+                                "eps": diag * 0.002 * (1 + i % 8) as f64,
+                                "include_labels": false,
+                            });
+                            timed_json(&mut client, &format!("{route}/cut"), &body)
+                        }
+                        "eom" => {
+                            let body = serde_json::json!({
+                                "cluster_selection_epsilon": diag * 0.004 * (i % 4) as f64,
+                                "include_labels": false,
+                            });
+                            timed_json(&mut client, &format!("{route}/eom"), &body)
+                        }
+                        "assign" if opts.binary => {
+                            let coords: Vec<f64> = (0..opts.batch)
+                                .flat_map(|_| {
+                                    (0..dims)
+                                        .map(|d| rng.gen_range(lo[d]..=hi[d]))
+                                        .collect::<Vec<f64>>()
+                                })
+                                .collect();
+                            let frame = AssignRequest {
+                                model_id: model_id.clone(),
+                                spec: LabelingSpec::Eom {
+                                    cluster_selection_epsilon: 0.0,
+                                },
+                                max_dist: f64::INFINITY,
+                                dims: dims as u32,
+                                coords,
+                            }
+                            .encode();
+                            let q0 = Instant::now();
+                            let (status, body) = client
+                                .post_binary(&format!("{route}/assign_binary"), &frame)
+                                .expect("binary request");
+                            let ns = q0.elapsed().as_nanos() as u64;
+                            assert_eq!(
+                                status,
+                                200,
+                                "assign_binary failed: {}",
+                                String::from_utf8_lossy(&body)
+                            );
+                            let resp = AssignResponse::decode(&body).expect("decode response");
+                            assert_eq!(resp.labels.len(), opts.batch);
+                            ns
+                        }
                         "assign" => {
                             let pts: Vec<Value> = (0..opts.batch)
                                 .map(|_| {
@@ -171,19 +257,11 @@ fn main() {
                                     )
                                 })
                                 .collect();
-                            serde_json::json!({"points": Value::Array(pts)})
+                            let body = serde_json::json!({"points": Value::Array(pts)});
+                            timed_json(&mut client, &format!("{route}/assign"), &body)
                         }
                         other => panic!("unknown mix kind {other} (use cut,eom,assign)"),
                     };
-                    let path = match kind.as_str() {
-                        "cut" => "/cut",
-                        "eom" => "/eom",
-                        _ => "/assign",
-                    };
-                    let q0 = Instant::now();
-                    let (status, resp) = client.post(path, &body).expect("request");
-                    let ns = q0.elapsed().as_nanos() as u64;
-                    assert_eq!(status, 200, "{path} failed: {resp}");
                     stats
                         .iter_mut()
                         .find(|(k, _)| k == kind)
@@ -228,8 +306,10 @@ fn main() {
     let report = serde_json::json!({
         "experiment": "serving-throughput",
         "addr": opts.addr,
+        "model": model_id,
         "model_points": n_points,
         "dims": dims as u64,
+        "assign_protocol": if opts.binary { "binary" } else { "json" },
         "connections": opts.connections as u64,
         "requests": total as u64,
         "batch": opts.batch as u64,
@@ -249,4 +329,13 @@ fn main() {
         std::fs::write(path, report.to_json_string_pretty()).expect("write report");
         eprintln!("wrote {out}");
     }
+}
+
+/// POST a JSON body and return the elapsed nanoseconds (asserting 200).
+fn timed_json(client: &mut parclust_serve::Client, path: &str, body: &Value) -> u64 {
+    let q0 = Instant::now();
+    let (status, resp) = client.post(path, body).expect("request");
+    let ns = q0.elapsed().as_nanos() as u64;
+    assert_eq!(status, 200, "{path} failed: {resp}");
+    ns
 }

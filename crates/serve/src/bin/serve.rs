@@ -1,22 +1,34 @@
-//! CLI for the serving stack: build a model artifact, serve it over HTTP,
-//! or query it locally.
+//! CLI for the serving stack: build a model artifact, serve one or many
+//! over HTTP, or query an artifact locally.
 //!
 //! ```sh
 //! serve build --gen varden --dims 2 --n 20000 --out model.pcsm
 //! serve build --csv points.csv --dims 3 --minpts 10 --out model.pcsm
+//! serve build --points-file points.pcls --max-live-pairs 2000000 --out model.pcsm
+//! serve gen-points --gen uniform --dims 3 --n 1000000 --out points.pcls
 //! serve serve --model model.pcsm --addr 127.0.0.1:8077 --workers 4 --threads 4
+//! serve serve --models-dir artifacts/ --default geo
+//! serve serve --manifest models.json
 //! serve query --model model.pcsm --eps 2.5
 //! serve query --model model.pcsm --eom-eps 1.0
 //! ```
 
-use parclust_serve::{with_model_dims, ClusterModel, LabelingSpec, QueryEngine, ServerConfig};
+use parclust_data::PointSource;
+use parclust_serve::{
+    with_model_dims, ClusterModel, LabelingSpec, ModelRegistry, QueryEngine, ServerConfig,
+};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  serve build (--csv PATH | --gen uniform|varden|gps|sensor) --dims D \
-         [--n N] [--seed S] [--minpts M] [--min-cluster-size C] --out PATH\n  \
-         serve serve --model PATH [--addr HOST:PORT] [--workers W] [--threads T]\n  \
+        "usage:\n  serve build (--csv PATH | --points-file PATH.pcls | \
+         --gen uniform|varden|gps|sensor) --dims D \
+         [--n N] [--seed S] [--minpts M] [--min-cluster-size C] \
+         [--max-live-pairs P] --out PATH\n  \
+         serve gen-points --gen uniform|varden|gps|sensor --dims D --n N [--seed S] \
+         [--chunk-len C] --out PATH.pcls\n  \
+         serve serve (--model PATH [--id NAME])... [--models-dir DIR] \
+         [--manifest PATH] [--default ID] [--addr HOST:PORT] [--workers W] [--threads T]\n  \
          serve query --model PATH (--eps F | --k N | --eom-eps F) [--labels]"
     );
     std::process::exit(2);
@@ -28,10 +40,70 @@ fn main() {
     let rest = &args[1..];
     match cmd.as_str() {
         "build" => build(rest),
+        "gen-points" => gen_points(rest),
         "serve" => serve(rest),
         "query" => query(rest),
         _ => usage(),
     }
+}
+
+/// Generator dispatch shared by `build` and `gen-points`.
+fn generate<const D: usize>(gen: &str, n: usize, seed: u64) -> Vec<parclust::Point<D>> {
+    match gen {
+        "uniform" => parclust_data::uniform_fill::<D>(n, seed),
+        "varden" => parclust_data::seed_spreader::<D>(n, seed),
+        "sensor" => parclust_data::sensor_like::<D>(n, seed, 8),
+        "gps" => {
+            // gps_like returns Point<3>; the assert keeps the coordinate
+            // copy below exact for the one legal dims.
+            assert_eq!(D, 3, "--gen gps is 3-dimensional");
+            let pts3 = parclust_data::gps_like(n, seed);
+            let mut out = Vec::with_capacity(pts3.len());
+            for p in pts3 {
+                let mut c = [0.0; D];
+                for (slot, &v) in c.iter_mut().zip(p.coords().iter()) {
+                    *slot = v;
+                }
+                out.push(parclust::Point(c));
+            }
+            out
+        }
+        other => panic!("unknown generator {other}"),
+    }
+}
+
+/// Generate a synthetic dataset straight into the chunked `.pcls` format —
+/// the feedstock for `build --points-file` (and for CI's streamed-build
+/// smoke leg).
+fn gen_points(args: &[String]) {
+    let out = flag(args, "--out").unwrap_or_else(|| usage());
+    let dims: usize = flag(args, "--dims")
+        .unwrap_or_else(|| "2".into())
+        .parse()
+        .expect("--dims D");
+    let n: usize = flag(args, "--n")
+        .unwrap_or_else(|| "10000".into())
+        .parse()
+        .expect("--n N");
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "42".into())
+        .parse()
+        .expect("--seed S");
+    let chunk_len: usize = flag(args, "--chunk-len")
+        .map(|v| v.parse().expect("--chunk-len N"))
+        .unwrap_or(parclust_data::DEFAULT_CHUNK_LEN);
+    with_model_dims!(dims, |D| {
+        let points: Vec<parclust::Point<D>> =
+            generate(flag(args, "--gen").as_deref().unwrap_or("uniform"), n, seed);
+        parclust_data::write_chunked(std::path::Path::new(&out), &points, chunk_len)
+            .expect("write .pcls");
+        let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "wrote {out} ({} points, {}D, {bytes} bytes)",
+            points.len(),
+            D
+        );
+    });
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -40,15 +112,19 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
 fn build(args: &[String]) {
-    let dims: usize = flag(args, "--dims")
-        .unwrap_or_else(|| "2".into())
-        .parse()
-        .expect("--dims D");
     let out = flag(args, "--out").unwrap_or_else(|| usage());
     let min_pts: usize = flag(args, "--minpts")
         .unwrap_or_else(|| "10".into())
@@ -66,41 +142,53 @@ fn build(args: &[String]) {
         .unwrap_or_else(|| "42".into())
         .parse()
         .expect("--seed S");
+    let max_live_pairs: Option<usize> =
+        flag(args, "--max-live-pairs").map(|v| v.parse().expect("--max-live-pairs N"));
     let csv = flag(args, "--csv");
-    let gen = flag(args, "--gen");
+    let points_file = flag(args, "--points-file");
+    // A .pcls file fixes its own dimensionality; otherwise --dims decides.
+    let dims: usize = match &points_file {
+        Some(path) => {
+            parclust_data::chunked_header(std::path::Path::new(path))
+                .expect("read .pcls header")
+                .dims as usize
+        }
+        None => flag(args, "--dims")
+            .unwrap_or_else(|| "2".into())
+            .parse()
+            .expect("--dims D"),
+    };
     with_model_dims!(dims, |D| {
-        let points: Vec<parclust::Point<D>> = if let Some(path) = &csv {
-            parclust_data::read_csv(std::path::Path::new(path)).expect("read csv")
-        } else {
-            match gen.as_deref().unwrap_or("varden") {
-                "uniform" => parclust_data::uniform_fill::<D>(n, seed),
-                "varden" => parclust_data::seed_spreader::<D>(n, seed),
-                "sensor" => parclust_data::sensor_like::<D>(n, seed, 8),
-                "gps" => {
-                    // gps_like returns Point<3>; the assert keeps the
-                    // coordinate copy below exact for the one legal dims.
-                    assert_eq!(D, 3, "--gen gps is 3-dimensional");
-                    let pts3 = parclust_data::gps_like(n, seed);
-                    let mut out = Vec::with_capacity(pts3.len());
-                    for p in pts3 {
-                        let mut c = [0.0; D];
-                        for (slot, &v) in c.iter_mut().zip(p.coords().iter()) {
-                            *slot = v;
-                        }
-                        out.push(parclust::Point(c));
-                    }
-                    out
-                }
-                other => panic!("unknown generator {other}"),
-            }
-        };
-        eprintln!(
-            "building model: {} points, {}D, minPts={min_pts}, minClusterSize={min_cluster_size}",
-            points.len(),
-            D
-        );
         let t0 = std::time::Instant::now();
-        let model = ClusterModel::build(&points, min_pts, min_cluster_size);
+        let model = if let Some(path) = &points_file {
+            // Streamed ingestion: bounded chunks from the .pcls file, and
+            // (with --max-live-pairs) bounded WSPD pair batches — the
+            // multi-million-point build path.
+            let mut src = parclust_data::ChunkedReader::<D>::open(std::path::Path::new(path))
+                .expect("open points file");
+            eprintln!(
+                "building model from {path}: {} points, {}D (streamed), minPts={min_pts}, \
+                 minClusterSize={min_cluster_size}, maxLivePairs={max_live_pairs:?}",
+                src.total(),
+                D
+            );
+            ClusterModel::build_from_source(&mut src, min_pts, min_cluster_size, max_live_pairs)
+                .expect("build model from source")
+        } else {
+            let points: Vec<parclust::Point<D>> = if let Some(path) = &csv {
+                parclust_data::read_csv(std::path::Path::new(path)).expect("read csv")
+            } else {
+                generate(flag(args, "--gen").as_deref().unwrap_or("varden"), n, seed)
+            };
+            eprintln!(
+                "building model: {} points, {}D, minPts={min_pts}, minClusterSize={min_cluster_size}",
+                points.len(),
+                D
+            );
+            // Points are already resident here — build directly instead of
+            // round-tripping them through a SliceSource copy.
+            ClusterModel::build_with_options(&points, min_pts, min_cluster_size, max_live_pairs)
+        };
         eprintln!("built in {:.2}s", t0.elapsed().as_secs_f64());
         model.save(std::path::Path::new(&out)).expect("save model");
         let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
@@ -111,8 +199,16 @@ fn build(args: &[String]) {
     });
 }
 
+/// Model id for a bare `--model PATH`: the file stem.
+fn id_from_path(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("default")
+        .to_string()
+}
+
 fn serve(args: &[String]) {
-    let model_path = flag(args, "--model").unwrap_or_else(|| usage());
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into());
     let workers: usize = flag(args, "--workers")
         .unwrap_or_else(|| "4".into())
@@ -122,32 +218,68 @@ fn serve(args: &[String]) {
         .unwrap_or_else(|| "0".into())
         .parse()
         .expect("--threads N");
-    let dims = parclust_serve::peek_dims(std::path::Path::new(&model_path)).expect("peek dims");
-    with_model_dims!(dims, |D| {
-        let model = ClusterModel::<D>::load(std::path::Path::new(&model_path)).expect("load model");
+
+    let registry = Arc::new(ModelRegistry::new());
+    let models = flag_all(args, "--model");
+    let ids = flag_all(args, "--id");
+    if !ids.is_empty() && ids.len() != models.len() {
+        eprintln!("--id must be given once per --model (or not at all)");
+        usage();
+    }
+    for (i, path) in models.iter().enumerate() {
+        let id = ids.get(i).cloned().unwrap_or_else(|| id_from_path(path));
+        registry
+            .load_path(&id, std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("load {path}: {e}"));
+        eprintln!("loaded {path} as {id:?}");
+    }
+    if let Some(dir) = flag(args, "--models-dir") {
+        let ids = registry
+            .load_dir(std::path::Path::new(&dir))
+            .unwrap_or_else(|e| panic!("scan {dir}: {e}"));
+        eprintln!("loaded {} model(s) from {dir}: {ids:?}", ids.len());
+    }
+    if let Some(manifest) = flag(args, "--manifest") {
+        let ids = registry
+            .load_manifest(std::path::Path::new(&manifest))
+            .unwrap_or_else(|e| panic!("manifest {manifest}: {e}"));
         eprintln!(
-            "loaded {model_path}: {} points, {}D, minPts={}",
-            model.len(),
-            D,
-            model.min_pts
+            "loaded {} model(s) from manifest {manifest}: {ids:?}",
+            ids.len()
         );
-        let engine = Arc::new(QueryEngine::new(Arc::new(model)));
-        let server = parclust_serve::start(
-            engine,
-            &ServerConfig {
-                addr,
-                workers,
-                pool_threads,
-            },
-        )
-        .expect("bind server");
-        // Parseable by scripts (CI greps for this line to learn the port).
-        println!("listening on {}", server.addr());
-        // Serve until killed.
-        loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
-        }
-    });
+    }
+    if let Some(default) = flag(args, "--default") {
+        registry
+            .set_default(&default)
+            .unwrap_or_else(|e| panic!("--default: {e}"));
+    }
+    let snapshot = registry.snapshot();
+    if snapshot.models.is_empty() {
+        eprintln!("no models loaded (pass --model / --models-dir / --manifest)");
+        usage();
+    }
+    for (id, h) in &snapshot.models {
+        eprintln!("  {id}: {} points, {}D", h.num_points(), h.dims());
+    }
+    eprintln!(
+        "default model: {}",
+        snapshot.default_id.as_deref().unwrap_or("(none)")
+    );
+    let server = parclust_serve::start(
+        registry,
+        &ServerConfig {
+            addr,
+            workers,
+            pool_threads,
+        },
+    )
+    .expect("bind server");
+    // Parseable by scripts (CI greps for this line to learn the port).
+    println!("listening on {}", server.addr());
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 fn query(args: &[String]) {

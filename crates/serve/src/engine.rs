@@ -11,15 +11,24 @@
 //!   by kNN against the kd-tree plus the nearest-core-distance rule
 //!   ([`QueryEngine::assign`]).
 //!
-//! Labelings are memoized (many requests ask for the same `eps`), and
-//! batched assignments fan out over the rayon pooled executor — run them
+//! Labelings are memoized (many requests ask for the same `eps`) in an
+//! immutable [`LabelCache`] snapshot published through a
+//! [`SnapshotCell`](crate::snapshot::SnapshotCell): the hot read path is
+//! lock-free (no global mutex, worker threads never serialize on cache
+//! hits), while misses compute-and-publish a copy-on-write successor under
+//! the cell's writer lock — so a labeling is computed at most once per
+//! distinct spec per cache generation, which
+//! [`QueryEngine::labelings_computed`] exposes for regression tests.
+//! Batched assignments fan out over the rayon pooled executor — run them
 //! inside a `ThreadPool::install` to pick the width.
 
 use crate::artifact::ClusterModel;
+use crate::snapshot::SnapshotCell;
 use parclust::{count_clusters, extract_eom_eps, single_linkage_cut, single_linkage_k, NOISE};
 use parclust_geom::Point;
 use rayon::prelude::*;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which labeling of the training points a query refers to.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,20 +63,47 @@ pub struct Assignment {
     pub distance: f64,
 }
 
-/// Upper bound on memoized labelings; past it the cache resets (labelings
-/// are cheap to recompute, the cache only smooths steady-state traffic).
-const LABELING_CACHE_CAP: usize = 64;
+/// Upper bound on memoized labelings; past it the cache resets to a fresh
+/// generation (labelings are cheap to recompute, the cache only smooths
+/// steady-state traffic).
+pub const LABELING_CACHE_CAP: usize = 64;
+
+/// One immutable labeling-cache snapshot. Snapshots are never mutated in
+/// place: a miss publishes a *new* `LabelCache` (entries cloned + the new
+/// labeling appended, or a fresh generation when the cap is hit), so any
+/// snapshot a reader holds is internally consistent forever — there is no
+/// observable "partially inserted" state.
+#[derive(Clone, Default)]
+pub struct LabelCache {
+    /// Bumped every time the cap forces a reset; within one generation the
+    /// entry list only ever grows (append-only, copy-on-write).
+    pub generation: u64,
+    pub entries: Vec<(LabelingSpec, Arc<Labeling>)>,
+}
+
+impl LabelCache {
+    pub fn find(&self, spec: LabelingSpec) -> Option<Arc<Labeling>> {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, l)| Arc::clone(l))
+    }
+}
 
 pub struct QueryEngine<const D: usize> {
     model: Arc<ClusterModel<D>>,
-    cache: Mutex<Vec<(LabelingSpec, Arc<Labeling>)>>,
+    cache: SnapshotCell<LabelCache>,
+    /// Labelings actually computed (cache misses); see
+    /// [`QueryEngine::labelings_computed`].
+    computed: AtomicU64,
 }
 
 impl<const D: usize> QueryEngine<D> {
     pub fn new(model: Arc<ClusterModel<D>>) -> Self {
         QueryEngine {
             model,
-            cache: Mutex::new(Vec::new()),
+            cache: SnapshotCell::new(LabelCache::default()),
+            computed: AtomicU64::new(0),
         }
     }
 
@@ -75,21 +111,62 @@ impl<const D: usize> QueryEngine<D> {
         &self.model
     }
 
+    /// Number of labelings computed so far (i.e. cache misses). Repeated
+    /// queries for the same spec must not move this counter — pinned by a
+    /// regression test.
+    pub fn labelings_computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// The current cache snapshot (test/introspection hook; the snapshot is
+    /// immutable and safe to inspect while other threads keep querying).
+    pub fn cache_snapshot(&self) -> Arc<LabelCache> {
+        self.cache.load()
+    }
+
     /// Compute (or fetch from cache) the labeling described by `spec`.
+    ///
+    /// Hot path (cache hit) is lock-free: one snapshot load + a scan of the
+    /// immutable entry list. On a miss the computation runs under the
+    /// snapshot cell's writer lock after a re-check, so concurrent requests
+    /// for the same new spec compute it exactly once. Trade-off: misses for
+    /// *distinct* new specs serialize on that lock (and a reader needing a
+    /// slow-path snapshot refresh waits behind an in-flight computation) —
+    /// chosen over the old global-mutex design where every *hit* serialized,
+    /// and over compute-outside-the-lock, which duplicates work under racing
+    /// first requests.
     ///
     /// `Eom`/`Cut` specs with NaN parameters are rejected by the HTTP layer;
     /// at this level NaN would simply never hit the cache.
     pub fn labeling(&self, spec: LabelingSpec) -> Arc<Labeling> {
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .unwrap()
-            .iter()
-            .find(|(s, _)| *s == spec)
-            .map(|(_, l)| Arc::clone(l))
-        {
+        if let Some(hit) = self.cache.load().find(spec) {
             return hit;
         }
+        self.cache.update(|cur| {
+            // Another writer may have published this spec while we waited.
+            if let Some(hit) = cur.find(spec) {
+                return (None, hit);
+            }
+            let out = self.compute_labeling(spec);
+            let next = if cur.entries.len() >= LABELING_CACHE_CAP {
+                LabelCache {
+                    generation: cur.generation + 1,
+                    entries: vec![(spec, Arc::clone(&out))],
+                }
+            } else {
+                let mut entries = cur.entries.clone();
+                entries.push((spec, Arc::clone(&out)));
+                LabelCache {
+                    generation: cur.generation,
+                    entries,
+                }
+            };
+            (Some(Arc::new(next)), out)
+        })
+    }
+
+    fn compute_labeling(&self, spec: LabelingSpec) -> Arc<Labeling> {
+        self.computed.fetch_add(1, Ordering::Relaxed);
         let labels = match spec {
             LabelingSpec::Eom {
                 cluster_selection_epsilon,
@@ -99,18 +176,12 @@ impl<const D: usize> QueryEngine<D> {
         };
         let num_noise = labels.iter().filter(|&&l| l == NOISE).count();
         let num_clusters = count_clusters(&labels);
-        let out = Arc::new(Labeling {
+        Arc::new(Labeling {
             spec,
             labels,
             num_clusters,
             num_noise,
-        });
-        let mut cache = self.cache.lock().unwrap();
-        if cache.len() >= LABELING_CACHE_CAP {
-            cache.clear();
-        }
-        cache.push((spec, Arc::clone(&out)));
-        out
+        })
     }
 
     /// Core distance of an *unseen* query point, defined as if it were
@@ -269,6 +340,54 @@ mod tests {
         assert_eq!(a.neighbor, 0);
         // The lone training point is noise under EOM, so the query is too.
         assert_eq!(a.label, NOISE);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memoized_labeling() {
+        let pts = two_blobs(60, 11);
+        let e = engine(&pts);
+        assert_eq!(e.labelings_computed(), 0);
+        let spec = LabelingSpec::Cut { eps: 7.5 };
+        let first = e.labeling(spec);
+        assert_eq!(e.labelings_computed(), 1);
+        // Many repeats: the computation count must not move (the cache is
+        // consulted, not just returning equal results by recomputing).
+        for _ in 0..100 {
+            let again = e.labeling(spec);
+            assert!(Arc::ptr_eq(&first, &again));
+        }
+        assert_eq!(e.labelings_computed(), 1);
+        // Distinct specs each compute exactly once.
+        e.labeling(LabelingSpec::CutK { k: 2 });
+        e.labeling(LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        });
+        e.labeling(LabelingSpec::CutK { k: 2 });
+        assert_eq!(e.labelings_computed(), 3);
+    }
+
+    #[test]
+    fn cache_resets_into_a_new_generation_at_cap() {
+        let pts = two_blobs(30, 12);
+        let e = engine(&pts);
+        for i in 0..LABELING_CACHE_CAP {
+            e.labeling(LabelingSpec::CutK { k: i + 1 });
+        }
+        let full = e.cache_snapshot();
+        assert_eq!(full.generation, 0);
+        assert_eq!(full.entries.len(), LABELING_CACHE_CAP);
+        // One past the cap: new generation, holding only the newcomer.
+        e.labeling(LabelingSpec::Cut { eps: 3.25 });
+        let reset = e.cache_snapshot();
+        assert_eq!(reset.generation, 1);
+        assert_eq!(reset.entries.len(), 1);
+        assert_eq!(reset.entries[0].0, LabelingSpec::Cut { eps: 3.25 });
+        // The pre-reset snapshot is immutable: still fully populated.
+        assert_eq!(full.entries.len(), LABELING_CACHE_CAP);
+        // A spec evicted by the reset recomputes (counter moves by one).
+        let before = e.labelings_computed();
+        e.labeling(LabelingSpec::CutK { k: 1 });
+        assert_eq!(e.labelings_computed(), before + 1);
     }
 
     #[test]

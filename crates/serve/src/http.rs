@@ -1,5 +1,5 @@
-//! A std-only threaded HTTP/1.1 + JSON front end for the query engine, and
-//! the minimal client the load generator and tests drive it with.
+//! A std-only threaded HTTP/1.1 front end for the model registry, and the
+//! minimal client the load generator and tests drive it with.
 //!
 //! No network dependencies: `std::net` sockets, the workspace serde shim
 //! for JSON. The server runs `workers` connection threads (shared
@@ -7,22 +7,30 @@
 //! out over a dedicated rayon pool of `pool_threads` workers — so request
 //! concurrency and data parallelism are tuned independently.
 //!
-//! Routes (all responses JSON):
+//! Routing is multi-model: every query route exists per-model under
+//! `/models/{id}/...`, and the legacy single-model routes serve the
+//! registry's *default* model. Admin routes hot-load/unload artifacts.
 //!
 //! | route | body | answer |
 //! |---|---|---|
 //! | `GET /healthz` | — | liveness |
-//! | `GET /model` | — | model metadata (n, dims, minPts, bbox, ...) |
-//! | `POST /cut` | `{"eps": f}` or `{"k": n}` | single-linkage labeling |
-//! | `POST /eom` | `{"cluster_selection_epsilon": f?}` | EOM labeling |
-//! | `POST /assign` | `{"points": [[..]..], "labeling"?, "max_dist"?}` | out-of-sample labels |
+//! | `GET /models` | — | loaded model ids + default |
+//! | `GET /models/{id}` (alias `/model`) | — | model metadata |
+//! | `POST /models/{id}/cut` (alias `/cut`) | `{"eps": f}` or `{"k": n}` | single-linkage labeling |
+//! | `POST /models/{id}/eom` (alias `/eom`) | `{"cluster_selection_epsilon": f?}` | EOM labeling |
+//! | `POST /models/{id}/assign` (alias `/assign`) | `{"points": [[..]..], "labeling"?, "max_dist"?}` | out-of-sample labels |
+//! | `POST /models/{id}/assign_binary` (alias `/assign_binary`) | [`proto`](crate::proto) request frame | response frame |
+//! | `POST /admin/load` | `{"id": s, "path": s, "default"?: bool}` | load an artifact |
+//! | `POST /admin/unload` | `{"id": s}` | drop a model |
 //!
-//! Labels are JSON integers with noise as `-1`. Pass `"include_labels":
-//! false` to `/cut` / `/eom` to get counts only.
+//! JSON labels are integers with noise as `-1`; pass `"include_labels":
+//! false` to `/cut` / `/eom` for counts only. `/assign_binary` answers
+//! `application/octet-stream` on success and a JSON error otherwise.
 
-use crate::engine::{LabelingSpec, QueryEngine};
+use crate::engine::LabelingSpec;
+use crate::proto::{AssignRequest, AssignResponse};
+use crate::registry::{ModelHandle, ModelRegistry};
 use parclust::NOISE;
-use parclust_geom::Point;
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -78,11 +86,10 @@ impl Server {
     }
 }
 
-/// Start serving `engine` per `cfg`; returns once the listener is bound.
-pub fn start<const D: usize>(
-    engine: Arc<QueryEngine<D>>,
-    cfg: &ServerConfig,
-) -> io::Result<Server> {
+/// Start serving `registry` per `cfg`; returns once the listener is bound.
+/// Models can be added/removed afterwards (admin routes or direct registry
+/// calls) without restarting.
+pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -95,12 +102,12 @@ pub fn start<const D: usize>(
     let workers = (0..cfg.workers.max(1))
         .map(|i| {
             let listener = listener.try_clone().expect("clone listener");
-            let engine = Arc::clone(&engine);
+            let registry = Arc::clone(&registry);
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("parclust-serve-{i}"))
-                .spawn(move || worker_loop(listener, engine, pool, stop))
+                .spawn(move || worker_loop(listener, registry, pool, stop))
                 .expect("spawn worker")
         })
         .collect();
@@ -111,9 +118,9 @@ pub fn start<const D: usize>(
     })
 }
 
-fn worker_loop<const D: usize>(
+fn worker_loop(
     listener: TcpListener,
-    engine: Arc<QueryEngine<D>>,
+    registry: Arc<ModelRegistry>,
     pool: Arc<rayon::ThreadPool>,
     stop: Arc<AtomicBool>,
 ) {
@@ -122,7 +129,7 @@ fn worker_loop<const D: usize>(
             Ok((stream, _)) => {
                 // Per-connection errors (resets, malformed framing) only
                 // tear down that connection.
-                let _ = handle_connection(stream, &engine, &pool, &stop);
+                let _ = handle_connection(stream, &registry, &pool, &stop);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -139,9 +146,21 @@ struct Request {
     body: Vec<u8>,
 }
 
-fn handle_connection<const D: usize>(
+/// A response body: JSON (queries, errors) or a binary protocol frame.
+enum Body {
+    Json(Value),
+    Bytes(Vec<u8>),
+}
+
+impl From<Value> for Body {
+    fn from(v: Value) -> Body {
+        Body::Json(v)
+    }
+}
+
+fn handle_connection(
     stream: TcpStream,
-    engine: &QueryEngine<D>,
+    registry: &ModelRegistry,
     pool: &rayon::ThreadPool,
     stop: &AtomicBool,
 ) -> io::Result<()> {
@@ -159,14 +178,14 @@ fn handle_connection<const D: usize>(
                 let _ = write_response(
                     &mut writer,
                     400,
-                    &serde_json::json!({"error": format!("{e}")}),
+                    &Body::Json(serde_json::json!({"error": format!("{e}")})),
                     false,
                 );
                 break;
             }
         };
         let keep = req.keep_alive;
-        let (status, body) = route(engine, pool, &req);
+        let (status, body) = route(registry, pool, &req);
         write_response(&mut writer, status, &body, keep)?;
         if !keep {
             break;
@@ -262,7 +281,7 @@ fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
 fn write_response<W: Write>(
     w: &mut W,
     status: u16,
-    body: &Value,
+    body: &Body,
     keep_alive: bool,
 ) -> io::Result<()> {
     let reason = match status {
@@ -272,38 +291,151 @@ fn write_response<W: Write>(
         405 => "Method Not Allowed",
         _ => "Internal Server Error",
     };
-    let payload = body.to_json_string();
+    let (content_type, payload): (&str, std::borrow::Cow<'_, [u8]>) = match body {
+        Body::Json(v) => (
+            "application/json",
+            std::borrow::Cow::Owned(v.to_json_string().into_bytes()),
+        ),
+        Body::Bytes(b) => ("application/octet-stream", std::borrow::Cow::Borrowed(b)),
+    };
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{payload}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         payload.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    w.write_all(&payload)?;
     w.flush()
 }
 
 // ---------------------------------------------------------------- routing
 
-fn route<const D: usize>(
-    engine: &QueryEngine<D>,
-    pool: &rayon::ThreadPool,
-    req: &Request,
-) -> (u16, Value) {
-    let result = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Ok(serde_json::json!({"status": "ok"})),
-        ("GET", "/model") => Ok(model_info(engine)),
-        ("POST", "/cut") => parse_body(&req.body).and_then(|v| cut_handler(engine, &v)),
-        ("POST", "/eom") => parse_body(&req.body).and_then(|v| eom_handler(engine, &v)),
-        ("POST", "/assign") => parse_body(&req.body).and_then(|v| assign_handler(engine, pool, &v)),
-        ("GET", _) | ("POST", _) => {
-            return (404, serde_json::json!({"error": "unknown route"}));
-        }
-        _ => return (405, serde_json::json!({"error": "method not allowed"})),
+fn json_err(msg: impl Into<String>) -> Body {
+    Body::Json(serde_json::json!({"error": msg.into()}))
+}
+
+fn route(registry: &ModelRegistry, pool: &rayon::ThreadPool, req: &Request) -> (u16, Body) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let snapshot = registry.snapshot();
+
+    // Resolve `(model id, action)` for both route families; `GET /models`
+    // and admin routes are handled before model resolution.
+    let resolved: Option<(&str, Option<Arc<dyn ModelHandle>>, &str)> =
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => {
+                return (200, Body::Json(serde_json::json!({"status": "ok"})));
+            }
+            ("GET", ["models"]) => return (200, models_index(&snapshot)),
+            ("POST", ["admin", "load"]) => return admin_load(registry, &req.body),
+            ("POST", ["admin", "unload"]) => return admin_unload(registry, &req.body),
+            // Legacy single-model aliases → the default model.
+            ("GET", ["model"]) => match snapshot.default_handle() {
+                Some((id, h)) => Some((id, Some(h), "info")),
+                None => None,
+            },
+            ("POST", [action @ ("cut" | "eom" | "assign" | "assign_binary")]) => {
+                match snapshot.default_handle() {
+                    Some((id, h)) => Some((id, Some(h), *action)),
+                    None => None,
+                }
+            }
+            ("GET", ["models", id]) => Some((*id, snapshot.get(id), "info")),
+            ("POST", ["models", id, action @ ("cut" | "eom" | "assign" | "assign_binary")]) => {
+                Some((*id, snapshot.get(id), *action))
+            }
+            ("GET", _) | ("POST", _) => {
+                return (404, json_err("unknown route"));
+            }
+            _ => return (405, json_err("method not allowed")),
+        };
+    let Some((id, handle, action)) = resolved else {
+        return (404, json_err("no default model loaded"));
+    };
+    let Some(handle) = handle else {
+        return (404, json_err(format!("no model {id:?} loaded")));
+    };
+    let handle = &*handle;
+
+    let result = match action {
+        "info" => Ok(Body::Json(handle.info())),
+        "cut" => parse_body(&req.body).and_then(|v| cut_handler(handle, &v)),
+        "eom" => parse_body(&req.body).and_then(|v| eom_handler(handle, &v)),
+        "assign" => parse_body(&req.body).and_then(|v| assign_handler(handle, pool, &v)),
+        "assign_binary" => binary_assign_handler(id, handle, pool, &req.body),
+        _ => unreachable!("actions are matched above"),
     };
     match result {
         Ok(body) => (200, body),
-        Err(msg) => (400, serde_json::json!({"error": msg})),
+        Err(msg) => (400, json_err(msg)),
     }
+}
+
+fn models_index(snapshot: &crate::registry::RegistrySnapshot) -> Body {
+    let models: Vec<Value> = snapshot
+        .models
+        .iter()
+        .map(|(id, h)| {
+            serde_json::json!({
+                "id": id.clone(),
+                "n": h.num_points() as u64,
+                "dims": h.dims() as u64,
+            })
+        })
+        .collect();
+    let default = match &snapshot.default_id {
+        Some(id) => Value::String(id.clone()),
+        None => Value::Null,
+    };
+    Body::Json(serde_json::json!({
+        "models": Value::Array(models),
+        "default": default,
+    }))
+}
+
+fn admin_load(registry: &ModelRegistry, body: &[u8]) -> (u16, Body) {
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(msg) => return (400, json_err(msg)),
+    };
+    let (Some(id), Some(path)) = (
+        v.get("id").and_then(Value::as_str),
+        v.get("path").and_then(Value::as_str),
+    ) else {
+        return (400, json_err("pass \"id\" and \"path\""));
+    };
+    if let Err(e) = registry.load_path(id, std::path::Path::new(path)) {
+        return (400, json_err(format!("load {path:?}: {e}")));
+    }
+    if v.get("default").and_then(Value::as_bool) == Some(true) {
+        if let Err(e) = registry.set_default(id) {
+            return (400, json_err(e));
+        }
+    }
+    (
+        200,
+        Body::Json(
+            serde_json::json!({"loaded": id, "models": registry.snapshot().models.len() as u64}),
+        ),
+    )
+}
+
+fn admin_unload(registry: &ModelRegistry, body: &[u8]) -> (u16, Body) {
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(msg) => return (400, json_err(msg)),
+    };
+    let Some(id) = v.get("id").and_then(Value::as_str) else {
+        return (400, json_err("pass \"id\""));
+    };
+    if !registry.remove(id) {
+        return (404, json_err(format!("no model {id:?} loaded")));
+    }
+    (
+        200,
+        Body::Json(
+            serde_json::json!({"unloaded": id, "models": registry.snapshot().models.len() as u64}),
+        ),
+    )
 }
 
 fn parse_body(body: &[u8]) -> Result<Value, String> {
@@ -312,21 +444,6 @@ fn parse_body(body: &[u8]) -> Result<Value, String> {
         return Ok(Value::Object(Vec::new()));
     }
     serde_json::from_str(text).map_err(|e| format!("{e}"))
-}
-
-fn model_info<const D: usize>(engine: &QueryEngine<D>) -> Value {
-    let m = engine.model();
-    let bbox = m.bbox();
-    serde_json::json!({
-        "n": m.len() as u64,
-        "dims": D as u64,
-        "min_pts": m.min_pts as u64,
-        "min_cluster_size": m.min_cluster_size as u64,
-        "condensed_clusters": m.condensed.num_clusters() as u64,
-        "format_version": crate::artifact::FORMAT_VERSION,
-        "bbox_lo": bbox.lo.coords().to_vec(),
-        "bbox_hi": bbox.hi.coords().to_vec(),
-    })
 }
 
 fn finite_f64(v: &Value, what: &str) -> Result<f64, String> {
@@ -355,7 +472,7 @@ fn labels_json(labels: &[u32]) -> Value {
     )
 }
 
-fn labeling_response(labeling: &crate::engine::Labeling, include_labels: bool) -> Value {
+fn labeling_response(labeling: &crate::engine::Labeling, include_labels: bool) -> Body {
     let mut fields = vec![
         (
             "num_clusters".to_string(),
@@ -366,7 +483,7 @@ fn labeling_response(labeling: &crate::engine::Labeling, include_labels: bool) -
     if include_labels {
         fields.push(("labels".to_string(), labels_json(&labeling.labels)));
     }
-    Value::Object(fields)
+    Body::Json(Value::Object(fields))
 }
 
 fn include_labels(v: &Value) -> bool {
@@ -375,7 +492,7 @@ fn include_labels(v: &Value) -> bool {
         .unwrap_or(true)
 }
 
-fn cut_handler<const D: usize>(engine: &QueryEngine<D>, v: &Value) -> Result<Value, String> {
+fn cut_handler(handle: &dyn ModelHandle, v: &Value) -> Result<Body, String> {
     let spec = match (v.get("eps"), v.get("k")) {
         (Some(eps), None) => LabelingSpec::Cut {
             eps: finite_f64(eps, "eps")?,
@@ -385,10 +502,10 @@ fn cut_handler<const D: usize>(engine: &QueryEngine<D>, v: &Value) -> Result<Val
         },
         _ => return Err("pass exactly one of \"eps\" or \"k\"".to_string()),
     };
-    Ok(labeling_response(&engine.labeling(spec), include_labels(v)))
+    Ok(labeling_response(&handle.labeling(spec), include_labels(v)))
 }
 
-fn eom_handler<const D: usize>(engine: &QueryEngine<D>, v: &Value) -> Result<Value, String> {
+fn eom_handler(handle: &dyn ModelHandle, v: &Value) -> Result<Body, String> {
     let eps = match v.get("cluster_selection_epsilon") {
         Some(e) => {
             let e = finite_f64(e, "cluster_selection_epsilon")?;
@@ -402,7 +519,7 @@ fn eom_handler<const D: usize>(engine: &QueryEngine<D>, v: &Value) -> Result<Val
     let spec = LabelingSpec::Eom {
         cluster_selection_epsilon: eps,
     };
-    Ok(labeling_response(&engine.labeling(spec), include_labels(v)))
+    Ok(labeling_response(&handle.labeling(spec), include_labels(v)))
 }
 
 /// Parse the labeling selector shared by `/assign`: `{"eps": f}`,
@@ -436,11 +553,11 @@ fn labeling_spec(v: &Value) -> Result<LabelingSpec, String> {
     Err("labeling must set one of eps / k / cluster_selection_epsilon".to_string())
 }
 
-fn assign_handler<const D: usize>(
-    engine: &QueryEngine<D>,
+fn assign_handler(
+    handle: &dyn ModelHandle,
     pool: &rayon::ThreadPool,
     v: &Value,
-) -> Result<Value, String> {
+) -> Result<Body, String> {
     let spec = labeling_spec(v)?;
     let max_dist = match v.get("max_dist") {
         Some(md) => {
@@ -452,42 +569,75 @@ fn assign_handler<const D: usize>(
         }
         None => f64::INFINITY,
     };
+    let dims = handle.dims();
     let raw = v
         .get("points")
         .and_then(Value::as_array)
         .ok_or("points must be an array of coordinate arrays")?;
-    let mut queries = Vec::with_capacity(raw.len());
+    let mut flat = Vec::with_capacity(raw.len() * dims);
     for (i, p) in raw.iter().enumerate() {
         let coords = p
             .as_array()
             .ok_or_else(|| format!("points[{i}] must be an array"))?;
-        if coords.len() != D {
+        if coords.len() != dims {
             return Err(format!(
-                "points[{i}] has {} coordinates, model is {D}-dimensional",
+                "points[{i}] has {} coordinates, model is {dims}-dimensional",
                 coords.len()
             ));
         }
-        let mut c = [0.0; D];
-        for (d, slot) in c.iter_mut().enumerate() {
-            *slot = finite_f64(&coords[d], "coordinate")?;
+        for c in coords {
+            flat.push(finite_f64(c, "coordinate")?);
         }
-        queries.push(Point(c));
     }
-    let assignments = pool.install(|| engine.assign_batch(&queries, spec, max_dist));
+    let assignments = handle.assign_flat(&flat, spec, max_dist, pool);
     let labels: Vec<u32> = assignments.iter().map(|a| a.label).collect();
     let neighbors: Vec<u64> = assignments.iter().map(|a| a.neighbor as u64).collect();
     let distances: Vec<f64> = assignments.iter().map(|a| a.distance).collect();
-    Ok(serde_json::json!({
+    Ok(Body::Json(serde_json::json!({
         "labels": labels_json(&labels),
         "neighbors": neighbors,
         "distances": distances,
-    }))
+    })))
+}
+
+/// The binary leg: decode a [`proto`](crate::proto) request frame, check it
+/// against the routed model (id and dimensionality), assign, answer with an
+/// encoded response frame.
+fn binary_assign_handler(
+    id: &str,
+    handle: &dyn ModelHandle,
+    pool: &rayon::ThreadPool,
+    body: &[u8],
+) -> Result<Body, String> {
+    let req = AssignRequest::decode(body).map_err(|e| format!("{e}"))?;
+    if req.model_id != id {
+        return Err(format!(
+            "frame addresses model {:?} but was routed at {id:?}",
+            req.model_id
+        ));
+    }
+    if req.dims as usize != handle.dims() {
+        return Err(format!(
+            "frame holds {}-dimensional points, model is {}-dimensional",
+            req.dims,
+            handle.dims()
+        ));
+    }
+    let assignments = handle.assign_flat(&req.coords, req.spec, req.max_dist, pool);
+    let resp = AssignResponse {
+        labels: assignments.iter().map(|a| a.label).collect(),
+        neighbors: assignments.iter().map(|a| a.neighbor).collect(),
+        distances: assignments.iter().map(|a| a.distance).collect(),
+    };
+    Ok(Body::Bytes(resp.encode()))
 }
 
 // ----------------------------------------------------------------- client
 
-/// A keep-alive HTTP/JSON client for the server above — used by the load
-/// generator, the CI smoke test, and the end-to-end tests.
+/// A keep-alive HTTP client for the server above — used by the load
+/// generator, the CI smoke test, and the end-to-end tests. Speaks JSON
+/// ([`Client::get`] / [`Client::post`]) and the binary protocol
+/// ([`Client::post_binary`]).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -506,26 +656,53 @@ impl Client {
     }
 
     pub fn get(&mut self, path: &str) -> io::Result<(u16, Value)> {
-        self.request("GET", path, None)
+        self.request_json("GET", path, None)
     }
 
     pub fn post(&mut self, path: &str, body: &Value) -> io::Result<(u16, Value)> {
-        self.request("POST", path, Some(body))
+        self.request_json("POST", path, Some(body))
     }
 
-    fn request(
+    /// POST a binary frame; returns the raw response body. On non-200 the
+    /// body is the server's JSON error document.
+    pub fn post_binary(&mut self, path: &str, frame: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        self.send_request("POST", path, "application/octet-stream", frame)?;
+        self.read_response()
+    }
+
+    fn request_json(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&Value>,
     ) -> io::Result<(u16, Value)> {
         let payload = body.map(|b| b.to_json_string()).unwrap_or_default();
+        self.send_request(method, path, "application/json", payload.as_bytes())?;
+        let (status, body) = self.read_response()?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        Ok((status, value))
+    }
+
+    fn send_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        payload: &[u8],
+    ) -> io::Result<()> {
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: parclust\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{payload}",
+            "{method} {path} HTTP/1.1\r\nHost: parclust\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             payload.len(),
         )?;
-        self.writer.flush()?;
+        self.writer.write_all(payload)?;
+        self.writer.flush()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Vec<u8>)> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(io::Error::new(
@@ -561,10 +738,6 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        let text = String::from_utf8(body)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        let value = serde_json::from_str(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
-        Ok((status, value))
+        Ok((status, body))
     }
 }

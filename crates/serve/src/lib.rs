@@ -40,14 +40,32 @@
 //!
 //! The `serve` binary wraps the same layers as a CLI (`build`, `serve`,
 //! `query` subcommands); `loadgen` measures serving throughput over HTTP.
+//!
+//! Serving is **multi-model**: a [`registry::ModelRegistry`] holds N named
+//! models (loaded from a directory scan, a JSON manifest, or hot-loaded at
+//! runtime via the admin routes), the HTTP layer routes
+//! `/models/{id}/...`, and high-volume assignment can skip JSON entirely
+//! via the checksummed binary batch protocol in [`proto`]. Both the
+//! labeling cache and the registry publish immutable snapshots through
+//! [`snapshot::SnapshotCell`], so the query hot path never takes a lock.
 
 pub mod artifact;
 pub mod engine;
 pub mod http;
+pub mod proto;
+pub mod registry;
+pub mod snapshot;
 
 pub use artifact::{peek_dims, ClusterModel, FORMAT_VERSION};
-pub use engine::{Assignment, Labeling, LabelingSpec, QueryEngine};
+pub use engine::{Assignment, LabelCache, Labeling, LabelingSpec, QueryEngine};
 pub use http::{start, Client, Server, ServerConfig};
+pub use proto::{AssignRequest, AssignResponse, PROTO_VERSION};
+pub use registry::{EngineHandle, ModelHandle, ModelRegistry, RegistrySnapshot};
+pub use snapshot::SnapshotCell;
+
+/// Point dimensionalities the serving stack monomorphizes
+/// ([`with_model_dims!`] dispatches over exactly these).
+pub const SUPPORTED_DIMS: [usize; 6] = [2, 3, 5, 7, 10, 16];
 
 /// Dispatch a runtime artifact dimensionality to a `ClusterModel::<D>`
 /// monomorphization. The serving stack supports the workspace's data-set

@@ -1,0 +1,448 @@
+//! Multi-model registry: the server loads N named artifacts, routes
+//! queries by model id, and hot-loads/unloads models at runtime without
+//! interrupting in-flight queries.
+//!
+//! [`ClusterModel`] is generic over the point dimension, so the registry
+//! type-erases each loaded model behind the object-safe [`ModelHandle`]
+//! trait — the HTTP layer and the binary protocol only ever speak flat
+//! coordinate slices and dimension-free [`Labeling`]s. The id → handle map
+//! itself is an immutable [`RegistrySnapshot`] published through a
+//! [`SnapshotCell`]: routing a request is lock-free, and an admin
+//! load/unload publishes a new snapshot without stalling readers.
+//!
+//! Three ways to populate a registry:
+//!
+//! * [`ModelRegistry::load_path`] — one artifact, explicit id;
+//! * [`ModelRegistry::load_dir`] — scan a directory for `*.pcsm`, ids from
+//!   file stems;
+//! * [`ModelRegistry::load_manifest`] — a JSON manifest pinning ids, paths,
+//!   and the default model:
+//!   `{"models": [{"id": "a", "path": "a.pcsm"}, ...], "default": "a"}`.
+
+use crate::artifact::{peek_dims, ClusterModel};
+use crate::engine::{Assignment, Labeling, LabelingSpec, QueryEngine};
+use crate::snapshot::SnapshotCell;
+use crate::with_model_dims;
+use parclust_geom::Point;
+use serde_json::Value;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Longest accepted model id; ids are also restricted to
+/// `[A-Za-z0-9._-]` so they can appear verbatim in URL paths.
+pub const MAX_MODEL_ID: usize = 128;
+
+/// Check a model id for the registry's charset/length rules.
+pub fn validate_model_id(id: &str) -> Result<(), String> {
+    if id.is_empty() || id.len() > MAX_MODEL_ID {
+        return Err(format!(
+            "model id must be 1..={MAX_MODEL_ID} bytes, got {}",
+            id.len()
+        ));
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return Err(format!(
+            "model id {id:?} holds characters outside [A-Za-z0-9._-]"
+        ));
+    }
+    Ok(())
+}
+
+/// A dimension-erased, servable model: everything the HTTP layer needs,
+/// object-safe so models of different dimensionality share one registry.
+pub trait ModelHandle: Send + Sync {
+    /// Point dimensionality of the underlying model.
+    fn dims(&self) -> usize;
+    /// Number of training points.
+    fn num_points(&self) -> usize;
+    /// Model metadata as served by `GET /models/{id}`.
+    fn info(&self) -> Value;
+    /// Compute-or-fetch a labeling (delegates to the engine's snapshot
+    /// cache).
+    fn labeling(&self, spec: LabelingSpec) -> Arc<Labeling>;
+    /// Batched out-of-sample assignment over row-major flat coordinates
+    /// (`dims()` per point), fanned out on `pool`. `flat.len()` must be a
+    /// multiple of `dims()`.
+    fn assign_flat(
+        &self,
+        flat: &[f64],
+        spec: LabelingSpec,
+        max_dist: f64,
+        pool: &rayon::ThreadPool,
+    ) -> Vec<Assignment>;
+    /// Labelings computed so far (cache-miss counter, for tests/metrics).
+    fn labelings_computed(&self) -> u64;
+}
+
+/// [`ModelHandle`] over a [`QueryEngine`] of fixed dimension.
+pub struct EngineHandle<const D: usize> {
+    engine: Arc<QueryEngine<D>>,
+}
+
+impl<const D: usize> EngineHandle<D> {
+    pub fn new(engine: Arc<QueryEngine<D>>) -> Self {
+        EngineHandle { engine }
+    }
+
+    pub fn engine(&self) -> &Arc<QueryEngine<D>> {
+        &self.engine
+    }
+}
+
+impl<const D: usize> ModelHandle for EngineHandle<D> {
+    fn dims(&self) -> usize {
+        D
+    }
+
+    fn num_points(&self) -> usize {
+        self.engine.model().len()
+    }
+
+    fn info(&self) -> Value {
+        let m = self.engine.model();
+        let bbox = m.bbox();
+        serde_json::json!({
+            "n": m.len() as u64,
+            "dims": D as u64,
+            "min_pts": m.min_pts as u64,
+            "min_cluster_size": m.min_cluster_size as u64,
+            "condensed_clusters": m.condensed.num_clusters() as u64,
+            "format_version": crate::artifact::FORMAT_VERSION,
+            "bbox_lo": bbox.lo.coords().to_vec(),
+            "bbox_hi": bbox.hi.coords().to_vec(),
+        })
+    }
+
+    fn labeling(&self, spec: LabelingSpec) -> Arc<Labeling> {
+        self.engine.labeling(spec)
+    }
+
+    fn assign_flat(
+        &self,
+        flat: &[f64],
+        spec: LabelingSpec,
+        max_dist: f64,
+        pool: &rayon::ThreadPool,
+    ) -> Vec<Assignment> {
+        assert_eq!(flat.len() % D, 0, "flat coords must be whole {D}D points");
+        let queries: Vec<Point<D>> = flat
+            .chunks_exact(D)
+            .map(|c| {
+                let mut p = [0.0; D];
+                p.copy_from_slice(c);
+                Point(p)
+            })
+            .collect();
+        pool.install(|| self.engine.assign_batch(&queries, spec, max_dist))
+    }
+
+    fn labelings_computed(&self) -> u64 {
+        self.engine.labelings_computed()
+    }
+}
+
+/// Wrap a loaded model in a fresh engine + handle.
+pub fn handle_for_model<const D: usize>(model: ClusterModel<D>) -> Arc<dyn ModelHandle> {
+    Arc::new(EngineHandle::new(Arc::new(QueryEngine::new(Arc::new(
+        model,
+    )))))
+}
+
+/// One immutable registry state: id-sorted models plus the default id the
+/// legacy single-model routes resolve to.
+#[derive(Default)]
+pub struct RegistrySnapshot {
+    /// `(id, handle)`, sorted by id (binary-searchable).
+    pub models: Vec<(String, Arc<dyn ModelHandle>)>,
+    /// Target of the legacy `/cut`-style routes; always present in
+    /// `models` when `Some`.
+    pub default_id: Option<String>,
+}
+
+impl RegistrySnapshot {
+    pub fn get(&self, id: &str) -> Option<Arc<dyn ModelHandle>> {
+        self.models
+            .binary_search_by(|(mid, _)| mid.as_str().cmp(id))
+            .ok()
+            .map(|i| Arc::clone(&self.models[i].1))
+    }
+
+    pub fn default_handle(&self) -> Option<(&str, Arc<dyn ModelHandle>)> {
+        let id = self.default_id.as_deref()?;
+        Some((id, self.get(id)?))
+    }
+}
+
+/// The mutable face: insert/remove publish new [`RegistrySnapshot`]s;
+/// lookups are lock-free snapshot reads.
+pub struct ModelRegistry {
+    snap: SnapshotCell<RegistrySnapshot>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    pub fn new() -> Self {
+        ModelRegistry {
+            snap: SnapshotCell::new(RegistrySnapshot::default()),
+        }
+    }
+
+    /// Current snapshot (route against this; it cannot change underfoot).
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        self.snap.load()
+    }
+
+    /// Insert or replace a model. The first inserted model becomes the
+    /// default unless one was already chosen.
+    pub fn insert(&self, id: &str, handle: Arc<dyn ModelHandle>) -> Result<(), String> {
+        validate_model_id(id)?;
+        self.snap.update(|cur| {
+            let mut models = cur.models.clone();
+            match models.binary_search_by(|(mid, _)| mid.as_str().cmp(id)) {
+                Ok(i) => models[i].1 = handle,
+                Err(i) => models.insert(i, (id.to_string(), handle)),
+            }
+            let default_id = cur.default_id.clone().or_else(|| Some(id.to_string()));
+            (
+                Some(Arc::new(RegistrySnapshot { models, default_id })),
+                Ok(()),
+            )
+        })
+    }
+
+    /// Remove a model; in-flight queries holding its handle finish
+    /// unharmed. Removing the default clears (or reassigns) the default to
+    /// the first remaining id.
+    pub fn remove(&self, id: &str) -> bool {
+        self.snap.update(|cur| {
+            let Ok(i) = cur.models.binary_search_by(|(mid, _)| mid.as_str().cmp(id)) else {
+                return (None, false);
+            };
+            let mut models = cur.models.clone();
+            models.remove(i);
+            let default_id = match &cur.default_id {
+                Some(d) if d == id => models.first().map(|(mid, _)| mid.clone()),
+                other => other.clone(),
+            };
+            (
+                Some(Arc::new(RegistrySnapshot { models, default_id })),
+                true,
+            )
+        })
+    }
+
+    /// Pin the default model (must already be loaded).
+    pub fn set_default(&self, id: &str) -> Result<(), String> {
+        self.snap.update(|cur| {
+            if cur.get(id).is_none() {
+                return (None, Err(format!("no model {id:?} loaded")));
+            }
+            (
+                Some(Arc::new(RegistrySnapshot {
+                    models: cur.models.clone(),
+                    default_id: Some(id.to_string()),
+                })),
+                Ok(()),
+            )
+        })
+    }
+
+    /// Load one artifact under `id`, dispatching on the artifact's stored
+    /// dimensionality.
+    pub fn load_path(&self, id: &str, path: &Path) -> io::Result<()> {
+        validate_model_id(id).map_err(invalid)?;
+        let dims = peek_dims(path)?;
+        // Guard before the macro: with_model_dims! panics on dimensions the
+        // workspace doesn't monomorphize, but a hot-load of a corrupt or
+        // foreign artifact must stay a clean error.
+        if !crate::SUPPORTED_DIMS.contains(&dims) {
+            return Err(invalid(format!(
+                "artifact {} has unsupported dimensionality {dims} (supported: {:?})",
+                path.display(),
+                crate::SUPPORTED_DIMS
+            )));
+        }
+        let handle = with_model_dims!(dims, |D| handle_for_model(ClusterModel::<D>::load(path)?));
+        self.insert(id, handle).map_err(invalid)
+    }
+
+    /// Scan `dir` for `*.pcsm` artifacts; each loads under its file stem.
+    /// Returns the ids loaded (sorted). Files that fail to load abort the
+    /// scan with the error.
+    pub fn load_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "pcsm"))
+            .collect();
+        entries.sort();
+        let mut ids = Vec::new();
+        for path in entries {
+            let id = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| invalid(format!("unusable artifact name {path:?}")))?
+                .to_string();
+            self.load_path(&id, &path)?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Load models per a JSON manifest. Relative paths resolve against the
+    /// manifest's own directory. Format:
+    ///
+    /// ```json
+    /// {"models": [{"id": "geo", "path": "geo.pcsm"}], "default": "geo"}
+    /// ```
+    pub fn load_manifest(&self, manifest: &Path) -> io::Result<Vec<String>> {
+        let text = std::fs::read_to_string(manifest)?;
+        let v: Value = serde_json::from_str(&text)
+            .map_err(|e| invalid(format!("manifest {}: {e}", manifest.display())))?;
+        let base = manifest.parent().unwrap_or(Path::new(""));
+        let models = v
+            .get("models")
+            .and_then(Value::as_array)
+            .ok_or_else(|| invalid("manifest must hold a \"models\" array"))?;
+        let mut ids = Vec::new();
+        for (i, m) in models.iter().enumerate() {
+            let id = m
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| invalid(format!("models[{i}] missing \"id\"")))?;
+            let path = m
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| invalid(format!("models[{i}] missing \"path\"")))?;
+            self.load_path(id, &base.join(path))?;
+            ids.push(id.to_string());
+        }
+        if let Some(default) = v.get("default").and_then(Value::as_str) {
+            self.set_default(default).map_err(invalid)?;
+        }
+        Ok(ids)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn blob_model(n: usize, seed: u64) -> ClusterModel<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point([rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]))
+            .collect();
+        ClusterModel::build(&pts, 3, 3)
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parclust-registry-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn insert_get_remove_and_default_tracking() {
+        let reg = ModelRegistry::new();
+        assert!(reg.snapshot().default_handle().is_none());
+        reg.insert("b", handle_for_model(blob_model(40, 1)))
+            .unwrap();
+        reg.insert("a", handle_for_model(blob_model(30, 2)))
+            .unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.models.len(), 2);
+        assert_eq!(snap.models[0].0, "a", "snapshot is id-sorted");
+        // First insert won the default.
+        assert_eq!(snap.default_handle().unwrap().0, "b");
+        assert_eq!(snap.get("a").unwrap().num_points(), 30);
+        assert!(snap.get("missing").is_none());
+        reg.set_default("a").unwrap();
+        assert!(reg.set_default("missing").is_err());
+        // An old snapshot is immutable; removal shows up in new ones only.
+        assert!(reg.remove("a"));
+        assert!(!reg.remove("a"), "double remove reports absence");
+        assert!(snap.get("a").is_some(), "held snapshot unaffected");
+        let now = reg.snapshot();
+        assert!(now.get("a").is_none());
+        // Default fell back to the remaining model.
+        assert_eq!(now.default_handle().unwrap().0, "b");
+    }
+
+    #[test]
+    fn id_validation() {
+        let reg = ModelRegistry::new();
+        let h = handle_for_model(blob_model(20, 3));
+        for bad in ["", "has space", "slash/y", "q?x", &"x".repeat(200)] {
+            assert!(reg.insert(bad, Arc::clone(&h)).is_err(), "{bad:?}");
+        }
+        for good in ["a", "geo-3d", "A.B_c-9"] {
+            assert!(reg.insert(good, Arc::clone(&h)).is_ok(), "{good:?}");
+        }
+    }
+
+    #[test]
+    fn dir_scan_and_manifest_loading() {
+        let dir = tmpdir("scan");
+        blob_model(25, 4).save(&dir.join("alpha.pcsm")).unwrap();
+        blob_model(35, 5).save(&dir.join("beta.pcsm")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let reg = ModelRegistry::new();
+        let ids = reg.load_dir(&dir).unwrap();
+        assert_eq!(ids, vec!["alpha".to_string(), "beta".to_string()]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("alpha").unwrap().num_points(), 25);
+        assert_eq!(snap.get("beta").unwrap().num_points(), 35);
+
+        // Manifest: explicit ids + default, relative paths.
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"models": [{"id": "one", "path": "alpha.pcsm"},
+                           {"id": "two", "path": "beta.pcsm"}],
+                "default": "two"}"#,
+        )
+        .unwrap();
+        let reg2 = ModelRegistry::new();
+        let ids = reg2.load_manifest(&dir.join("manifest.json")).unwrap();
+        assert_eq!(ids, vec!["one".to_string(), "two".to_string()]);
+        assert_eq!(reg2.snapshot().default_handle().unwrap().0, "two");
+        // Broken manifests error out.
+        std::fs::write(dir.join("bad.json"), r#"{"default": "x"}"#).unwrap();
+        assert!(reg2.load_manifest(&dir.join("bad.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handle_assign_flat_matches_engine() {
+        let model = Arc::new(blob_model(60, 6));
+        let engine = Arc::new(QueryEngine::new(Arc::clone(&model)));
+        let handle = EngineHandle::new(Arc::clone(&engine));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let spec = LabelingSpec::Cut { eps: 2.0 };
+        let flat = [0.5, 0.5, -4.0, 4.0, 9.0, 9.0];
+        let got = handle.assign_flat(&flat, spec, f64::INFINITY, &pool);
+        let queries = [Point([0.5, 0.5]), Point([-4.0, 4.0]), Point([9.0, 9.0])];
+        let want = engine.assign_batch(&queries, spec, f64::INFINITY);
+        assert_eq!(got, want);
+    }
+}

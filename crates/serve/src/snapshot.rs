@@ -1,0 +1,187 @@
+//! Lock-free snapshot publication: the concurrency primitive behind the
+//! engine's labeling cache and the model registry.
+//!
+//! A [`SnapshotCell<T>`] holds an immutable snapshot behind an `Arc`.
+//! Writers publish a *new* snapshot under a mutex (copy-on-write); readers
+//! on the hot path never touch that mutex — [`SnapshotCell::load`] is one
+//! atomic version load plus a thread-local probe. Only when the version
+//! has moved (someone published) does a reader fall back to the writer
+//! mutex to refresh its thread-local `Arc`.
+//!
+//! Why not a bare `AtomicPtr` swap? Reclamation: a reader that loads the
+//! pointer just before a writer swaps-and-drops would dereference freed
+//! memory, and fixing that needs hazard pointers or epochs. Anchoring the
+//! current `Arc` in a mutex-guarded slot and caching *validated* clones in
+//! TLS gives the same steady-state behavior — readers share no mutable
+//! cache line, publishes are globally visible on the next load — with
+//! plain `std` and no deferred-reclamation machinery. Memory stays bounded:
+//! each thread pins at most one superseded snapshot per cell (until its
+//! next load), and the TLS table is capped at [`TLS_CAP`] cells.
+//!
+//! Correctness of the fast path: the version counter is bumped only while
+//! the writer mutex is held, strictly increases, and readers pair every
+//! cached `Arc` with the version observed under that same mutex. So
+//! `cached.version == version.load()` implies no publish happened since the
+//! pair was taken, i.e. the cached `Arc` *is* the current snapshot.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Global id source so thread-local entries can tell cells apart (a cell's
+/// address can be reused after drop; a monotonically increasing id cannot).
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Max snapshot cells cached per thread; least-recently-used entries fall
+/// off so short-lived cells (tests build many engines) cannot grow TLS
+/// without bound. Sized for the serving shape (one cell per loaded model
+/// plus the registry): a worker thread serving round-robin traffic over
+/// more than ~60 hot models starts thrashing this LRU and its loads
+/// degrade to the writer-mutex slow path — still correct, no longer
+/// lock-free. Grow this (or key it per cell set) before targeting
+/// many-tenant registries past that size.
+const TLS_CAP: usize = 64;
+
+thread_local! {
+    /// Per-thread cache: `(cell id, version, snapshot)` in LRU order
+    /// (front = most recent).
+    static SLOTS: RefCell<Vec<(u64, u64, Arc<dyn Any + Send + Sync>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// An atomically publishable immutable snapshot. See the module docs for
+/// the read/write protocol.
+pub struct SnapshotCell<T: Send + Sync + 'static> {
+    id: u64,
+    /// Bumped (under the writer mutex) on every publish.
+    version: AtomicU64,
+    /// The authoritative current snapshot; also serializes writers.
+    writer: Mutex<Arc<T>>,
+}
+
+impl<T: Send + Sync + 'static> SnapshotCell<T> {
+    pub fn new(initial: T) -> Self {
+        SnapshotCell {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            version: AtomicU64::new(1),
+            writer: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// Current snapshot. Lock-free in steady state (no publish since this
+    /// thread's last load): one atomic load + a thread-local probe.
+    pub fn load(&self) -> Arc<T> {
+        let v = self.version.load(Ordering::Acquire);
+        let hit = SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            let i = slots.iter().position(|(id, _, _)| *id == self.id)?;
+            if slots[i].1 != v {
+                return None;
+            }
+            if i != 0 {
+                let entry = slots.remove(i);
+                slots.insert(0, entry);
+            }
+            Some(Arc::clone(&slots[0].2))
+        });
+        match hit {
+            Some(any) => any.downcast::<T>().expect("snapshot cell type"),
+            None => self.load_slow(),
+        }
+    }
+
+    /// Refresh the thread-local entry from the writer slot.
+    fn load_slow(&self) -> Arc<T> {
+        let (snap, v) = {
+            let guard = self.writer.lock().unwrap();
+            // Read the version while holding the lock: this pairs the Arc
+            // with the exact version it was published under.
+            (Arc::clone(&guard), self.version.load(Ordering::Acquire))
+        };
+        let erased: Arc<dyn Any + Send + Sync> = Arc::clone(&snap) as _;
+        SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            slots.retain(|(id, _, _)| *id != self.id);
+            slots.insert(0, (self.id, v, erased));
+            slots.truncate(TLS_CAP);
+        });
+        snap
+    }
+
+    /// Writer-side read-modify-write. `f` runs under the writer mutex with
+    /// the current snapshot; returning `Some(next)` publishes it (readers
+    /// see it on their next [`SnapshotCell::load`]), `None` leaves the
+    /// current snapshot in place. The second tuple element is passed
+    /// through as the return value.
+    pub fn update<R>(&self, f: impl FnOnce(&Arc<T>) -> (Option<Arc<T>>, R)) -> R {
+        let mut guard = self.writer.lock().unwrap();
+        let (next, out) = f(&guard);
+        if let Some(next) = next {
+            *guard = next;
+            self.version.fetch_add(1, Ordering::Release);
+        }
+        out
+    }
+
+    /// Unconditionally publish `next`.
+    pub fn store(&self, next: T) {
+        self.update(|_| (Some(Arc::new(next)), ()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_publish() {
+        let cell = SnapshotCell::new(0u64);
+        assert_eq!(*cell.load(), 0);
+        cell.store(7);
+        assert_eq!(*cell.load(), 7);
+        // Conditional update with pass-through result.
+        let seen = cell.update(|cur| (Some(Arc::new(**cur + 1)), **cur));
+        assert_eq!(seen, 7);
+        assert_eq!(*cell.load(), 8);
+        // A no-op update leaves the snapshot alone.
+        cell.update(|_| (None, ()));
+        assert_eq!(*cell.load(), 8);
+    }
+
+    #[test]
+    fn repeated_loads_share_the_snapshot() {
+        let cell = SnapshotCell::new(vec![1, 2, 3]);
+        let a = cell.load();
+        let b = cell.load();
+        assert!(Arc::ptr_eq(&a, &b), "steady-state loads share one Arc");
+        cell.store(vec![4]);
+        let c = cell.load();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*c, vec![4]);
+    }
+
+    #[test]
+    fn many_cells_exceeding_tls_cap_stay_correct() {
+        let cells: Vec<SnapshotCell<usize>> = (0..3 * TLS_CAP).map(SnapshotCell::new).collect();
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(*cell.load(), i);
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            cell.store(i + 1000);
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(*cell.load(), i + 1000, "evicted TLS entries must refill");
+        }
+    }
+
+    #[test]
+    fn cross_thread_publish_is_observed() {
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        // Warm this thread's TLS, publish from another thread, reload.
+        assert_eq!(*cell.load(), 0);
+        std::thread::spawn(move || c2.store(42)).join().unwrap();
+        assert_eq!(*cell.load(), 42, "stale TLS entry must be refreshed");
+    }
+}

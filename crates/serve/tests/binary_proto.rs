@@ -1,0 +1,176 @@
+//! Property tests for the binary batch assignment protocol: randomized
+//! frames must round-trip encode→decode exactly, and truncated, bit-flipped,
+//! or misaddressed frames must be rejected with errors — never panics and
+//! never silently wrong decodes (mirroring the PR 3 artifact corruption
+//! proptests; the case count honors `PROPTEST_CASES`).
+
+use parclust_serve::{AssignRequest, AssignResponse, LabelingSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = LabelingSpec> {
+    (0u8..3, 0.0f64..100.0, 0usize..1000).prop_map(|(tag, x, k)| match tag {
+        0 => LabelingSpec::Eom {
+            cluster_selection_epsilon: x,
+        },
+        1 => LabelingSpec::Cut { eps: x },
+        _ => LabelingSpec::CutK { k },
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = AssignRequest> {
+    (
+        prop::collection::vec(0u8..36, 1..20),
+        spec_strategy(),
+        0.0f64..1e12,
+        1u32..6,
+        prop::collection::vec(-1e9f64..1e9, 0..120),
+    )
+        .prop_map(|(id_raw, spec, max_dist, dims, mut coords)| {
+            // Ids from the registry's charset.
+            const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+            let model_id: String = id_raw.iter().map(|&i| CHARS[i as usize] as char).collect();
+            coords.truncate(coords.len() - coords.len() % dims as usize);
+            AssignRequest {
+                model_id,
+                spec,
+                max_dist,
+                dims,
+                coords,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrips_exactly(req in request_strategy()) {
+        let frame = req.encode();
+        let back = AssignRequest::decode(&frame).unwrap();
+        prop_assert_eq!(&back, &req);
+        // Float equality above is value equality; pin bit equality too
+        // (the wire format must not normalize -0.0 or denormals).
+        for (a, b) in back.coords.iter().zip(&req.coords) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_exactly(
+        labels in prop::collection::vec(0u32..50, 0..200),
+        seed in 0u64..1000,
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = labels.len();
+        let resp = AssignResponse {
+            labels: labels.clone(),
+            neighbors: (0..n).map(|_| rng.gen_range(0u32..1_000_000)).collect(),
+            distances: (0..n).map(|_| rng.gen_range(-1.0f64..1e9)).collect(),
+        };
+        let back = AssignResponse::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncated_request_frames_are_rejected(
+        req in request_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = req.encode();
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        prop_assert!(AssignRequest::decode(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflipped_request_frames_are_rejected(
+        req in request_strategy(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut frame = req.encode();
+        let pos = ((frame.len() as f64 * pos_frac) as usize).min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        // Any single-bit flip breaks the checksum (or, landing in the
+        // checksum itself, the comparison): the decode must fail cleanly.
+        prop_assert!(AssignRequest::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn bitflipped_response_frames_are_rejected(
+        n in 0usize..100,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let resp = AssignResponse {
+            labels: vec![1; n],
+            neighbors: vec![2; n],
+            distances: vec![0.5; n],
+        };
+        let mut frame = resp.encode();
+        let pos = ((frame.len() as f64 * pos_frac) as usize).min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        prop_assert!(AssignResponse::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected(bytes in prop::collection::vec(0u8..255, 0..300)) {
+        // Random byte soup essentially never carries a valid FNV trailer.
+        prop_assert!(AssignRequest::decode(&bytes).is_err());
+        prop_assert!(AssignResponse::decode(&bytes).is_err());
+    }
+}
+
+/// The wrong-model-id rejection lives at the routing layer (the frame
+/// itself is valid); pin it over a real socket with randomized ids.
+#[test]
+fn wrong_model_id_requests_are_rejected_end_to_end() {
+    use parclust::Point;
+    use parclust_serve::{
+        start, Client, ClusterModel, EngineHandle, ModelRegistry, QueryEngine, ServerConfig,
+    };
+    use std::sync::Arc;
+
+    let pts: Vec<Point<2>> = (0..40)
+        .map(|i| Point([(i % 8) as f64, (i / 8) as f64]))
+        .collect();
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert(
+            "right",
+            Arc::new(EngineHandle::new(Arc::new(QueryEngine::new(Arc::new(
+                ClusterModel::build(&pts, 3, 3),
+            ))))),
+        )
+        .unwrap();
+    let server = start(Arc::clone(&registry), &ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let make_frame = |id: &str| {
+        AssignRequest {
+            model_id: id.into(),
+            spec: LabelingSpec::CutK { k: 2 },
+            max_dist: f64::INFINITY,
+            dims: 2,
+            coords: vec![1.0, 1.0],
+        }
+        .encode()
+    };
+    // Correct id answers; every wrong id (including prefixes/suffixes and
+    // an id that exists nowhere) is a 400, and the connection survives.
+    let (status, body) = client
+        .post_binary("/models/right/assign_binary", &make_frame("right"))
+        .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(AssignResponse::decode(&body).unwrap().labels.len(), 1);
+    for wrong in ["wrong", "righ", "rightx", "RIGHT", "r"] {
+        let (status, _) = client
+            .post_binary("/models/right/assign_binary", &make_frame(wrong))
+            .unwrap();
+        assert_eq!(status, 400, "id {wrong:?} must be rejected");
+    }
+    // And a valid frame addressed at a model the registry never loaded.
+    let (status, _) = client
+        .post_binary("/models/ghost/assign_binary", &make_frame("ghost"))
+        .unwrap();
+    assert_eq!(status, 404);
+    drop(client);
+    server.shutdown();
+}

@@ -3,10 +3,25 @@
 //! against direct engine calls.
 
 use parclust::{Point, NOISE};
-use parclust_serve::{start, Client, ClusterModel, LabelingSpec, QueryEngine, ServerConfig};
+use parclust_serve::{
+    start, AssignRequest, AssignResponse, Client, ClusterModel, EngineHandle, LabelingSpec,
+    ModelRegistry, QueryEngine, ServerConfig,
+};
 use rand::prelude::*;
 use serde_json::Value;
 use std::sync::Arc;
+
+/// Registry with `engine` as the default model under `id`.
+fn single_model_registry<const D: usize>(
+    id: &str,
+    engine: Arc<QueryEngine<D>>,
+) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert(id, Arc::new(EngineHandle::new(engine)))
+        .unwrap();
+    registry
+}
 
 fn three_blobs(per: usize, seed: u64) -> Vec<Point<2>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -51,7 +66,7 @@ fn serves_flat_cuts_eom_and_assignment_over_http() {
 
     let engine = Arc::new(QueryEngine::new(Arc::clone(&model)));
     let server = start(
-        Arc::clone(&engine),
+        single_model_registry("blobs", Arc::clone(&engine)),
         &ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 3,
@@ -215,7 +230,7 @@ fn malformed_http_is_survivable() {
     let pts = three_blobs(20, 9);
     let engine = Arc::new(QueryEngine::new(Arc::new(ClusterModel::build(&pts, 3, 5))));
     let server = start(
-        engine,
+        single_model_registry("m", engine),
         &ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 1,
@@ -234,6 +249,187 @@ fn malformed_http_is_survivable() {
     let mut client = Client::connect(addr).unwrap();
     let (status, _) = client.get("/healthz").unwrap();
     assert_eq!(status, 200);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn multi_model_routing_admin_and_binary_protocol() {
+    // Two models of different shapes behind one server.
+    let pts_a = three_blobs(60, 21);
+    let engine_a = Arc::new(QueryEngine::new(Arc::new(ClusterModel::build(
+        &pts_a, 5, 8,
+    ))));
+    let mut rng = StdRng::seed_from_u64(22);
+    let pts_b: Vec<Point<3>> = (0..120)
+        .map(|i| {
+            let cx = if i % 2 == 0 { 0.0 } else { 40.0 };
+            Point([
+                cx + rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.5..1.5),
+            ])
+        })
+        .collect();
+    let engine_b = Arc::new(QueryEngine::new(Arc::new(ClusterModel::build(
+        &pts_b, 4, 6,
+    ))));
+
+    let registry = single_model_registry("flat2d", Arc::clone(&engine_a));
+    registry
+        .insert("deep3d", Arc::new(EngineHandle::new(Arc::clone(&engine_b))))
+        .unwrap();
+    let server = start(
+        Arc::clone(&registry),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            pool_threads: 2,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Index lists both models; the first insert is the default.
+    let (status, index) = client.get("/models").unwrap();
+    assert_eq!(status, 200);
+    let models = index.get("models").and_then(Value::as_array).unwrap();
+    assert_eq!(models.len(), 2);
+    assert_eq!(index.get("default").and_then(Value::as_str), Some("flat2d"));
+
+    // Per-model info routes see distinct shapes.
+    let (_, info_a) = client.get("/models/flat2d").unwrap();
+    let (_, info_b) = client.get("/models/deep3d").unwrap();
+    assert_eq!(info_a.get("dims").and_then(Value::as_u64), Some(2));
+    assert_eq!(info_b.get("dims").and_then(Value::as_u64), Some(3));
+
+    // POST straight at a model (no action segment) is an unknown route.
+    let (status, _) = client
+        .post("/models/deep3d", &serde_json::json!({"eps": 10.0}))
+        .unwrap();
+    assert_eq!(status, 404);
+    // Per-model queries answer from their own engine.
+    let (status, cut_b) = client
+        .post(
+            "/models/deep3d/cut",
+            &serde_json::json!({"eps": 10.0, "include_labels": false}),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{cut_b}");
+    let want_b = engine_b.labeling(LabelingSpec::Cut { eps: 10.0 });
+    assert_eq!(
+        cut_b.get("num_clusters").and_then(Value::as_u64),
+        Some(want_b.num_clusters as u64)
+    );
+
+    // Unknown model id.
+    let (status, _) = client.get("/models/nope").unwrap();
+    assert_eq!(status, 404);
+
+    // Binary protocol against the 3D model.
+    let queries: Vec<f64> = vec![0.2, 0.1, -0.3, 39.8, 0.4, 0.2, 500.0, 500.0, 500.0];
+    let frame = AssignRequest {
+        model_id: "deep3d".into(),
+        spec: LabelingSpec::Cut { eps: 10.0 },
+        max_dist: 20.0,
+        dims: 3,
+        coords: queries.clone(),
+    }
+    .encode();
+    let (status, body) = client
+        .post_binary("/models/deep3d/assign_binary", &frame)
+        .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let resp = AssignResponse::decode(&body).unwrap();
+    let want = engine_b.assign_batch(
+        &[
+            Point([0.2, 0.1, -0.3]),
+            Point([39.8, 0.4, 0.2]),
+            Point([500.0, 500.0, 500.0]),
+        ],
+        LabelingSpec::Cut { eps: 10.0 },
+        20.0,
+    );
+    for (i, a) in want.iter().enumerate() {
+        assert_eq!(resp.labels[i], a.label);
+        assert_eq!(resp.neighbors[i], a.neighbor);
+        assert_eq!(resp.distances[i].to_bits(), a.distance.to_bits());
+    }
+    assert_eq!(resp.labels[2], NOISE, "far query exceeds max_dist");
+
+    // Wrong-model-id frames and dimension mismatches are rejected.
+    let (status, _) = client
+        .post_binary("/models/flat2d/assign_binary", &frame)
+        .unwrap();
+    assert_eq!(status, 400, "frame for deep3d routed at flat2d");
+    let bad_dims = AssignRequest {
+        model_id: "flat2d".into(),
+        spec: LabelingSpec::CutK { k: 2 },
+        max_dist: f64::INFINITY,
+        dims: 3,
+        coords: vec![0.0, 0.0, 0.0],
+    }
+    .encode();
+    let (status, _) = client
+        .post_binary("/models/flat2d/assign_binary", &bad_dims)
+        .unwrap();
+    assert_eq!(status, 400);
+    // Corrupt frames answer 400, not a dropped connection.
+    let mut corrupt = frame.clone();
+    corrupt[10] ^= 0x40;
+    let (status, _) = client
+        .post_binary("/models/deep3d/assign_binary", &corrupt)
+        .unwrap();
+    assert_eq!(status, 400);
+
+    // Admin: persist a model, hot-load it under a new id, flip the
+    // default, query it, unload it.
+    let mut path = std::env::temp_dir();
+    path.push(format!("parclust-admin-{}.pcsm", std::process::id()));
+    engine_a.model().save(&path).unwrap();
+    let (status, loaded) = client
+        .post(
+            "/admin/load",
+            &serde_json::json!({
+                "id": "hot",
+                "path": path.to_str().unwrap(),
+                "default": true,
+            }),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{loaded}");
+    std::fs::remove_file(&path).ok();
+    let (_, index) = client.get("/models").unwrap();
+    assert_eq!(index.get("default").and_then(Value::as_str), Some("hot"));
+    assert_eq!(
+        index.get("models").and_then(Value::as_array).unwrap().len(),
+        3
+    );
+    // The legacy routes now resolve to the hot-loaded model.
+    let (status, info) = client.get("/model").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(info.get("n").and_then(Value::as_u64), Some(180));
+    let (status, _) = client
+        .post("/admin/unload", &serde_json::json!({"id": "hot"}))
+        .unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.get("/models/hot").unwrap();
+    assert_eq!(status, 404);
+    // Unloading twice is a clean 404.
+    let (status, _) = client
+        .post("/admin/unload", &serde_json::json!({"id": "hot"}))
+        .unwrap();
+    assert_eq!(status, 404);
+    // Loading a nonexistent path is a clean 400.
+    let (status, _) = client
+        .post(
+            "/admin/load",
+            &serde_json::json!({"id": "ghost", "path": "/nonexistent/x.pcsm"}),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+
     drop(client);
     server.shutdown();
 }

@@ -1,0 +1,175 @@
+//! Concurrency stress for the snapshot labeling cache: many ad-hoc threads
+//! hammer one engine with overlapping `LabelingSpec`s (deliberately more
+//! distinct specs than the cache cap, so copy-on-write publishes AND
+//! generation resets race with reads). Every answer must be bit-identical
+//! to the single-threaded ground truth, and no thread may ever observe a
+//! torn snapshot — a cache state that is not one of the writer-linearized
+//! publishes.
+
+use parclust::Point;
+use parclust_serve::engine::LABELING_CACHE_CAP;
+use parclust_serve::{ClusterModel, LabelingSpec, QueryEngine};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn blobs(per: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for &(cx, cy) in &[(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0)] {
+        for _ in 0..per {
+            pts.push(Point([
+                cx + rng.gen_range(-2.0..2.0),
+                cy + rng.gen_range(-2.0..2.0),
+            ]));
+        }
+    }
+    pts
+}
+
+/// The overlapping spec workload: more distinct specs than the cache cap so
+/// the stress run crosses at least one generation reset.
+fn spec_pool() -> Vec<LabelingSpec> {
+    let mut specs = Vec::new();
+    for i in 0..(LABELING_CACHE_CAP + 8) {
+        // All distinct (the pool must overflow the 64-entry cap).
+        specs.push(match i % 3 {
+            0 => LabelingSpec::Cut {
+                eps: 0.5 + i as f64 * 0.37,
+            },
+            1 => LabelingSpec::CutK { k: 1 + i },
+            _ => LabelingSpec::Eom {
+                cluster_selection_epsilon: i as f64 * 0.8,
+            },
+        });
+    }
+    specs
+}
+
+#[test]
+fn concurrent_overlapping_specs_are_bit_identical_and_snapshots_never_tear() {
+    let pts = blobs(50, 31);
+    let specs = spec_pool();
+
+    // Single-threaded ground truth from an independent engine.
+    let truth_engine = QueryEngine::new(Arc::new(ClusterModel::build(&pts, 5, 6)));
+    let truth: Vec<_> = specs.iter().map(|&s| truth_engine.labeling(s)).collect();
+
+    let engine = Arc::new(QueryEngine::new(Arc::new(ClusterModel::build(&pts, 5, 6))));
+    let threads = 16;
+    let iters = 400;
+    let max_generation = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let specs = specs.clone();
+            let truth: Vec<Vec<u32>> = truth.iter().map(|l| l.labels.clone()).collect();
+            let max_generation = Arc::clone(&max_generation);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                let mut last_seen = (0u64, 0usize); // (generation, len)
+                for _ in 0..iters {
+                    // Overlap heavily on a hot subset, occasionally reach
+                    // into the cold tail to force publishes and resets.
+                    let idx = if rng.gen_bool(0.8) {
+                        rng.gen_range(0..8)
+                    } else {
+                        rng.gen_range(0..specs.len())
+                    };
+                    let labeling = engine.labeling(specs[idx]);
+                    // Bit-identity with the single-threaded answer.
+                    assert_eq!(labeling.spec, specs[idx]);
+                    assert_eq!(labeling.labels, truth[idx], "spec {:?}", specs[idx]);
+
+                    // Snapshot tear check: every observable cache state must
+                    // be internally consistent and writer-ordered.
+                    let snap = engine.cache_snapshot();
+                    assert!(
+                        snap.entries.len() <= LABELING_CACHE_CAP,
+                        "snapshot overgrew the cap"
+                    );
+                    let mut seen = Vec::new();
+                    for (spec, labeling) in &snap.entries {
+                        // An entry always pairs a spec with ITS labeling
+                        // (a torn publish would break this).
+                        assert_eq!(*spec, labeling.spec, "entry/labeling spec mismatch");
+                        assert!(!seen.contains(spec), "duplicate spec in one snapshot");
+                        seen.push(*spec);
+                    }
+                    // Publishes are linearized: per-thread observations of
+                    // (generation, len) advance lexicographically — within
+                    // a generation the entry list is append-only.
+                    let now = (snap.generation, snap.entries.len());
+                    assert!(
+                        now.0 > last_seen.0 || (now.0 == last_seen.0 && now.1 >= last_seen.1),
+                        "snapshot went backwards: {last_seen:?} -> {now:?}"
+                    );
+                    last_seen = now;
+                    max_generation.fetch_max(snap.generation, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    // The workload crossed the cap (otherwise the reset path went untested).
+    assert!(
+        max_generation.load(Ordering::Relaxed) >= 1,
+        "spec pool must overflow the cache at least once"
+    );
+    // Misses computed each spec at most once per generation: with G
+    // generations observed, the computation count can never exceed
+    // (G+1) * distinct specs — and must cover at least the distinct hot
+    // set. (Exactly-once-per-spec within a generation is the snapshot
+    // cell's single-writer guarantee.)
+    let generations = engine.cache_snapshot().generation + 1;
+    let computed = engine.labelings_computed();
+    assert!(
+        computed <= generations * specs.len() as u64,
+        "{computed} computations across {generations} generations for {} specs",
+        specs.len()
+    );
+}
+
+/// Readers pinned on an old snapshot keep a fully valid view while writers
+/// publish past them — immutability of published snapshots under load.
+#[test]
+fn held_snapshots_stay_valid_across_publishes() {
+    let pts = blobs(30, 32);
+    let engine = Arc::new(QueryEngine::new(Arc::new(ClusterModel::build(&pts, 4, 5))));
+    engine.labeling(LabelingSpec::CutK { k: 2 });
+    let pinned = engine.cache_snapshot();
+    let pinned_len = pinned.entries.len();
+    let pinned_labels: Vec<Vec<u32>> = pinned
+        .entries
+        .iter()
+        .map(|(_, l)| l.labels.clone())
+        .collect();
+
+    // Blow through the cap from other threads (two full generations).
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..(2 * LABELING_CACHE_CAP) {
+                    engine.labeling(LabelingSpec::Cut {
+                        eps: 0.01 + (t * 1000 + i) as f64 * 0.013,
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The pinned snapshot is untouched, entry for entry.
+    assert_eq!(pinned.entries.len(), pinned_len);
+    for ((spec, labeling), want) in pinned.entries.iter().zip(&pinned_labels) {
+        assert_eq!(*spec, labeling.spec);
+        assert_eq!(&labeling.labels, want);
+    }
+}

@@ -1,0 +1,262 @@
+//! Differential test suite for the serving stack: for randomized model
+//! artifacts (proptest-driven sizes, dimensionalities, and minPts), every
+//! HTTP endpoint — JSON *and* the binary batch protocol — must return
+//! results byte-identical to direct in-process `QueryEngine` calls, across
+//! 1/2/4/8 server worker threads. The HTTP transport, the registry
+//! routing, the snapshot caches, and the wire codecs must all be invisible
+//! to query answers.
+
+use parclust::{Point, NOISE};
+use parclust_serve::{
+    start, AssignRequest, AssignResponse, Client, ClusterModel, EngineHandle, LabelingSpec,
+    ModelRegistry, QueryEngine, ServerConfig,
+};
+use proptest::prelude::*;
+use rand::prelude::*;
+use serde_json::Value;
+use std::sync::Arc;
+
+/// Clumpy integer-lattice points with jitter: enough structure for real
+/// clusters, adversarial duplicates included.
+fn clumpy_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for slot in c.iter_mut() {
+                *slot = rng.gen_range(0i32..20) as f64 + rng.gen_range(0u8..4) as f64 * 0.25;
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+fn signed_labels(v: &Value) -> Vec<i64> {
+    v.as_array()
+        .expect("labels array")
+        .iter()
+        .map(|l| l.as_i64().expect("integer label"))
+        .collect()
+}
+
+fn to_signed(labels: &[u32]) -> Vec<i64> {
+    labels
+        .iter()
+        .map(|&l| if l == NOISE { -1 } else { l as i64 })
+        .collect()
+}
+
+/// JSON value equality after one render→parse round trip (what a client
+/// observes of a server-side `Value`).
+fn roundtripped(v: &Value) -> Value {
+    serde_json::from_str(&v.to_json_string()).expect("server JSON reparses")
+}
+
+/// The differential core: direct engine answers vs every endpoint, one
+/// server per requested worker count.
+fn check_endpoints_differential<const D: usize>(
+    pts: &[Point<D>],
+    min_pts: usize,
+    min_cluster_size: usize,
+    seed: u64,
+) {
+    let model = Arc::new(ClusterModel::build(pts, min_pts, min_cluster_size));
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&model)));
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("diff", Arc::new(EngineHandle::new(Arc::clone(&engine))))
+        .unwrap();
+
+    // Ground truth, computed once in-process.
+    let specs = [
+        LabelingSpec::Eom {
+            cluster_selection_epsilon: 0.0,
+        },
+        LabelingSpec::Eom {
+            cluster_selection_epsilon: 1.5,
+        },
+        LabelingSpec::Cut { eps: 2.0 },
+        LabelingSpec::CutK { k: 3 },
+    ];
+    let truths: Vec<_> = specs.iter().map(|&s| engine.labeling(s)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries: Vec<Point<D>> = (0..10)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for slot in c.iter_mut() {
+                *slot = rng.gen_range(-3.0..23.0);
+            }
+            Point(c)
+        })
+        .collect();
+    let assign_spec = LabelingSpec::Cut { eps: 2.0 };
+    let max_dist = 4.0;
+    let assign_truth = engine.assign_batch(&queries, assign_spec, max_dist);
+    let flat: Vec<f64> = queries.iter().flat_map(|p| p.coords().to_vec()).collect();
+    let info_truth = roundtripped(&registry.snapshot().get("diff").unwrap().info());
+
+    for workers in [1usize, 2, 4, 8] {
+        let server = start(
+            Arc::clone(&registry),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers,
+                pool_threads: 2,
+            },
+        )
+        .expect("start server");
+        let mut client = Client::connect(server.addr()).expect("connect");
+
+        // Model info: identical over the legacy and per-model routes.
+        for path in ["/model", "/models/diff"] {
+            let (status, info) = client.get(path).unwrap();
+            assert_eq!(status, 200, "workers={workers} {path}");
+            assert_eq!(info, info_truth, "workers={workers} {path}");
+        }
+
+        // Labelings over JSON: /cut (eps + k), /eom; legacy and routed.
+        for (spec, truth) in specs.iter().zip(&truths) {
+            let (path, body) = match *spec {
+                LabelingSpec::Cut { eps } => ("cut", serde_json::json!({ "eps": eps })),
+                LabelingSpec::CutK { k } => ("cut", serde_json::json!({"k": k as u64})),
+                LabelingSpec::Eom {
+                    cluster_selection_epsilon,
+                } => (
+                    "eom",
+                    serde_json::json!({"cluster_selection_epsilon": cluster_selection_epsilon}),
+                ),
+            };
+            for prefix in ["", "/models/diff"] {
+                let (status, resp) = client.post(&format!("{prefix}/{path}"), &body).unwrap();
+                assert_eq!(status, 200, "workers={workers} {prefix}/{path}: {resp}");
+                assert_eq!(
+                    resp.get("num_clusters").and_then(Value::as_u64),
+                    Some(truth.num_clusters as u64)
+                );
+                assert_eq!(
+                    resp.get("noise").and_then(Value::as_u64),
+                    Some(truth.num_noise as u64)
+                );
+                assert_eq!(
+                    signed_labels(resp.get("labels").unwrap()),
+                    to_signed(&truth.labels),
+                    "workers={workers} {prefix}/{path} {spec:?}"
+                );
+            }
+        }
+
+        // Assignment over JSON: labels, neighbors, and bit-exact distances.
+        let body = serde_json::json!({
+            "points": queries
+                .iter()
+                .map(|p| p.coords().to_vec())
+                .collect::<Vec<_>>(),
+            "labeling": serde_json::json!({"eps": 2.0}),
+            "max_dist": max_dist,
+        });
+        for prefix in ["", "/models/diff"] {
+            let (status, resp) = client.post(&format!("{prefix}/assign"), &body).unwrap();
+            assert_eq!(status, 200, "workers={workers}: {resp}");
+            assert_eq!(
+                signed_labels(resp.get("labels").unwrap()),
+                to_signed(&assign_truth.iter().map(|a| a.label).collect::<Vec<_>>())
+            );
+            let neighbors: Vec<u64> = resp
+                .get("neighbors")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_u64().unwrap())
+                .collect();
+            assert_eq!(
+                neighbors,
+                assign_truth
+                    .iter()
+                    .map(|a| a.neighbor as u64)
+                    .collect::<Vec<_>>()
+            );
+            let distances: Vec<f64> = resp
+                .get("distances")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            for (got, want) in distances.iter().zip(&assign_truth) {
+                assert_eq!(
+                    got.to_bits(),
+                    want.distance.to_bits(),
+                    "JSON distances must round-trip bit-exactly"
+                );
+            }
+        }
+
+        // Assignment over the binary protocol: all three arrays bit-exact.
+        let frame = AssignRequest {
+            model_id: "diff".into(),
+            spec: assign_spec,
+            max_dist,
+            dims: D as u32,
+            coords: flat.clone(),
+        }
+        .encode();
+        for prefix in ["", "/models/diff"] {
+            let (status, bytes) = client
+                .post_binary(&format!("{prefix}/assign_binary"), &frame)
+                .unwrap();
+            assert_eq!(
+                status,
+                200,
+                "workers={workers}: {}",
+                String::from_utf8_lossy(&bytes)
+            );
+            let resp = AssignResponse::decode(&bytes).expect("valid response frame");
+            assert_eq!(resp.labels.len(), assign_truth.len());
+            for (i, want) in assign_truth.iter().enumerate() {
+                assert_eq!(resp.labels[i], want.label, "workers={workers} q{i}");
+                assert_eq!(resp.neighbors[i], want.neighbor, "workers={workers} q{i}");
+                assert_eq!(
+                    resp.distances[i].to_bits(),
+                    want.distance.to_bits(),
+                    "workers={workers} q{i}"
+                );
+            }
+        }
+
+        drop(client);
+        server.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_endpoint_matches_in_process_engine_2d(
+        n in 2usize..120,
+        min_pts in 1usize..8,
+        min_cluster_size in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let pts = clumpy_points::<2>(n, seed);
+        check_endpoints_differential(&pts, min_pts, min_cluster_size, seed ^ 0xd1f);
+    }
+
+    #[test]
+    fn every_endpoint_matches_in_process_engine_3d(
+        n in 2usize..90,
+        min_pts in 1usize..6,
+        min_cluster_size in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let pts = clumpy_points::<3>(n, seed);
+        check_endpoints_differential(&pts, min_pts, min_cluster_size, seed ^ 0x3d);
+    }
+}
+
+/// Degenerate shapes outside the proptest size envelope: a single-point
+/// model must serve identically too.
+#[test]
+fn single_point_model_differential() {
+    check_endpoints_differential(&[Point([4.0, 2.0])], 5, 5, 99);
+}
