@@ -1,0 +1,333 @@
+//! Atomics discipline: every `Ordering::*` use must be declared in the
+//! per-file `[[atomics]]` manifest in `ANALYZE.toml`.
+//!
+//! The rules are deliberately asymmetric: acquire/release orderings are
+//! granted per file (`allow = ["Acquire", "Release"]`), but `Relaxed` is
+//! only granted per *receiver* (`relaxed = ["computed", "parent"]`) so a
+//! relaxed load can never silently attach to a flag that actually
+//! synchronizes. `SeqCst` is never implicit — a file that wants it must
+//! spell it out in `allow`, which makes "SeqCst by default" show up in
+//! manifest review.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::ScannedFile;
+use crate::{Violation, LINT_ATOMICS};
+
+/// Manifest entry for one file.
+#[derive(Debug, Clone)]
+pub struct FilePolicy {
+    pub file: String,
+    /// Orderings permitted anywhere in the file (`Relaxed` is invalid
+    /// here — it must be granted per receiver).
+    pub allow: Vec<String>,
+    /// Receiver names permitted to use `Ordering::Relaxed`.
+    pub relaxed: Vec<String>,
+}
+
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One `Ordering::X` occurrence.
+#[derive(Debug)]
+pub struct AtomicSite {
+    pub line: u32,
+    pub variant: String,
+    /// Receiver of the enclosing atomic call (`self.version.load(...)` →
+    /// `version`), or `"?"` when the expression is too exotic to name.
+    pub receiver: String,
+}
+
+/// Find every non-test `Ordering::X` use in `f`.
+pub fn find_atomic_sites(f: &ScannedFile) -> Vec<AtomicSite> {
+    let toks = &f.toks;
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let at = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &toks[i]) };
+    let mut sites = Vec::new();
+    for k in 0..code.len() {
+        let matched = at(k).is_some_and(|t| t.is_ident("Ordering"))
+            && at(k + 1).is_some_and(|t| t.is_punct(':'))
+            && at(k + 2).is_some_and(|t| t.is_punct(':'))
+            && at(k + 3)
+                .is_some_and(|t| t.kind == TokKind::Ident && VARIANTS.contains(&t.text.as_str()));
+        if !matched {
+            continue;
+        }
+        let line = at(k).map(|t| t.line).unwrap_or(0);
+        if f.in_test_code(line) {
+            continue;
+        }
+        sites.push(AtomicSite {
+            line,
+            variant: at(k + 3).map(|t| t.text.clone()).unwrap_or_default(),
+            receiver: receiver_of(toks, &code, k),
+        });
+    }
+    sites
+}
+
+/// Walk backwards from the `Ordering` token to name the receiver of the
+/// enclosing atomic method call: skip to the unbalanced `(`, then expect
+/// `receiver . method (`. Handles `self.field`, plain locals, `arr[i]`
+/// indexing, and tuple fields like `pair.0`.
+fn receiver_of(toks: &[Tok], code: &[usize], ordering_k: usize) -> String {
+    let at = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &toks[i]) };
+    // Find the call's opening paren: first `(` to the left not balanced by
+    // a `)` seen on the way.
+    let mut depth = 0i32;
+    let mut k = ordering_k;
+    let open = loop {
+        if k == 0 {
+            return "?".into();
+        }
+        k -= 1;
+        match at(k) {
+            Some(t) if t.is_punct(')') => depth += 1,
+            Some(t) if t.is_punct('(') => {
+                if depth == 0 {
+                    break k;
+                }
+                depth -= 1;
+            }
+            Some(_) => {}
+            None => return "?".into(),
+        }
+    };
+    // `receiver . method (` — method name right before the paren, dot
+    // before that.
+    let method_ok = open >= 2
+        && at(open - 1).is_some_and(|t| t.kind == TokKind::Ident)
+        && at(open - 2).is_some_and(|t| t.is_punct('.'));
+    if !method_ok {
+        return "?".into();
+    }
+    let mut r = open - 3; // candidate receiver tail
+    let mut through_tuple_field = false;
+    loop {
+        match at(r) {
+            // `arr[i].load(...)` — skip the index back to `[`, then name
+            // the array.
+            Some(t) if t.is_punct(']') => {
+                let mut d = 0i32;
+                loop {
+                    if r == 0 {
+                        return "?".into();
+                    }
+                    r -= 1;
+                    match at(r) {
+                        Some(t) if t.is_punct(']') => d += 1,
+                        Some(t) if t.is_punct('[') => {
+                            if d == 0 {
+                                break;
+                            }
+                            d -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if r == 0 {
+                    return "?".into();
+                }
+                r -= 1;
+                continue;
+            }
+            // Tuple field access: `pair.0.store(...)` names the pair.
+            Some(t) if t.kind == TokKind::Num && t.text == "0" => {
+                if r < 2 || !at(r - 1).is_some_and(|t| t.is_punct('.')) {
+                    return "?".into();
+                }
+                through_tuple_field = true;
+                r -= 2;
+                continue;
+            }
+            Some(t) if t.kind == TokKind::Ident => {
+                if t.text == "self" {
+                    // `self.0.load(...)` on a newtype names the wrapper
+                    // field; a bare `self.load(...)` has nothing to name.
+                    return if through_tuple_field {
+                        "self.0".into()
+                    } else {
+                        "?".into()
+                    };
+                }
+                return t.text.clone();
+            }
+            _ => return "?".into(),
+        }
+    }
+}
+
+/// Check every file's atomics against the manifest. Returns the number of
+/// `Ordering::*` sites seen outside test code.
+pub fn check_atomics(
+    files: &[ScannedFile],
+    policies: &[FilePolicy],
+    violations: &mut Vec<Violation>,
+) -> usize {
+    let mut total = 0usize;
+    for p in policies {
+        for a in &p.allow {
+            if a == "Relaxed" {
+                violations.push(Violation {
+                    lint: LINT_ATOMICS,
+                    file: p.file.clone(),
+                    line: 0,
+                    message:
+                        "manifest lists Relaxed in `allow`; grant it per receiver via `relaxed = [...]`"
+                            .into(),
+                });
+            } else if !VARIANTS.contains(&a.as_str()) {
+                violations.push(Violation {
+                    lint: LINT_ATOMICS,
+                    file: p.file.clone(),
+                    line: 0,
+                    message: format!("manifest allows unknown ordering {a:?}"),
+                });
+            }
+        }
+    }
+    for f in files {
+        let sites = find_atomic_sites(f);
+        if sites.is_empty() {
+            continue;
+        }
+        total += sites.len();
+        let policy = policies.iter().find(|p| p.file == f.rel_path);
+        let Some(policy) = policy else {
+            violations.push(Violation {
+                lint: LINT_ATOMICS,
+                file: f.rel_path.clone(),
+                line: sites[0].line,
+                message: format!(
+                    "file uses atomics ({} site(s)) but has no [[atomics]] entry in ANALYZE.toml",
+                    sites.len()
+                ),
+            });
+            continue;
+        };
+        for s in &sites {
+            if f.allow_for(s.line, LINT_ATOMICS).is_some() {
+                continue;
+            }
+            if s.variant == "Relaxed" {
+                if !policy.relaxed.iter().any(|r| r == &s.receiver) {
+                    violations.push(Violation {
+                        lint: LINT_ATOMICS,
+                        file: f.rel_path.clone(),
+                        line: s.line,
+                        message: format!(
+                            "Ordering::Relaxed on `{}` is not in this file's `relaxed` list \
+                             (named counters only)",
+                            s.receiver
+                        ),
+                    });
+                }
+            } else if !policy.allow.iter().any(|a| a == &s.variant) {
+                violations.push(Violation {
+                    lint: LINT_ATOMICS,
+                    file: f.rel_path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "Ordering::{} is not in this file's `allow` list {:?}",
+                        s.variant, policy.allow
+                    ),
+                });
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanned(src: &str) -> ScannedFile {
+        ScannedFile::new("crates/x/src/lib.rs".into(), src)
+    }
+
+    fn policy(allow: &[&str], relaxed: &[&str]) -> FilePolicy {
+        FilePolicy {
+            file: "crates/x/src/lib.rs".into(),
+            allow: allow.iter().map(|s| s.to_string()).collect(),
+            relaxed: relaxed.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn receivers_resolve() {
+        let f = scanned(
+            "fn go(&self) {\n\
+             self.version.load(Ordering::Acquire);\n\
+             counter.fetch_add(1, Ordering::Relaxed);\n\
+             slots[i].state.store(1, Ordering::Release);\n\
+             pair.0.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);\n\
+             }\n",
+        );
+        let sites = find_atomic_sites(&f);
+        let got: Vec<(&str, &str)> = sites
+            .iter()
+            .map(|s| (s.variant.as_str(), s.receiver.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("Acquire", "version"),
+                ("Relaxed", "counter"),
+                ("Release", "state"),
+                ("AcqRel", "pair"),
+                ("Acquire", "pair"),
+            ]
+        );
+    }
+
+    #[test]
+    fn relaxed_needs_named_receiver() {
+        let f = scanned("fn go() { c.fetch_add(1, Ordering::Relaxed); }\n");
+        let mut v = Vec::new();
+        check_atomics(&[f], &[policy(&["Acquire"], &[])], &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0]
+            .message
+            .contains("`c` is not in this file's `relaxed` list"));
+    }
+
+    #[test]
+    fn unlisted_ordering_fails_and_listed_passes() {
+        let f =
+            scanned("fn go() { flag.store(true, Ordering::SeqCst); v.load(Ordering::Acquire); }\n");
+        let mut v = Vec::new();
+        let n = check_atomics(&[f], &[policy(&["Acquire"], &[])], &mut v);
+        assert_eq!(n, 2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0]
+            .message
+            .contains("Ordering::SeqCst is not in this file's `allow`"));
+    }
+
+    #[test]
+    fn unmanifested_file_fails() {
+        let f = scanned("fn go() { v.load(Ordering::Acquire); }\n");
+        let mut v = Vec::new();
+        check_atomics(&[f], &[], &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no [[atomics]] entry"));
+    }
+
+    #[test]
+    fn relaxed_in_allow_is_a_manifest_error() {
+        let f = scanned("fn go() {}\n");
+        let mut v = Vec::new();
+        check_atomics(&[f], &[policy(&["Relaxed"], &[])], &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("grant it per receiver"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f =
+            scanned("#[cfg(test)]\nmod tests {\n fn t() { x.store(0, Ordering::SeqCst); }\n}\n");
+        let mut v = Vec::new();
+        let n = check_atomics(&[f], &[], &mut v);
+        assert_eq!(n, 0);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The `analyze` CLI: `analyze check [--root DIR] [--json]` runs every
+//! lint and exits 0 (clean), 1 (violations), or 2 (config error);
+//! `analyze fix-ledger [--root DIR]` regenerates `UNSAFE_LEDGER.toml`
+//! from the tree.
+
+use parclust_analyze::{check, find_root, ledger, scan_workspace, Manifest};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const MANIFEST_FILE: &str = "ANALYZE.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut root_flag: Option<PathBuf> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "fix-ledger" if cmd.is_none() => cmd = Some(&args[i]),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root_flag = Some(PathBuf::from(dir)),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(cmd) = cmd else {
+        return usage("expected a subcommand: check | fix-ledger");
+    };
+
+    let root = match root_flag {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => return config_error(&format!("cannot read cwd: {e}")),
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    return config_error(&format!(
+                        "no {MANIFEST_FILE} found in {} or any parent; pass --root",
+                        cwd.display()
+                    ))
+                }
+            }
+        }
+    };
+
+    let manifest_src = match std::fs::read_to_string(root.join(MANIFEST_FILE)) {
+        Ok(s) => s,
+        Err(e) => return config_error(&format!("cannot read {MANIFEST_FILE}: {e}")),
+    };
+    let manifest = match Manifest::parse(&manifest_src) {
+        Ok(m) => m,
+        Err(e) => return config_error(&format!("{MANIFEST_FILE}: {e}")),
+    };
+    let ledger_path = root.join(ledger::LEDGER_FILE);
+    let ledger = match std::fs::read_to_string(&ledger_path) {
+        Ok(s) => match ledger::Ledger::parse(&s) {
+            Ok(l) => l,
+            Err(e) => return config_error(&format!("{}: {e}", ledger::LEDGER_FILE)),
+        },
+        Err(_) => ledger::Ledger::default(), // missing ledger → everything reports as new
+    };
+    let files = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => return config_error(&format!("scanning workspace: {e}")),
+    };
+
+    match cmd {
+        "check" => {
+            let report = check(&files, &manifest, &ledger);
+            if json {
+                println!("{}", report.to_json().to_json_string());
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!(
+                    "analyze: {} file(s), {} unsafe site(s), {} atomic ordering site(s), \
+                     {} allow(s) — {}",
+                    report.files_scanned,
+                    report.unsafe_sites,
+                    report.atomics_sites,
+                    report.allows_used,
+                    if report.ok() {
+                        "clean".to_string()
+                    } else {
+                        format!("{} violation(s)", report.violations.len())
+                    }
+                );
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        "fix-ledger" => {
+            let regenerated = ledger::fix_ledger(&files, &ledger);
+            if let Err(e) = std::fs::write(&ledger_path, &regenerated) {
+                return config_error(&format!("writing {}: {e}", ledger_path.display()));
+            }
+            let entries = regenerated.matches("[[unsafe]]").count();
+            println!(
+                "analyze: wrote {} with {entries} entr{}",
+                ledger_path.display(),
+                if entries == 1 { "y" } else { "ies" }
+            );
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("cmd validated above"),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("analyze: {msg}");
+    eprintln!("usage: analyze check [--root DIR] [--json]");
+    eprintln!("       analyze fix-ledger [--root DIR]");
+    ExitCode::from(2)
+}
+
+fn config_error(msg: &str) -> ExitCode {
+    eprintln!("analyze: {msg}");
+    ExitCode::from(2)
+}

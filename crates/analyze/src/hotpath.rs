@@ -1,0 +1,268 @@
+//! Hot-path hygiene: files on the serving/scheduling fast path must not
+//! block, panic, or allocate per iteration.
+//!
+//! Three sublints over the files listed in `[hotpath] files` in
+//! `ANALYZE.toml`:
+//!
+//! * `hotpath-lock` — `Mutex::`/`RwLock::` construction and `.lock(` calls
+//! * `hotpath-unwrap` — `.unwrap(` / `.expect(`
+//! * `hotpath-alloc-in-loop` — `vec!`/`format!`/`json!`,
+//!   `Vec::new`-style constructors, and `.to_string(`/`.to_vec(`/
+//!   `.to_owned(` inside `for`/`while`/`loop` bodies
+//!
+//! Intentional slow paths opt out per line with
+//! `// analyze:allow(<lint>) — reason`; the reason is required
+//! (allow-hygiene enforces it).
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::ScannedFile;
+use crate::{Violation, LINT_HOTPATH_ALLOC, LINT_HOTPATH_LOCK, LINT_HOTPATH_UNWRAP};
+use std::collections::BTreeSet;
+
+pub fn check_hotpath(files: &[ScannedFile], hot_files: &[String], violations: &mut Vec<Violation>) {
+    for f in files {
+        if hot_files.iter().any(|h| h == &f.rel_path) {
+            check_file(f, violations);
+        }
+    }
+}
+
+fn check_file(f: &ScannedFile, violations: &mut Vec<Violation>) {
+    let toks = &f.toks;
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let in_loop = loop_mask(toks, &code);
+    let at = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &toks[i]) };
+
+    let mut seen: BTreeSet<(&'static str, u32)> = BTreeSet::new();
+    let mut report = |lint: &'static str, line: u32, message: String| {
+        if f.in_test_code(line) || f.allow_for(line, lint).is_some() {
+            return;
+        }
+        if seen.insert((lint, line)) {
+            violations.push(Violation {
+                lint,
+                file: f.rel_path.clone(),
+                line,
+                message,
+            });
+        }
+    };
+
+    for k in 0..code.len() {
+        let t = at(k).expect("index in range");
+        let line = t.line;
+        match t.kind {
+            TokKind::Ident => {
+                let next = at(k + 1);
+                match t.text.as_str() {
+                    "Mutex" | "RwLock"
+                        if next.is_some_and(|n| n.is_punct(':'))
+                            && at(k + 2).is_some_and(|n| n.is_punct(':')) =>
+                    {
+                        report(
+                            LINT_HOTPATH_LOCK,
+                            line,
+                            format!("{} construction on the hot path", t.text),
+                        );
+                    }
+                    "vec" | "format" | "json"
+                        if in_loop[k] && next.is_some_and(|n| n.is_punct('!')) =>
+                    {
+                        report(
+                            LINT_HOTPATH_ALLOC,
+                            line,
+                            format!("{}! allocates inside a loop", t.text),
+                        );
+                    }
+                    "Vec" | "String" | "Box" | "HashMap" | "BTreeMap" | "VecDeque"
+                        if in_loop[k]
+                            && next.is_some_and(|n| n.is_punct(':'))
+                            && at(k + 2).is_some_and(|n| n.is_punct(':'))
+                            && at(k + 3).is_some_and(|n| {
+                                n.is_ident("new")
+                                    || n.is_ident("with_capacity")
+                                    || n.is_ident("from")
+                            }) =>
+                    {
+                        report(
+                            LINT_HOTPATH_ALLOC,
+                            line,
+                            format!(
+                                "{}::{} allocates inside a loop",
+                                t.text,
+                                at(k + 3).map(|n| n.text.as_str()).unwrap_or("")
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct if t.is_punct('.') => {
+                let m = at(k + 1);
+                let open = at(k + 2).is_some_and(|n| n.is_punct('('));
+                if !open {
+                    continue;
+                }
+                match m.map(|n| n.text.as_str()) {
+                    Some("lock") => report(
+                        LINT_HOTPATH_LOCK,
+                        line,
+                        ".lock() blocks on the hot path".into(),
+                    ),
+                    Some(name @ ("unwrap" | "expect")) => report(
+                        LINT_HOTPATH_UNWRAP,
+                        line,
+                        format!(".{name}() can panic a worker on the hot path"),
+                    ),
+                    Some(name @ ("to_string" | "to_vec" | "to_owned")) if in_loop[k] => report(
+                        LINT_HOTPATH_ALLOC,
+                        line,
+                        format!(".{name}() allocates inside a loop"),
+                    ),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// For each code-token index, whether it sits inside a `for`/`while`/
+/// `loop` body. `for` is only a loop when followed by `in` before the body
+/// brace (ruling out `impl Trait for Type` and HRTB `for<'a>`).
+fn loop_mask(toks: &[Tok], code: &[usize]) -> Vec<bool> {
+    let at = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &toks[i]) };
+    let mut mask = vec![false; code.len()];
+    let mut brace_depth = 0usize;
+    let mut paren_depth = 0usize;
+    let mut pending_loop = false;
+    let mut loop_opens: Vec<usize> = Vec::new(); // brace depths of loop bodies
+    for k in 0..code.len() {
+        mask[k] = !loop_opens.is_empty();
+        let Some(t) = at(k) else { break };
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "loop" | "while" => pending_loop = true,
+                "for" if is_for_loop(toks, code, k) => pending_loop = true,
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_bytes()[0] {
+                b'(' => paren_depth += 1,
+                b')' => paren_depth = paren_depth.saturating_sub(1),
+                b'{' => {
+                    brace_depth += 1;
+                    if paren_depth == 0 && std::mem::take(&mut pending_loop) {
+                        loop_opens.push(brace_depth);
+                    }
+                }
+                b'}' => {
+                    if loop_opens.last() == Some(&brace_depth) {
+                        loop_opens.pop();
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                }
+                b';' if paren_depth == 0 => {
+                    pending_loop = false;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    mask
+}
+
+/// A `for` token starts a loop iff an `in` ident appears before the next
+/// top-level `{`/`;`.
+fn is_for_loop(toks: &[Tok], code: &[usize], for_k: usize) -> bool {
+    let at = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &toks[i]) };
+    let mut depth = 0i32;
+    for k in for_k + 1..code.len() {
+        match at(k) {
+            Some(t) if t.is_punct('(') || t.is_punct('[') => depth += 1,
+            Some(t) if t.is_punct(')') || t.is_punct(']') => depth -= 1,
+            Some(t) if depth == 0 && t.is_ident("in") => return true,
+            Some(t) if depth == 0 && (t.is_punct('{') || t.is_punct(';')) => return false,
+            Some(_) => {}
+            None => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(src: &str) -> Vec<Violation> {
+        let f = ScannedFile::new("crates/serve/src/engine.rs".into(), src);
+        let mut v = Vec::new();
+        check_hotpath(&[f], &["crates/serve/src/engine.rs".to_string()], &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_lock_unwrap_and_loop_alloc() {
+        let v = hot("fn go(&self) {\n\
+             let g = self.inner.lock();\n\
+             let x = g.unwrap();\n\
+             for p in pts {\n\
+                 let s = p.to_string();\n\
+                 let b = Vec::new();\n\
+                 out.push(format!(\"{p}\"));\n\
+             }\n\
+             }\n");
+        let lints: Vec<&str> = v.iter().map(|x| x.lint).collect();
+        assert!(lints.contains(&"hotpath-lock"));
+        assert!(lints.contains(&"hotpath-unwrap"));
+        assert_eq!(
+            lints
+                .iter()
+                .filter(|l| **l == "hotpath-alloc-in-loop")
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn alloc_outside_loop_is_fine() {
+        let v = hot("fn go() { let s = x.to_string(); let v = vec![1]; }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let v = hot("impl Iterator for Chunks { fn next(&mut self) -> Option<u32> { self.k.to_string(); None } }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn while_body_counts() {
+        let v = hot("fn go() { while busy() { scratch = String::new(); } }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "hotpath-alloc-in-loop");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let v = hot("fn go() {\n\
+             // analyze:allow(hotpath-lock) — cold startup path, runs once\n\
+             let g = self.inner.lock();\n\
+             }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_mod_is_exempt() {
+        let v = hot("#[cfg(test)]\nmod tests {\n fn t() { x.lock().unwrap(); }\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_hot_files_are_ignored() {
+        let f = ScannedFile::new("crates/core/src/lib.rs".into(), "fn go() { x.unwrap(); }\n");
+        let mut v = Vec::new();
+        check_hotpath(&[f], &["crates/serve/src/engine.rs".to_string()], &mut v);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,476 @@
+//! The unsafe ledger: every `unsafe` site in the workspace must carry a
+//! `// SAFETY:` comment and be accounted for in `UNSAFE_LEDGER.toml`.
+//!
+//! Sites are grouped by (file, enclosing context, kind) so the ledger
+//! stays stable under line churn; only adding/removing/moving unsafe code
+//! changes it. `fix_ledger` regenerates the file from the tree, preserving
+//! any reviewer `note` fields from the old ledger.
+
+use crate::scan::ScannedFile;
+use crate::toml;
+use crate::{Violation, LINT_UNSAFE_LEDGER};
+use std::collections::BTreeMap;
+
+pub const LEDGER_FILE: &str = "UNSAFE_LEDGER.toml";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+impl UnsafeKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<UnsafeKind> {
+        match s {
+            "block" => Some(UnsafeKind::Block),
+            "fn" => Some(UnsafeKind::Fn),
+            "impl" => Some(UnsafeKind::Impl),
+            "trait" => Some(UnsafeKind::Trait),
+            _ => None,
+        }
+    }
+}
+
+/// One `unsafe` occurrence in the tree.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+    pub kind: UnsafeKind,
+    /// Ledger context: the fn/impl/trait itself for declarations, the
+    /// enclosing scope for blocks.
+    pub context: String,
+    pub has_safety_comment: bool,
+}
+
+/// One `[[unsafe]]` ledger entry.
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    pub file: String,
+    pub context: String,
+    pub kind: UnsafeKind,
+    pub count: usize,
+    pub invariant: String,
+    pub note: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Ledger {
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl Ledger {
+    pub fn parse(src: &str) -> Result<Ledger, String> {
+        let doc = toml::parse(src).map_err(|e| e.to_string())?;
+        let mut entries = Vec::new();
+        for t in doc.arrays.get("unsafe").into_iter().flatten() {
+            let file = t
+                .get_str("file")
+                .ok_or("ledger entry missing `file`")?
+                .to_string();
+            let context = t
+                .get_str("context")
+                .ok_or("ledger entry missing `context`")?
+                .to_string();
+            let kind_str = t.get_str("kind").ok_or("ledger entry missing `kind`")?;
+            let kind = UnsafeKind::parse(kind_str)
+                .ok_or_else(|| format!("unknown unsafe kind {kind_str:?}"))?;
+            let count = t
+                .get("count")
+                .and_then(toml::Value::as_int)
+                .ok_or("ledger entry missing `count`")? as usize;
+            let invariant = t.get_str("invariant").unwrap_or("").to_string();
+            let note = t.get_str("note").unwrap_or("").to_string();
+            entries.push(LedgerEntry {
+                file,
+                context,
+                kind,
+                count,
+                invariant,
+                note,
+            });
+        }
+        Ok(Ledger { entries })
+    }
+}
+
+/// Find every non-test `unsafe` site in `f`.
+pub fn find_unsafe_sites(f: &ScannedFile) -> Vec<UnsafeSite> {
+    let toks = &f.toks;
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut sites = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if !t.is_ident("unsafe") || f.in_test_code(t.line) {
+            continue;
+        }
+        let next = code.get(k + 1).map(|&j| &toks[j]);
+        let next2 = code.get(k + 2).map(|&j| &toks[j]);
+        let (kind, context) = match next {
+            Some(n) if n.is_punct('{') => (UnsafeKind::Block, f.scope_name(i).to_string()),
+            Some(n) if n.is_ident("fn") => {
+                // `unsafe fn name(...)` declares; `unsafe fn(...)` is a
+                // pointer type, not a site.
+                match next2 {
+                    Some(name) if name.kind == crate::lexer::TokKind::Ident => {
+                        (UnsafeKind::Fn, name.text.clone())
+                    }
+                    _ => continue,
+                }
+            }
+            Some(n) if n.is_ident("impl") || n.is_ident("trait") => {
+                let kind = if n.is_ident("impl") {
+                    UnsafeKind::Impl
+                } else {
+                    UnsafeKind::Trait
+                };
+                // Header text up to the body, same compression as scope
+                // names: `unsafe impl Send for Registry` → "impl Send for
+                // Registry".
+                let mut name = n.text.clone();
+                for &j in code.iter().skip(k + 2).take(24) {
+                    let h = &toks[j];
+                    if h.is_punct('{') || h.is_punct(';') {
+                        break;
+                    }
+                    if h.is_punct('<') || h.is_punct('>') || h.is_punct(':') {
+                        continue;
+                    }
+                    name.push(' ');
+                    name.push_str(&h.text);
+                }
+                (kind, name)
+            }
+            _ => continue,
+        };
+        let has_safety_comment = f.comment_block_above_contains(t.line, &["SAFETY", "# Safety"]);
+        sites.push(UnsafeSite {
+            line: t.line,
+            kind,
+            context,
+            has_safety_comment,
+        });
+    }
+    sites
+}
+
+type GroupKey = (String, String, UnsafeKind);
+
+fn group_sites(files: &[ScannedFile]) -> BTreeMap<GroupKey, Vec<UnsafeSite>> {
+    let mut groups: BTreeMap<GroupKey, Vec<UnsafeSite>> = BTreeMap::new();
+    for f in files {
+        for site in find_unsafe_sites(f) {
+            groups
+                .entry((f.rel_path.clone(), site.context.clone(), site.kind))
+                .or_default()
+                .push(site);
+        }
+    }
+    groups
+}
+
+/// Check every unsafe site against SAFETY-comment and ledger requirements.
+/// Returns the total number of unsafe sites found.
+pub fn check_unsafe(
+    files: &[ScannedFile],
+    ledger: &Ledger,
+    violations: &mut Vec<Violation>,
+) -> usize {
+    let groups = group_sites(files);
+    let total: usize = groups.values().map(Vec::len).sum();
+
+    for ((file, context, kind), sites) in &groups {
+        for site in sites {
+            if !site.has_safety_comment {
+                violations.push(Violation {
+                    lint: LINT_UNSAFE_LEDGER,
+                    file: file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "unsafe {} in `{}` has no `// SAFETY:` comment",
+                        kind.as_str(),
+                        context
+                    ),
+                });
+            }
+        }
+    }
+
+    // Diff tree vs ledger on the grouped keys.
+    let mut ledger_keys: BTreeMap<GroupKey, &LedgerEntry> = BTreeMap::new();
+    for e in &ledger.entries {
+        ledger_keys.insert((e.file.clone(), e.context.clone(), e.kind), e);
+    }
+    for (key, sites) in &groups {
+        let first_line = sites.first().map(|s| s.line).unwrap_or(0);
+        match ledger_keys.get(key) {
+            None => violations.push(Violation {
+                lint: LINT_UNSAFE_LEDGER,
+                file: key.0.clone(),
+                line: first_line,
+                message: format!(
+                    "+ unsafe {} in `{}` is not in {LEDGER_FILE} (run `analyze fix-ledger`)",
+                    key.2.as_str(),
+                    key.1
+                ),
+            }),
+            Some(e) if e.count != sites.len() => violations.push(Violation {
+                lint: LINT_UNSAFE_LEDGER,
+                file: key.0.clone(),
+                line: first_line,
+                message: format!(
+                    "~ unsafe {} in `{}`: tree has {} site(s), {LEDGER_FILE} records {}",
+                    key.2.as_str(),
+                    key.1,
+                    sites.len(),
+                    e.count
+                ),
+            }),
+            Some(e) if e.invariant.trim().is_empty() => violations.push(Violation {
+                lint: LINT_UNSAFE_LEDGER,
+                file: LEDGER_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "entry for {} `{}` ({}) has an empty invariant",
+                    key.0,
+                    key.1,
+                    key.2.as_str()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for key in ledger_keys.keys() {
+        if !groups.contains_key(key) {
+            violations.push(Violation {
+                lint: LINT_UNSAFE_LEDGER,
+                file: LEDGER_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "- stale entry: {} `{}` ({}) no longer exists in the tree",
+                    key.0,
+                    key.1,
+                    key.2.as_str()
+                ),
+            });
+        }
+    }
+    total
+}
+
+/// Regenerate the ledger from the tree. Invariants are auto-extracted from
+/// the first SAFETY comment of each group; `note` fields carry over from
+/// `old` entries with the same key.
+pub fn fix_ledger(files: &[ScannedFile], old: &Ledger) -> String {
+    let groups = group_sites(files);
+    let mut notes: BTreeMap<GroupKey, &str> = BTreeMap::new();
+    for e in &old.entries {
+        if !e.note.is_empty() {
+            notes.insert((e.file.clone(), e.context.clone(), e.kind), &e.note);
+        }
+    }
+    let by_path: BTreeMap<&str, &ScannedFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+
+    let mut out = String::new();
+    out.push_str(
+        "# Audit ledger for every `unsafe` site in the workspace.\n\
+         # Maintained by `cargo run -p parclust-analyze -- fix-ledger`; checked by\n\
+         # `... -- check`. `invariant` is extracted from the site's SAFETY comment;\n\
+         # `note` is free-form reviewer text and survives regeneration.\n",
+    );
+    for ((file, context, kind), sites) in &groups {
+        let invariant = by_path
+            .get(file.as_str())
+            .and_then(|f| sites.first().map(|s| extract_invariant(f, s.line)))
+            .unwrap_or_default();
+        out.push_str("\n[[unsafe]]\n");
+        out.push_str(&format!("file = {}\n", toml::escape(file)));
+        out.push_str(&format!("context = {}\n", toml::escape(context)));
+        out.push_str(&format!("kind = \"{}\"\n", kind.as_str()));
+        out.push_str(&format!("count = {}\n", sites.len()));
+        out.push_str(&format!("invariant = {}\n", toml::escape(&invariant)));
+        if let Some(note) = notes.get(&(file.clone(), context.clone(), *kind)) {
+            out.push_str(&format!("note = {}\n", toml::escape(note)));
+        }
+    }
+    out
+}
+
+/// Pull the human-written invariant out of the SAFETY comment governing
+/// the site at `lineno`: the text after `SAFETY:` plus any continuation
+/// comment lines, clipped to ~160 chars.
+fn extract_invariant(f: &ScannedFile, lineno: u32) -> String {
+    // Collected top-down: the comment block above the site, then any
+    // trailing comment on the site line itself.
+    let mut block: Vec<String> = Vec::new();
+    let mut l = lineno.saturating_sub(1);
+    while l >= 1 {
+        let text = f.line(l).trim();
+        let is_comment = text.starts_with("//")
+            || text.starts_with("/*")
+            || text.starts_with('*')
+            || text.starts_with("#[")
+            || text.starts_with("#![");
+        if !is_comment {
+            // Statement continuations (`let x: T =` on the line above an
+            // unsafe expression) keep the walk alive, mirroring the SAFETY
+            // detection in `scan::comment_block_above_contains`.
+            let continues = !text.is_empty()
+                && !text.ends_with(';')
+                && !text.ends_with('{')
+                && !text.ends_with('}');
+            if continues {
+                l -= 1;
+                continue;
+            }
+            break;
+        }
+        block.push(text.to_string());
+        l -= 1;
+    }
+    block.reverse();
+    if let Some(i) = f.line(lineno).find("//") {
+        block.push(f.line(lineno)[i..].trim().to_string());
+    }
+
+    let start = block
+        .iter()
+        .position(|t| t.contains("SAFETY") || t.contains("# Safety"));
+    let Some(start) = start else {
+        return String::new();
+    };
+    let mut invariant = String::new();
+    for (j, raw) in block[start..].iter().enumerate() {
+        let mut text = raw
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim();
+        if j == 0 {
+            if let Some(at) = text.find("SAFETY") {
+                text = text[at + "SAFETY".len()..].trim_start_matches(':').trim();
+            } else if let Some(at) = text.find("# Safety") {
+                // Doc-style `# Safety` heading: the invariant is the prose on
+                // the following comment lines.
+                text = text[at + "# Safety".len()..].trim();
+            }
+        } else if !raw.starts_with("//") && !raw.starts_with('*') {
+            break; // attributes end the prose
+        }
+        if !invariant.is_empty() {
+            invariant.push(' ');
+        }
+        invariant.push_str(text);
+        if invariant.len() >= 160 {
+            invariant.truncate(160);
+            break;
+        }
+    }
+    invariant.trim_end_matches("*/").trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanned(src: &str) -> ScannedFile {
+        ScannedFile::new("crates/x/src/lib.rs".into(), src)
+    }
+
+    #[test]
+    fn finds_blocks_fns_impls() {
+        let f = scanned(
+            "// SAFETY: ptr is valid for the whole call\n\
+             unsafe fn raw(p: *const u8) { unsafe { p.read() }; }\n\
+             // SAFETY: no shared mutation\n\
+             unsafe impl Send for Foo {}\n",
+        );
+        let sites = find_unsafe_sites(&f);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].kind, UnsafeKind::Fn);
+        assert_eq!(sites[0].context, "raw");
+        assert_eq!(sites[1].kind, UnsafeKind::Block);
+        assert_eq!(sites[1].context, "raw");
+        assert_eq!(sites[2].kind, UnsafeKind::Impl);
+        assert_eq!(sites[2].context, "impl Send for Foo");
+        // The block inherits the fn's comment block? No — its governing
+        // comment is the fn header line, which does contain SAFETY via the
+        // trailing-comment walk only if on the same/previous line. Here the
+        // block sits on the same line as the fn, whose previous line is the
+        // SAFETY comment, so all three sites resolve a comment.
+        assert!(sites.iter().all(|s| s.has_safety_comment));
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_site() {
+        let f = scanned("struct J { run: unsafe fn(*const ()) }\n");
+        assert!(find_unsafe_sites(&f).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = scanned("#[cfg(test)]\nmod tests {\n fn t() { unsafe { x() } }\n}\n");
+        assert!(find_unsafe_sites(&f).is_empty());
+    }
+
+    #[test]
+    fn missing_safety_comment_flagged() {
+        let f = scanned("fn go() {\n    unsafe { hit() };\n}\n");
+        let sites = find_unsafe_sites(&f);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].has_safety_comment);
+        let mut v = Vec::new();
+        check_unsafe(&[f], &Ledger::default(), &mut v);
+        // one for the missing comment, one for the missing ledger entry
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("no `// SAFETY:`"));
+        assert!(v[1].message.contains("not in UNSAFE_LEDGER.toml"));
+    }
+
+    #[test]
+    fn ledger_roundtrip_is_clean_and_preserves_notes() {
+        let f = scanned(
+            "fn go() {\n    // SAFETY: index is bounds-checked above\n    unsafe { hit() };\n}\n",
+        );
+        let files = vec![f];
+        let old = Ledger::parse(
+            "[[unsafe]]\nfile = \"crates/x/src/lib.rs\"\ncontext = \"go\"\nkind = \"block\"\ncount = 1\ninvariant = \"old\"\nnote = \"reviewed 2024-11\"\n",
+        )
+        .expect("parses");
+        let regenerated = fix_ledger(&files, &old);
+        assert!(regenerated.contains("invariant = \"index is bounds-checked above\""));
+        assert!(regenerated.contains("note = \"reviewed 2024-11\""));
+        let ledger = Ledger::parse(&regenerated).expect("regenerated parses");
+        let mut v = Vec::new();
+        let n = check_unsafe(&files, &ledger, &mut v);
+        assert_eq!(n, 1);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn stale_and_count_mismatch_reported() {
+        let f = scanned(
+            "fn go() {\n    // SAFETY: fine\n    unsafe { a() };\n    // SAFETY: fine\n    unsafe { b() };\n}\n",
+        );
+        let ledger = Ledger::parse(
+            "[[unsafe]]\nfile = \"crates/x/src/lib.rs\"\ncontext = \"go\"\nkind = \"block\"\ncount = 1\ninvariant = \"x\"\n\n\
+             [[unsafe]]\nfile = \"crates/gone/src/lib.rs\"\ncontext = \"dead\"\nkind = \"fn\"\ncount = 1\ninvariant = \"x\"\n",
+        )
+        .expect("parses");
+        let mut v = Vec::new();
+        check_unsafe(&[f], &ledger, &mut v);
+        assert!(v.iter().any(|x| x.message.contains("tree has 2 site(s)")));
+        assert!(v.iter().any(|x| x.message.starts_with("- stale entry")));
+    }
+}

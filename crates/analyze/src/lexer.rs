@@ -1,0 +1,475 @@
+//! A lightweight Rust lexer, sufficient for lint-level analysis.
+//!
+//! This is not a full grammar: it tokenizes exactly the constructs that can
+//! *hide* or *mimic* the tokens the lints search for — nested block
+//! comments, (raw/byte) string literals, char literals vs lifetime ticks,
+//! raw identifiers — so that an `unsafe` inside `r#"…"#` or `/* … */` is
+//! never mistaken for code, and a real one is never missed. Everything else
+//! (numbers, punctuation) is tokenized just precisely enough to walk
+//! call-expression structure backwards and to track brace depth.
+
+/// Token classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers `r#name` yield `name`).
+    Ident,
+    /// One punctuation character (`{`, `}`, `(`, `)`, `:`, `.`, `!`, …).
+    Punct,
+    /// `// …` comment (text includes the slashes, excludes the newline).
+    LineComment,
+    /// `/* … */` comment, nesting handled; may span lines.
+    BlockComment,
+    /// String, raw string, byte string, or byte literal.
+    Str,
+    /// Char literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+    Char,
+    /// Lifetime tick (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (loose: digits plus alphanumeric suffix run).
+    Num,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    peeked: Vec<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars(),
+            peeked: Vec::new(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self, ahead: usize) -> Option<char> {
+        while self.peeked.len() <= ahead {
+            self.peeked.push(self.chars.next()?);
+        }
+        self.peeked.get(ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = if self.peeked.is_empty() {
+            self.chars.next()?
+        } else {
+            self.peeked.remove(0)
+        };
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. The lexer never fails: malformed input (unterminated
+/// strings/comments) degrades to a final token running to end-of-file,
+/// which is the safe direction for the lints (nothing after an unterminated
+/// string can be mistaken for code).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(c), _) => {
+                        text.push(c);
+                        cur.bump();
+                    }
+                    (None, _) => break, // unterminated: swallow to EOF
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Raw identifiers and raw / byte strings. Longest-prefix decisions:
+        // `r"`/`r#…#"` raw string, `r#ident` raw identifier, `br`/`b"`
+        // byte strings, `b'…'` byte literal.
+        if c == 'r' || c == 'b' {
+            let next = cur.peek(1);
+            let third = cur.peek(2);
+            let raw_str = (c == 'r' && matches!(next, Some('"') | Some('#')))
+                || (c == 'b' && next == Some('r') && matches!(third, Some('"') | Some('#')));
+            // `r#ident` (raw identifier) is `r#` followed by ident-start
+            // with no `"` after the hash run.
+            if c == 'r' && next == Some('#') {
+                // Count hashes, look at what follows.
+                let mut i = 1;
+                while cur.peek(i) == Some('#') {
+                    i += 1;
+                }
+                if cur.peek(i) != Some('"') {
+                    // Raw identifier: consume `r#`, lex the ident.
+                    cur.bump();
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(c) = cur.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        text.push(c);
+                        cur.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            if raw_str {
+                let mut text = String::new();
+                text.push(c);
+                cur.bump();
+                if c == 'b' {
+                    text.push('r');
+                    cur.bump();
+                }
+                let mut hashes = 0usize;
+                while cur.peek(0) == Some('#') {
+                    hashes += 1;
+                    text.push('#');
+                    cur.bump();
+                }
+                text.push('"');
+                cur.bump(); // opening quote
+                'raw: loop {
+                    match cur.bump() {
+                        Some('"') => {
+                            text.push('"');
+                            // Need `hashes` hashes to close.
+                            let mut got = 0usize;
+                            while got < hashes && cur.peek(got) == Some('#') {
+                                got += 1;
+                            }
+                            if got == hashes {
+                                for _ in 0..hashes {
+                                    text.push('#');
+                                    cur.bump();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => break 'raw, // unterminated
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && next == Some('"') {
+                cur.bump(); // consume the b; fall through to string lexing
+                let tok = lex_quoted(&mut cur, '"');
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: format!("b{tok}"),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && next == Some('\'') {
+                cur.bump();
+                let tok = lex_quoted(&mut cur, '\'');
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: format!("b{tok}"),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime. After the tick:
+            //  * `\`                → char literal with escape, scan to `'`;
+            //  * X followed by `'`  → 3-char literal `'X'`;
+            //  * ident run         → lifetime (`'a`, `'static`, `'_`).
+            let next = cur.peek(1);
+            if next == Some('\\') {
+                let text = lex_quoted(&mut cur, '\'');
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if cur.peek(2) == Some('\'') && next.is_some() {
+                let mut text = String::new();
+                for _ in 0..3 {
+                    if let Some(c) = cur.bump() {
+                        text.push(c);
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Lifetime.
+            cur.bump();
+            let mut text = String::from("'");
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if !(is_ident_continue(c)) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Single-char punctuation.
+        cur.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// Lex a quoted literal starting at the opening `quote` (already peeked,
+/// not consumed), honoring backslash escapes. Returns the raw text
+/// including quotes; unterminated literals run to EOF.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) -> String {
+    let mut text = String::new();
+    text.push(quote);
+    cur.bump();
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            Some(c) if c == quote => {
+                text.push(c);
+                break;
+            }
+            Some(c) => text.push(c),
+            None => break,
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        assert_eq!(idents(r#"let x = "unsafe { }";"#), vec!["let", "x"]);
+        assert_eq!(idents(r##"let x = r#"unsafe"#;"##), vec!["let", "x"]);
+        assert_eq!(idents(r#"let x = b"unsafe";"#), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* unsafe */ still comment */ fn f() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("unsafe"));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("let c: char = 'a'; fn f<'a>(x: &'a str) {} let n = '\\n';");
+        let kinds: Vec<TokKind> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Char | TokKind::Lifetime))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Char,
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_follow_newlines() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("let s = \"one\ntwo\"; fn g() {}");
+        let g = toks.iter().find(|t| t.is_ident("g")).expect("g lexed");
+        assert_eq!(g.line, 2);
+    }
+}

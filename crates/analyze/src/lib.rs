@@ -1,0 +1,274 @@
+//! parclust-analyze: workspace static analysis.
+//!
+//! Three lints run over every `src/**/*.rs` under `crates/` and `shims/`
+//! (test code — crate `tests/` dirs, `benches/`, and `#[cfg(test)]` items —
+//! is exempt):
+//!
+//! * **unsafe-ledger** — every `unsafe` block/fn/impl/trait must carry a
+//!   `// SAFETY:` comment (or `# Safety` doc section) and be accounted for
+//!   in `UNSAFE_LEDGER.toml`; drift produces a diff-style report and
+//!   `fix-ledger` regenerates the file, preserving reviewer notes.
+//! * **atomics-discipline** — every `Ordering::*` use must match the
+//!   per-file manifest in `ANALYZE.toml`: the variant must be listed in
+//!   `allow`, except `Relaxed` which is granted per named receiver via
+//!   `relaxed = [...]`. Files using atomics without a manifest entry fail.
+//! * **hot-path-hygiene** — files tagged hot in `ANALYZE.toml` reject
+//!   mutex construction/locking, `.unwrap()`/`.expect(`, and allocation
+//!   inside loops, unless an inline
+//!   `// analyze:allow(<lint>) — reason` grants an exemption (the reason is
+//!   mandatory; a bare allow is itself a violation).
+//!
+//! The library is filesystem-agnostic: lints run over in-memory
+//! [`scan::ScannedFile`]s so tests can feed fixtures, and the `analyze`
+//! binary feeds it the real tree.
+
+pub mod atomics;
+pub mod hotpath;
+pub mod ledger;
+pub mod lexer;
+pub mod scan;
+pub mod toml;
+
+use scan::ScannedFile;
+use std::path::{Path, PathBuf};
+
+/// Lint identifiers, as they appear in reports and `analyze:allow(...)`.
+pub const LINT_UNSAFE_LEDGER: &str = "unsafe-ledger";
+pub const LINT_ATOMICS: &str = "atomics-discipline";
+pub const LINT_HOTPATH_LOCK: &str = "hotpath-lock";
+pub const LINT_HOTPATH_UNWRAP: &str = "hotpath-unwrap";
+pub const LINT_HOTPATH_ALLOC: &str = "hotpath-alloc-in-loop";
+pub const LINT_ALLOW_HYGIENE: &str = "allow-hygiene";
+
+/// Every valid lint name (allow comments naming anything else are typos
+/// and flagged by allow-hygiene).
+pub const ALL_LINTS: &[&str] = &[
+    LINT_UNSAFE_LEDGER,
+    LINT_ATOMICS,
+    LINT_HOTPATH_LOCK,
+    LINT_HOTPATH_UNWRAP,
+    LINT_HOTPATH_ALLOC,
+    LINT_ALLOW_HYGIENE,
+];
+
+/// One finding. `file:line` point at the offending token (or ledger
+/// entry); `message` is human-readable and stable enough to grep.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub lint: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Aggregate result of a full `check` run.
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub unsafe_sites: usize,
+    pub atomics_sites: usize,
+    pub allows_used: usize,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Machine-readable JSON document (the `--json` output).
+    pub fn to_json(&self) -> serde_json::Value {
+        let violations: Vec<serde_json::Value> = self
+            .violations
+            .iter()
+            .map(|v| {
+                serde_json::json!({
+                    "lint": v.lint,
+                    "file": v.file.clone(),
+                    "line": v.line as u64,
+                    "message": v.message.clone(),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "ok": self.ok(),
+            "files_scanned": self.files_scanned as u64,
+            "unsafe_sites": self.unsafe_sites as u64,
+            "atomics_sites": self.atomics_sites as u64,
+            "allows_used": self.allows_used as u64,
+            "violations": serde_json::Value::Array(violations),
+        })
+    }
+}
+
+/// The parsed `ANALYZE.toml` manifest.
+pub struct Manifest {
+    pub hot_files: Vec<String>,
+    pub atomics: Vec<atomics::FilePolicy>,
+}
+
+impl Manifest {
+    pub fn parse(src: &str) -> Result<Manifest, String> {
+        let doc = toml::parse(src).map_err(|e| e.to_string())?;
+        let hot_files = doc
+            .tables
+            .get("hotpath")
+            .and_then(|t| t.get("files"))
+            .and_then(|v| v.as_str_array())
+            .map(|v| v.iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default();
+        let mut atomics_policies = Vec::new();
+        for entry in doc.arrays.get("atomics").into_iter().flatten() {
+            let file = entry
+                .get_str("file")
+                .ok_or("atomics entry missing `file`")?
+                .to_string();
+            let allow = entry
+                .get("allow")
+                .and_then(|v| v.as_str_array())
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default();
+            let relaxed = entry
+                .get("relaxed")
+                .and_then(|v| v.as_str_array())
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default();
+            atomics_policies.push(atomics::FilePolicy {
+                file,
+                allow,
+                relaxed,
+            });
+        }
+        Ok(Manifest {
+            hot_files,
+            atomics: atomics_policies,
+        })
+    }
+}
+
+/// Run every lint over `files` with `manifest` and `ledger`.
+pub fn check(files: &[ScannedFile], manifest: &Manifest, ledger: &ledger::Ledger) -> Report {
+    let mut violations = Vec::new();
+    let unsafe_summary = ledger::check_unsafe(files, ledger, &mut violations);
+    let atomics_sites = atomics::check_atomics(files, &manifest.atomics, &mut violations);
+    hotpath::check_hotpath(files, &manifest.hot_files, &mut violations);
+    let allows_used = check_allow_hygiene(files, &mut violations);
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    Report {
+        violations,
+        files_scanned: files.len(),
+        unsafe_sites: unsafe_summary,
+        atomics_sites,
+        allows_used,
+    }
+}
+
+/// The escape hatch polices itself: every `analyze:allow` must name known
+/// lints and carry a non-empty reason.
+fn check_allow_hygiene(files: &[ScannedFile], violations: &mut Vec<Violation>) -> usize {
+    let mut used = 0usize;
+    for f in files {
+        for a in &f.allows {
+            used += 1;
+            if a.lints.is_empty() {
+                violations.push(Violation {
+                    lint: LINT_ALLOW_HYGIENE,
+                    file: f.rel_path.clone(),
+                    line: a.line,
+                    message: "analyze:allow must name at least one lint".into(),
+                });
+                continue;
+            }
+            for l in &a.lints {
+                if !ALL_LINTS.contains(&l.as_str()) {
+                    violations.push(Violation {
+                        lint: LINT_ALLOW_HYGIENE,
+                        file: f.rel_path.clone(),
+                        line: a.line,
+                        message: format!("unknown lint {l:?} in analyze:allow"),
+                    });
+                }
+            }
+            if a.reason.len() < 8 {
+                violations.push(Violation {
+                    lint: LINT_ALLOW_HYGIENE,
+                    file: f.rel_path.clone(),
+                    line: a.line,
+                    message:
+                        "analyze:allow needs a reason: `// analyze:allow(<lint>) — why this is sound`"
+                            .into(),
+                });
+            }
+        }
+    }
+    used
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` holding
+/// `ANALYZE.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("ANALYZE.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect and scan every lintable source file under `root`: `src/**/*.rs`
+/// below `crates/` and `shims/`. Paths are workspace-relative with `/`
+/// separators, sorted for deterministic reports.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<ScannedFile>> {
+    let mut paths = Vec::new();
+    for top in ["crates", "shims"] {
+        let top_dir = root.join(top);
+        if !top_dir.is_dir() {
+            continue;
+        }
+        for member in std::fs::read_dir(&top_dir)? {
+            let member = member?.path();
+            let src_dir = member.join("src");
+            if src_dir.is_dir() {
+                collect_rs(&src_dir, &mut paths)?;
+            }
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&p)?;
+        files.push(ScannedFile::new(rel, &src));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

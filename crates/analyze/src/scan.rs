@@ -1,0 +1,410 @@
+//! File-level analysis context shared by all lints: the token stream, raw
+//! lines, `#[cfg(test)]` region map, enclosing-scope names, and the
+//! `// analyze:allow(...)` escape-hatch index.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A source file prepared for linting.
+pub struct ScannedFile {
+    /// Workspace-relative path with `/` separators (manifest key).
+    pub rel_path: String,
+    /// Raw source lines (1-based access via helpers).
+    pub lines: Vec<String>,
+    /// Lexed tokens.
+    pub toks: Vec<Tok>,
+    /// Inclusive 1-based line spans covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+    /// For each token index, the innermost named scope (fn/impl/mod) it
+    /// sits in, as an index into `scopes` (`u32::MAX` = top level).
+    pub tok_scope: Vec<u32>,
+    /// Scope display names, e.g. `load_slow` or `impl Send for Registry`.
+    pub scopes: Vec<String>,
+    /// Parsed `analyze:allow` comments: (line, lints, reason).
+    pub allows: Vec<AllowComment>,
+}
+
+/// One `// analyze:allow(lint-a, lint-b) — reason` comment.
+#[derive(Debug, Clone)]
+pub struct AllowComment {
+    pub line: u32,
+    pub lints: Vec<String>,
+    pub reason: String,
+}
+
+impl ScannedFile {
+    pub fn new(rel_path: String, src: &str) -> ScannedFile {
+        let toks = lex(src);
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let test_spans = find_test_spans(&toks);
+        let (tok_scope, scopes) = assign_scopes(&toks);
+        let allows = find_allows(&toks);
+        ScannedFile {
+            rel_path,
+            lines,
+            toks,
+            test_spans,
+            tok_scope,
+            scopes,
+            allows,
+        }
+    }
+
+    pub fn line(&self, lineno: u32) -> &str {
+        self.lines
+            .get(lineno.saturating_sub(1) as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    pub fn in_test_code(&self, lineno: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(lo, hi)| lo <= lineno && lineno <= hi)
+    }
+
+    /// Innermost scope name for the token at `idx`, or `"top-level"`.
+    pub fn scope_name(&self, idx: usize) -> &str {
+        match self.tok_scope.get(idx) {
+            Some(&s) if s != u32::MAX => &self.scopes[s as usize],
+            _ => "top-level",
+        }
+    }
+
+    /// The `analyze:allow` comment governing `lineno`, if any: a trailing
+    /// comment on the line itself or a comment on the line directly above.
+    pub fn allow_for(&self, lineno: u32, lint: &str) -> Option<&AllowComment> {
+        self.allows.iter().find(|a| {
+            (a.line == lineno || a.line + 1 == lineno) && a.lints.iter().any(|l| l == lint)
+        })
+    }
+
+    /// Walk the contiguous comment/attribute block directly above `lineno`
+    /// (1-based) and report whether any of it contains `needle`.
+    pub fn comment_block_above_contains(&self, lineno: u32, needles: &[&str]) -> bool {
+        // Trailing comment on the line itself also counts.
+        if let Some(comment) = trailing_comment(self.line(lineno)) {
+            if needles.iter().any(|n| comment.contains(n)) {
+                return true;
+            }
+        }
+        let mut l = lineno.saturating_sub(1);
+        while l >= 1 {
+            let text = self.line(l).trim();
+            if text.starts_with("//") {
+                if needles.iter().any(|n| text.contains(n)) {
+                    return true;
+                }
+            } else if text.starts_with("#[") || text.starts_with("#![") {
+                // Attributes between the comment and the item are fine.
+            } else if text.starts_with("*/") || text.starts_with('*') || text.starts_with("/*") {
+                // Block-comment body/edges.
+                if needles.iter().any(|n| text.contains(n)) {
+                    return true;
+                }
+            } else if text.ends_with(';') || text.ends_with('{') || text.ends_with('}') {
+                // A completed statement/item ends the walk; a governing
+                // comment cannot sit above someone else's code.
+                return false;
+            }
+            // Otherwise the line continues the same statement
+            // (`let x =` + newline + `unsafe { ... }`): keep walking.
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// The comment part of a line of code, if the line ends in one. A lexer
+/// pass would be more precise, but `//` inside string literals is the only
+/// false positive and the needles (`SAFETY`, `analyze:allow`) do not occur
+/// in string literals in this workspace.
+fn trailing_comment(line: &str) -> Option<&str> {
+    line.find("//").map(|i| &line[i..])
+}
+
+/// Find `#[cfg(test)]` items and return their line spans. Handles the
+/// attribute followed by further attributes, then either a braced item
+/// (span runs to the matching close brace) or a `;`-terminated one.
+fn find_test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let at = |k: usize| code.get(k).map(|&i| &toks[i]);
+    let mut spans = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        // Match `# [ cfg ( test ) ]` exactly.
+        let is_cfg_test = at(k).is_some_and(|t| t.is_punct('#'))
+            && at(k + 1).is_some_and(|t| t.is_punct('['))
+            && at(k + 2).is_some_and(|t| t.is_ident("cfg"))
+            && at(k + 3).is_some_and(|t| t.is_punct('('))
+            && at(k + 4).is_some_and(|t| t.is_ident("test"))
+            && at(k + 5).is_some_and(|t| t.is_punct(')'))
+            && at(k + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test {
+            k += 1;
+            continue;
+        }
+        let start_line = at(k).map(|t| t.line).unwrap_or(1);
+        let mut j = k + 7;
+        // Skip any further attributes.
+        while at(j).is_some_and(|t| t.is_punct('#')) && at(j + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut depth = 0usize;
+            j += 1; // at '['
+            loop {
+                match at(j) {
+                    Some(t) if t.is_punct('[') => depth += 1,
+                    Some(t) if t.is_punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                    None => return spans,
+                }
+                j += 1;
+            }
+        }
+        // Scan to the item end: the matching `}` of the first top-level
+        // brace, or a `;` before any brace opens.
+        let mut depth = 0usize;
+        let end_line;
+        loop {
+            match at(j) {
+                Some(t) if t.is_punct('{') => depth += 1,
+                Some(t) if t.is_punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = t.line;
+                        break;
+                    }
+                }
+                Some(t) if t.is_punct(';') && depth == 0 => {
+                    end_line = t.line;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    end_line = toks.last().map(|t| t.line).unwrap_or(start_line);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        spans.push((start_line, end_line));
+        k = j + 1;
+    }
+    spans
+}
+
+/// Assign each token the innermost enclosing named scope (fn, impl, mod,
+/// trait). Heuristic but robust for rustfmt'd code: a scope header's name
+/// binds to the next `{` at parenthesis depth 0.
+fn assign_scopes(toks: &[Tok]) -> (Vec<u32>, Vec<String>) {
+    #[derive(Clone)]
+    struct Open {
+        name_idx: u32,
+        close_depth: usize,
+    }
+    let mut scopes: Vec<String> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut tok_scope = vec![u32::MAX; toks.len()];
+    let mut pending: Option<String> = None;
+    let mut paren_depth = 0usize;
+    let mut brace_depth = 0usize;
+
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        tok_scope[i] = stack.last().map(|o| o.name_idx).unwrap_or(u32::MAX);
+        match t.kind {
+            TokKind::Ident => {
+                let next = code.get(k + 1).map(|&j| &toks[j]);
+                match t.text.as_str() {
+                    "fn" => {
+                        // `fn name` is a declaration; `fn (` is a pointer type.
+                        if let Some(n) = next.filter(|n| n.kind == TokKind::Ident) {
+                            pending = Some(n.text.clone());
+                        }
+                    }
+                    "mod" | "trait" => {
+                        if let Some(n) = next.filter(|n| n.kind == TokKind::Ident) {
+                            pending = Some(format!("{} {}", t.text, n.text));
+                        }
+                    }
+                    "impl" => {
+                        // Only item-position `impl` opens a scope —
+                        // `-> impl Trait` / `arg: impl Fn()` do not.
+                        let prev = k
+                            .checked_sub(1)
+                            .and_then(|p| code.get(p))
+                            .map(|&j| &toks[j]);
+                        let item_position = match prev {
+                            None => true,
+                            Some(p) => {
+                                p.is_punct(';')
+                                    || p.is_punct('{')
+                                    || p.is_punct('}')
+                                    || p.is_punct(']')
+                                    || p.is_punct(')')
+                                    || p.is_ident("unsafe")
+                                    || p.is_ident("pub")
+                            }
+                        };
+                        if !item_position {
+                            continue;
+                        }
+                        // Header text up to the body/terminator, compressed.
+                        let mut name = String::from("impl");
+                        for &j in code.iter().skip(k + 1).take(24) {
+                            let h = &toks[j];
+                            if h.is_punct('{') || h.is_punct(';') {
+                                break;
+                            }
+                            if h.is_punct('<') || h.is_punct('>') || h.is_punct(':') {
+                                continue;
+                            }
+                            name.push(' ');
+                            name.push_str(&h.text);
+                        }
+                        pending = Some(name);
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct => match t.text.as_bytes()[0] {
+                b'(' => paren_depth += 1,
+                b')' => paren_depth = paren_depth.saturating_sub(1),
+                b'{' => {
+                    brace_depth += 1;
+                    if paren_depth == 0 {
+                        if let Some(name) = pending.take() {
+                            scopes.push(name);
+                            stack.push(Open {
+                                name_idx: (scopes.len() - 1) as u32,
+                                close_depth: brace_depth,
+                            });
+                        }
+                    }
+                }
+                b'}' => {
+                    if stack.last().is_some_and(|o| o.close_depth == brace_depth) {
+                        stack.pop();
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                }
+                b';' if paren_depth == 0 => {
+                    pending = None; // bodyless declaration
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    (tok_scope, scopes)
+}
+
+/// Parse every `analyze:allow(lint, ...)` comment in the token stream.
+/// The reason is whatever follows the closing parenthesis, stripped of
+/// separator dashes.
+fn find_allows(toks: &[Tok]) -> Vec<AllowComment> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        // The directive must lead the comment ( `// analyze:allow(...)` );
+        // prose that merely mentions it does not bind.
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches(['!', '*'])
+            .trim_start();
+        let Some(after) = body.strip_prefix("analyze:allow(") else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            out.push(AllowComment {
+                line: t.line,
+                lints: Vec::new(),
+                reason: String::new(),
+            });
+            continue;
+        };
+        let lints: Vec<String> = after[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reason = after[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+            .trim()
+            .to_string();
+        out.push(AllowComment {
+            line: t.line,
+            lints,
+            reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let f = ScannedFile::new("x.rs".into(), src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn scope_names_resolve() {
+        let src = "impl Foo for Bar { fn run(&self) { let x = 1; } }\nfn free() { body(); }\n";
+        let f = ScannedFile::new("x.rs".into(), src);
+        let x_idx = f.toks.iter().position(|t| t.is_ident("x")).expect("x");
+        assert_eq!(f.scope_name(x_idx), "run");
+        let body_idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("body"))
+            .expect("body");
+        assert_eq!(f.scope_name(body_idx), "free");
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_scope() {
+        let src = "struct J { run: unsafe fn(*const ()) }\nfn real() { tag(); }\n";
+        let f = ScannedFile::new("x.rs".into(), src);
+        let tag_idx = f.toks.iter().position(|t| t.is_ident("tag")).expect("tag");
+        assert_eq!(f.scope_name(tag_idx), "real");
+    }
+
+    #[test]
+    fn comment_links_across_statement_continuations() {
+        let src = "fn f() {\n    done();\n    // SAFETY: layout matches\n    let x: &[u8] =\n        unsafe { cast(p) };\n}\n";
+        let f = ScannedFile::new("x.rs".into(), src);
+        assert!(f.comment_block_above_contains(5, &["SAFETY"]));
+        // ...but a terminated statement blocks the link.
+        let src2 = "// SAFETY: someone else's\nlet a = 1;\nlet b = unsafe { go() };\n";
+        let f2 = ScannedFile::new("x.rs".into(), src2);
+        assert!(!f2.comment_block_above_contains(3, &["SAFETY"]));
+    }
+
+    #[test]
+    fn allows_parse_with_reasons() {
+        let src = "// analyze:allow(hotpath-lock, hotpath-unwrap) — writer side only\nlet g = m.lock().unwrap();\nlet h = q.pop(); // analyze:allow(hotpath-unwrap)\n";
+        let f = ScannedFile::new("x.rs".into(), src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].lints, vec!["hotpath-lock", "hotpath-unwrap"]);
+        assert_eq!(f.allows[0].reason, "writer side only");
+        assert!(f.allows[1].reason.is_empty());
+        assert!(f.allow_for(2, "hotpath-lock").is_some());
+        assert!(f.allow_for(2, "hotpath-alloc-in-loop").is_none());
+    }
+}

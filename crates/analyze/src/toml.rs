@@ -1,0 +1,385 @@
+//! A minimal TOML subset reader/writer for the analysis manifests.
+//!
+//! The workspace has no crates.io access, so this implements exactly the
+//! grammar `UNSAFE_LEDGER.toml` and `ANALYZE.toml` use: `[table]` and
+//! `[[array-of-tables]]` headers, `key = value` pairs where a value is a
+//! basic string (`"…"` with `\"`/`\\`/`\n`/`\t` escapes), an integer, a
+//! boolean, or a flat array of those, plus `#` comments and blank lines.
+//! Dotted keys, inline tables, datetimes, floats, and multi-line strings
+//! are out of scope and rejected loudly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Array of strings, if this is one.
+    pub fn as_str_array(&self) -> Option<Vec<&str>> {
+        match self {
+            Value::Array(items) => items.iter().map(Value::as_str).collect(),
+            _ => None,
+        }
+    }
+}
+
+/// One `[header]` or `[[header]]` section: ordered key → value pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub entries: BTreeMap<String, Value>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+}
+
+/// A parsed document: named single tables plus named arrays-of-tables.
+/// Top-level (pre-header) keys live in `root`.
+#[derive(Debug, Clone, Default)]
+pub struct Doc {
+    pub root: Table,
+    pub tables: BTreeMap<String, Table>,
+    pub arrays: BTreeMap<String, Vec<Table>>,
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+enum Target {
+    Root,
+    Table(String),
+    Array(String),
+}
+
+pub fn parse(src: &str) -> Result<Doc, ParseError> {
+    let mut doc = Doc::default();
+    let mut target = Target::Root;
+    for (lineno, line) in logical_lines(src) {
+        let line = line.as_str();
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[header]]"))?
+                .trim()
+                .to_string();
+            if name.is_empty() {
+                return Err(err(lineno, "empty [[header]]"));
+            }
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push(Table::default());
+            target = Target::Array(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated [header]"))?
+                .trim()
+                .to_string();
+            if name.is_empty() {
+                return Err(err(lineno, "empty [header]"));
+            }
+            doc.tables.entry(name.clone()).or_default();
+            target = Target::Table(name);
+            continue;
+        }
+        let (key, value_src) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || key.contains('.') {
+            return Err(err(lineno, format!("unsupported key {key:?}")));
+        }
+        let value = parse_value(value_src.trim(), lineno)?;
+        let table = match &target {
+            Target::Root => &mut doc.root,
+            Target::Table(name) => doc
+                .tables
+                .get_mut(name)
+                .unwrap_or_else(|| unreachable!("table inserted at header")),
+            Target::Array(name) => doc
+                .arrays
+                .get_mut(name)
+                .and_then(|v| v.last_mut())
+                .unwrap_or_else(|| unreachable!("array entry pushed at header")),
+        };
+        if table.entries.insert(key.to_string(), value).is_some() {
+            return Err(err(lineno, format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Join physical lines into logical ones so arrays may span lines: a line
+/// with more `[` than `]` (outside strings) absorbs following lines until
+/// brackets balance. Returns (first line number, joined text), comments
+/// stripped and blanks dropped.
+fn logical_lines(src: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut open = 0i32;
+    for (i, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if open > 0 {
+            let last = out.last_mut().expect("accumulating implies a prior line");
+            last.1.push(' ');
+            last.1.push_str(line);
+            open += bracket_balance(line);
+        } else {
+            // Section headers are self-contained even though they start
+            // with `[`; only `key = [...` values continue.
+            open = if line.starts_with('[') {
+                0
+            } else {
+                bracket_balance(line)
+            };
+            out.push((i + 1, line.to_string()));
+        }
+    }
+    out
+}
+
+/// Net `[` minus `]` outside basic strings.
+fn bracket_balance(line: &str) -> i32 {
+    let mut n = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => n += 1,
+            ']' if !in_str => n -= 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Strip a `#` comment that is not inside a basic string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(src: &str, lineno: usize) -> Result<Value, ParseError> {
+    if src.starts_with('"') {
+        let (s, rest) = parse_string(src, lineno)?;
+        if !rest.trim().is_empty() {
+            return Err(err(lineno, "trailing content after string"));
+        }
+        return Ok(Value::Str(s));
+    }
+    if src == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if src == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if src.starts_with('[') {
+        let inner = src
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| err(lineno, "unterminated array"))?;
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if rest.starts_with('"') {
+                let (s, tail) = parse_string(rest, lineno)?;
+                items.push(Value::Str(s));
+                rest = tail.trim_start();
+            } else {
+                let end = rest.find(',').unwrap_or(rest.len());
+                let item = rest[..end].trim();
+                if !item.is_empty() {
+                    items.push(parse_scalar(item, lineno)?);
+                }
+                rest = &rest[end..];
+            }
+            if let Some(tail) = rest.strip_prefix(',') {
+                rest = tail.trim_start();
+            } else if !rest.is_empty() {
+                return Err(err(lineno, "expected `,` between array items"));
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    parse_scalar(src, lineno)
+}
+
+fn parse_scalar(src: &str, lineno: usize) -> Result<Value, ParseError> {
+    src.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(lineno, format!("unsupported value {src:?}")))
+}
+
+/// Parse one basic string starting at `"`; returns (content, remainder).
+fn parse_string(src: &str, lineno: usize) -> Result<(String, &str), ParseError> {
+    let mut out = String::new();
+    let mut chars = src.char_indices();
+    let _ = chars.next(); // opening quote
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &src[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => {
+                    return Err(err(lineno, format!("unsupported escape \\{other}")))
+                }
+                None => return Err(err(lineno, "dangling escape")),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+/// Escape a string for emission as a TOML basic string.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+# comment
+top = 3
+
+[hotpath]
+files = ["a.rs", "b.rs"]   # trailing comment
+strict = true
+
+[[unsafe]]
+file = "x.rs"
+count = 2
+
+[[unsafe]]
+file = "y # not a comment.rs"
+count = 1
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.root.get("top").and_then(Value::as_int), Some(3));
+        let hot = &doc.tables["hotpath"];
+        assert_eq!(
+            hot.get("files").and_then(Value::as_str_array),
+            Some(vec!["a.rs", "b.rs"])
+        );
+        assert_eq!(hot.get("strict"), Some(&Value::Bool(true)));
+        let entries = &doc.arrays["unsafe"];
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get_str("file"), Some("x.rs"));
+        assert_eq!(entries[1].get_str("file"), Some("y # not a comment.rs"));
+    }
+
+    #[test]
+    fn multiline_arrays_join() {
+        let doc = parse("[hotpath]\nfiles = [\n    \"a.rs\",  # first\n    \"b [x].rs\",\n]\n")
+            .expect("parses");
+        assert_eq!(
+            doc.tables["hotpath"]
+                .get("files")
+                .and_then(Value::as_str_array),
+            Some(vec!["a.rs", "b [x].rs"])
+        );
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "quote \" backslash \\ newline \n tab \t done";
+        let doc = parse(&format!("k = {}", escape(original))).expect("parses");
+        assert_eq!(doc.root.get_str("k"), Some(original));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("key").is_err());
+        assert!(parse("k = 1.5").is_err());
+        assert!(parse("k = \"unterminated").is_err());
+        assert!(parse("k = 1\nk = 2").is_err());
+    }
+}

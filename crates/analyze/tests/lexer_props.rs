@@ -1,0 +1,151 @@
+//! Property tests for the lexer on adversarial token streams.
+//!
+//! Sources are composed from fragments with *known* token-census ground
+//! truth (how many real `unsafe` keyword idents, strings, chars,
+//! lifetimes, block comments each contains), shuffled into random files.
+//! The lexer must report exactly the summed census no matter how the
+//! fragments are juxtaposed — i.e. no fragment can leak state into the
+//! next (unterminated strings, half-open comments, misread ticks).
+
+use parclust_analyze::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// (source line, unsafe idents, strings, chars, lifetimes, block comments)
+const FRAGMENTS: &[(&str, usize, usize, usize, usize, usize)] = &[
+    ("let x = 1;", 0, 0, 0, 0, 0),
+    ("/* unsafe */", 0, 0, 0, 0, 1),
+    ("/* outer /* unsafe nested */ tail */", 0, 0, 0, 0, 1),
+    ("// unsafe in a line comment", 0, 0, 0, 0, 0),
+    ("let s = \"unsafe { *p }\";", 0, 1, 0, 0, 0),
+    ("let r = r#\"raw \"unsafe\" text\"#;", 0, 1, 0, 0, 0),
+    ("let b = b\"unsafe bytes\";", 0, 1, 0, 0, 0),
+    ("unsafe { touch(); }", 1, 0, 0, 0, 0),
+    ("pub unsafe fn g() { h(); }", 1, 0, 0, 0, 0),
+    ("let c = 'u'; let d = '\\n';", 0, 0, 2, 0, 0),
+    ("fn f<'a>(x: &'a str) -> &'a str { x }", 0, 0, 0, 3, 0),
+    ("let lt: &'static str = \"x\";", 0, 1, 0, 1, 0),
+    ("let esc = '\\'';", 0, 0, 1, 0, 0),
+    (
+        "let mix = \"has // no comment /* either */\";",
+        0,
+        1,
+        0,
+        0,
+        0,
+    ),
+    (
+        "impl<'x> Drop for T<'x> { fn drop(&mut self) {} }",
+        0,
+        0,
+        0,
+        2,
+        0,
+    ),
+];
+
+fn census(toks: &[parclust_analyze::lexer::Tok]) -> (usize, usize, usize, usize, usize) {
+    let count = |k: TokKind| toks.iter().filter(|t| t.kind == k).count();
+    (
+        toks.iter().filter(|t| t.is_ident("unsafe")).count(),
+        count(TokKind::Str),
+        count(TokKind::Char),
+        count(TokKind::Lifetime),
+        count(TokKind::BlockComment),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random fragment compositions lex to exactly the summed census.
+    #[test]
+    fn composed_fragments_lex_exactly(picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..40)) {
+        let mut want = (0, 0, 0, 0, 0);
+        let mut src = String::new();
+        for &i in &picks {
+            let (text, u, s, c, l, b) = FRAGMENTS[i];
+            src.push_str(text);
+            src.push('\n');
+            want = (want.0 + u, want.1 + s, want.2 + c, want.3 + l, want.4 + b);
+        }
+        let toks = lex(&src);
+        prop_assert_eq!(census(&toks), want);
+        // Token positions are monotone in line number.
+        prop_assert!(toks.windows(2).all(|w| w[0].line <= w[1].line));
+    }
+
+    /// Block comments nest to arbitrary depth; everything inside is one
+    /// comment token, and code resumes cleanly afterwards.
+    #[test]
+    fn nested_block_comments(depth in 1usize..12, tail_unsafe in 0usize..2) {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/* header ");
+        }
+        src.push_str(" unsafe \"not a string\" 'x ");
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        src.push('\n');
+        for _ in 0..tail_unsafe {
+            src.push_str("unsafe { f(); }\n");
+        }
+        let toks = lex(&src);
+        let (u, s, c, _l, b) = census(&toks);
+        prop_assert_eq!(b, 1, "one nested comment expected");
+        prop_assert_eq!(u, tail_unsafe);
+        prop_assert_eq!((s, c), (0, 0));
+    }
+
+    /// Raw strings with any hash arity swallow quotes, hashes-with-fewer-
+    /// than-arity, and `unsafe` alike; the following code is intact.
+    #[test]
+    fn raw_strings_with_hashes(hashes in 1usize..6, kind in 0usize..2) {
+        let h = "#".repeat(hashes);
+        // Inner `"` + fewer hashes than the opener must NOT terminate.
+        let inner_hashes = "#".repeat(hashes - 1);
+        let prefix = if kind == 0 { "r" } else { "br" };
+        let src = format!(
+            "let s = {prefix}{h}\"says \"{inner_hashes} unsafe \" end\"{h};\nunsafe {{ g(); }}\n"
+        );
+        let toks = lex(&src);
+        let (u, s, _c, _l, _b) = census(&toks);
+        prop_assert_eq!(s, 1, "exactly one raw string in {}", src);
+        prop_assert_eq!(u, 1, "only the trailing unsafe counts in {}", src);
+    }
+
+    /// Char literals and lifetimes disambiguate in any interleaving.
+    #[test]
+    fn chars_vs_lifetimes(picks in prop::collection::vec(0usize..4, 1..20)) {
+        let mut src = String::new();
+        let mut want_chars = 0usize;
+        let mut want_lifetimes = 0usize;
+        for (n, &p) in picks.iter().enumerate() {
+            match p {
+                0 => { src.push_str(&format!("let c{n} = 'a';\n")); want_chars += 1; }
+                1 => { src.push_str(&format!("let e{n} = '\\u{{1F600}}';\n")); want_chars += 1; }
+                2 => { src.push_str(&format!("fn s{n}(x: &'static str) -> usize {{ x.len() }}\n")); want_lifetimes += 1; }
+                _ => { src.push_str(&format!("struct W{n}<'w>(&'w u8);\n")); want_lifetimes += 2; }
+            }
+        }
+        let toks = lex(&src);
+        let (_u, _s, c, l, _b) = census(&toks);
+        prop_assert_eq!(c, want_chars);
+        prop_assert_eq!(l, want_lifetimes);
+    }
+
+    /// A trailing newline (or none) never changes the token stream.
+    #[test]
+    fn trailing_newline_is_irrelevant(picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..12)) {
+        let body: Vec<&str> = picks.iter().map(|&i| FRAGMENTS[i].0).collect();
+        let a = body.join("\n");
+        let b = format!("{a}\n");
+        let ta = lex(&a);
+        let tb = lex(&b);
+        prop_assert_eq!(ta.len(), tb.len());
+        for (x, y) in ta.iter().zip(tb.iter()) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(&x.text, &y.text);
+        }
+    }
+}

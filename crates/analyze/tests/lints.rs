@@ -1,0 +1,304 @@
+//! End-to-end lint semantics over in-memory fixtures: seeded violations
+//! must be reported at the right `file:line`, clean fixtures must pass,
+//! and the escape hatches (`analyze:allow`, `#[cfg(test)]`, ledger
+//! entries) must behave exactly as documented.
+
+use parclust_analyze::ledger::Ledger;
+use parclust_analyze::scan::ScannedFile;
+use parclust_analyze::{
+    check, Manifest, Report, LINT_ALLOW_HYGIENE, LINT_ATOMICS, LINT_HOTPATH_ALLOC,
+    LINT_HOTPATH_LOCK, LINT_HOTPATH_UNWRAP, LINT_UNSAFE_LEDGER,
+};
+
+fn file(path: &str, src: &str) -> ScannedFile {
+    ScannedFile::new(path.to_string(), src)
+}
+
+fn run(files: Vec<ScannedFile>, manifest_toml: &str, ledger_toml: &str) -> Report {
+    let manifest = Manifest::parse(manifest_toml).expect("manifest fixture parses");
+    let ledger = Ledger::parse(ledger_toml).expect("ledger fixture parses");
+    check(&files, &manifest, &ledger)
+}
+
+fn lints_of(report: &Report) -> Vec<&'static str> {
+    report.violations.iter().map(|v| v.lint).collect()
+}
+
+const EMPTY_MANIFEST: &str = "";
+
+#[test]
+fn clean_fixture_passes_every_lint() {
+    let src = "\
+// SAFETY: p is valid and exclusively owned for the call.
+unsafe fn read_it(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded from the caller.
+    unsafe { *p }
+}
+";
+    let ledger = "\
+[[unsafe]]
+file = \"crates/x/src/lib.rs\"
+context = \"read_it\"
+kind = \"fn\"
+count = 1
+invariant = \"p is valid and exclusively owned\"
+
+[[unsafe]]
+file = \"crates/x/src/lib.rs\"
+context = \"read_it\"
+kind = \"block\"
+count = 1
+invariant = \"contract forwarded\"
+";
+    let report = run(
+        vec![file("crates/x/src/lib.rs", src)],
+        EMPTY_MANIFEST,
+        ledger,
+    );
+    assert!(
+        report.ok(),
+        "unexpected violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.unsafe_sites, 2);
+}
+
+#[test]
+fn undocumented_unsafe_is_flagged_at_its_line() {
+    let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], EMPTY_MANIFEST, "");
+    let missing: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.lint == LINT_UNSAFE_LEDGER)
+        .collect();
+    // Two findings: no SAFETY comment, and not in the ledger.
+    assert_eq!(missing.len(), 2, "{missing:?}");
+    assert!(missing.iter().all(|v| v.line == 2));
+    assert!(missing.iter().any(|v| v.message.contains("SAFETY")));
+    assert!(missing
+        .iter()
+        .any(|v| v.message.contains("not in UNSAFE_LEDGER.toml")));
+}
+
+#[test]
+fn stale_and_miscounted_ledger_entries_are_flagged() {
+    let src = "\
+// SAFETY: fine.
+unsafe fn a() {}
+";
+    let ledger = "\
+[[unsafe]]
+file = \"crates/x/src/lib.rs\"
+context = \"a\"
+kind = \"fn\"
+count = 2
+invariant = \"fine\"
+
+[[unsafe]]
+file = \"crates/x/src/lib.rs\"
+context = \"gone\"
+kind = \"block\"
+count = 1
+invariant = \"was removed\"
+";
+    let report = run(
+        vec![file("crates/x/src/lib.rs", src)],
+        EMPTY_MANIFEST,
+        ledger,
+    );
+    let msgs: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.lint == LINT_UNSAFE_LEDGER)
+        .map(|v| v.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("1 site(s)") && m.contains("records 2")),
+        "count drift not reported: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("stale")),
+        "stale entry not reported: {msgs:?}"
+    );
+}
+
+#[test]
+fn cfg_test_code_is_exempt_from_unsafe_ledger() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        unsafe { std::hint::unreachable_unchecked() };
+    }
+}
+";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], EMPTY_MANIFEST, "");
+    assert!(
+        report.ok(),
+        "test code must be exempt: {:?}",
+        report.violations
+    );
+    assert_eq!(report.unsafe_sites, 0);
+}
+
+#[test]
+fn atomics_require_a_manifest_entry() {
+    let src = "\
+use std::sync::atomic::{AtomicUsize, Ordering};
+fn f(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Acquire)
+}
+";
+    // No manifest entry for the file: violation.
+    let report = run(vec![file("crates/x/src/lib.rs", src)], EMPTY_MANIFEST, "");
+    assert_eq!(lints_of(&report), vec![LINT_ATOMICS]);
+    assert_eq!(report.violations[0].line, 3);
+
+    // Matching entry: clean.
+    let manifest = "\
+[[atomics]]
+file = \"crates/x/src/lib.rs\"
+allow = [\"Acquire\"]
+";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], manifest, "");
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.atomics_sites, 1);
+}
+
+#[test]
+fn relaxed_is_granted_per_receiver_not_per_file() {
+    let src = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+fn bump(counter: &AtomicU64, other: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+    other.fetch_add(1, Ordering::Relaxed);
+}
+";
+    let manifest = "\
+[[atomics]]
+file = \"crates/x/src/lib.rs\"
+relaxed = [\"counter\"]
+";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], manifest, "");
+    // `counter` is granted; `other` is not.
+    assert_eq!(lints_of(&report), vec![LINT_ATOMICS]);
+    assert_eq!(report.violations[0].line, 4);
+    assert!(report.violations[0].message.contains("other"));
+}
+
+#[test]
+fn seqcst_is_rejected_unless_explicitly_allowed() {
+    let src = "\
+use std::sync::atomic::{AtomicBool, Ordering};
+fn f(x: &AtomicBool) {
+    x.store(true, Ordering::SeqCst);
+}
+";
+    let manifest = "\
+[[atomics]]
+file = \"crates/x/src/lib.rs\"
+allow = [\"Release\"]
+";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], manifest, "");
+    assert_eq!(lints_of(&report), vec![LINT_ATOMICS]);
+    assert!(report.violations[0].message.contains("SeqCst"));
+}
+
+#[test]
+fn hot_files_reject_locks_unwraps_and_loop_allocation() {
+    let src = "\
+use std::sync::Mutex;
+fn hot(xs: &[u64]) -> u64 {
+    let m = Mutex::new(0u64);
+    let mut total = 0;
+    for x in xs {
+        let s = x.to_string();
+        total += s.len() as u64;
+    }
+    total + *m.lock().unwrap()
+}
+";
+    let manifest = "\
+[hotpath]
+files = [\"crates/x/src/hot.rs\"]
+";
+    let report = run(vec![file("crates/x/src/hot.rs", src)], manifest, "");
+    let lints = lints_of(&report);
+    assert!(lints.contains(&LINT_HOTPATH_LOCK), "{lints:?}");
+    assert!(lints.contains(&LINT_HOTPATH_UNWRAP), "{lints:?}");
+    assert!(lints.contains(&LINT_HOTPATH_ALLOC), "{lints:?}");
+
+    // The same file outside the hot list is fine.
+    let report = run(vec![file("crates/x/src/hot.rs", src)], EMPTY_MANIFEST, "");
+    assert!(report.ok(), "{:?}", report.violations);
+}
+
+#[test]
+fn allow_with_reason_suppresses_but_bare_allow_is_a_violation() {
+    let with_reason = "\
+use std::sync::Mutex;
+fn hot() -> u64 {
+    // analyze:allow(hotpath-lock) — construction happens once at startup
+    let m = Mutex::new(7u64);
+    // analyze:allow(hotpath-lock, hotpath-unwrap) — cold error path, poisoning impossible
+    *m.lock().unwrap()
+}
+";
+    let manifest = "\
+[hotpath]
+files = [\"crates/x/src/hot.rs\"]
+";
+    let report = run(vec![file("crates/x/src/hot.rs", with_reason)], manifest, "");
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.allows_used, 2);
+
+    // Same code, no reason after the lint list: allow-hygiene violation
+    // AND the underlying lint still fires (a bare allow grants nothing
+    // trustworthy).
+    let bare = with_reason.replace(" — construction happens once at startup", "");
+    let report = run(vec![file("crates/x/src/hot.rs", &bare)], manifest, "");
+    let lints = lints_of(&report);
+    assert!(lints.contains(&LINT_ALLOW_HYGIENE), "{lints:?}");
+}
+
+#[test]
+fn unknown_lint_name_in_allow_is_flagged() {
+    let src = "\
+fn f() {
+    // analyze:allow(hotpath-lockk) — typo in the lint name here
+    let _x = 1;
+}
+";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], EMPTY_MANIFEST, "");
+    assert_eq!(lints_of(&report), vec![LINT_ALLOW_HYGIENE]);
+    assert!(report.violations[0].message.contains("hotpath-lockk"));
+}
+
+#[test]
+fn unsafe_in_strings_and_comments_is_not_counted() {
+    let src = "\
+fn f() -> String {
+    // this comment says unsafe but there is none
+    /* nor here: unsafe { } */
+    let a = \"unsafe { *p }\";
+    let b = r#\"more unsafe text\"#;
+    format!(\"{a}{b}\")
+}
+";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], EMPTY_MANIFEST, "");
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.unsafe_sites, 0);
+}
+
+#[test]
+fn report_json_shape_is_stable() {
+    let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let report = run(vec![file("crates/x/src/lib.rs", src)], EMPTY_MANIFEST, "");
+    let json = report.to_json().to_json_string();
+    assert!(json.contains("\"ok\":false"));
+    assert!(json.contains("\"unsafe-ledger\""));
+    assert!(json.contains("\"line\":2"));
+}

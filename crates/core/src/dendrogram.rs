@@ -124,7 +124,10 @@ struct Out {
     right: SendPtr<u32>,
     parent: SendPtr<u32>,
 }
+// SAFETY: the three SendPtrs target disjoint per-node slots — every
+// subproblem writes only the node ids it owns (see solve_seq/solve_par).
 unsafe impl Send for Out {}
+// SAFETY: same disjoint-slot argument for shared use across tasks.
 unsafe impl Sync for Out {}
 
 /// Sequential ordered dendrogram (the baseline the parallel version must

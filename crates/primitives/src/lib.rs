@@ -43,7 +43,10 @@ pub(crate) fn block_size(n: usize) -> usize {
 /// indices.
 #[derive(Clone, Copy)]
 pub struct SendPtr<T>(pub *mut T);
+// SAFETY: users uphold the disjoint-index contract documented above, so
+// sending the pointer to another task cannot create aliased writes.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: same contract — shared copies only ever write disjoint indices.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

@@ -28,6 +28,9 @@ where
     let (offsets, total) = scan_exclusive_usize(&counts);
 
     let mut out: Vec<T> = Vec::with_capacity(total);
+    // SAFETY: capacity is `total` and the scatter below writes every index
+    // exactly once (offsets partition [0, total)); T: Copy, so the
+    // uninitialized gap holds no drop obligations in between.
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(total)
@@ -71,6 +74,8 @@ where
         .collect();
     let (offsets, total) = scan_exclusive_usize(&counts);
     let mut out: Vec<u32> = Vec::with_capacity(total);
+    // SAFETY: capacity is `total`; the block offsets partition [0, total)
+    // and each index is written exactly once below. u32 needs no drop.
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(total)
@@ -128,6 +133,8 @@ where
     let (false_offsets, _) = scan_exclusive_usize(&false_counts);
 
     let mut out: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: capacity is `n`; the true/false offset scans partition
+    // [0, n) and each index is written exactly once below. T: Copy.
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(n)
@@ -137,11 +144,14 @@ where
         let mut tpos = true_offsets[b];
         let mut fpos = ntrue + false_offsets[b];
         for x in chunk {
-            // SAFETY: true/false destinations are disjoint across blocks.
             if f(x) {
+                // SAFETY: each block writes the disjoint true-range
+                // [true_offsets[b], true_offsets[b] + count_b).
                 unsafe { out_ptr.write(tpos, *x) };
                 tpos += 1;
             } else {
+                // SAFETY: false destinations live past `ntrue`, disjoint
+                // from every true range and between blocks.
                 unsafe { out_ptr.write(fpos, *x) };
                 fpos += 1;
             }

@@ -54,6 +54,8 @@ where
 
     // Pass 2: rescan each block seeded with its offset.
     let mut out: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: capacity is `n` and pass 2 writes every index exactly once
+    // (block ranges partition the input); T: Copy, nothing to drop.
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(n)

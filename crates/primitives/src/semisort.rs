@@ -76,6 +76,8 @@ where
 
     // Pass 2: scatter.
     let mut scattered: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: capacity is `n`; the (bucket, block) offsets partition
+    // [0, n) and the scatter writes each index exactly once. T: Copy.
     #[allow(clippy::uninit_vec)]
     unsafe {
         scattered.set_len(n)

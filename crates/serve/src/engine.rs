@@ -214,11 +214,19 @@ impl<const D: usize> QueryEngine<D> {
                 .sqrt()
                 .max(cd_q)
                 .max(self.model.core_distances[id as usize]);
-            if best.is_none() || m < best.unwrap().0 {
+            if best.is_none_or(|(cur, _)| m < cur) {
                 best = Some((m, id));
             }
         }
-        let (distance, neighbor) = best.expect("non-empty kNN");
+        // Empty kNN cannot happen for a well-formed model (debug-asserted
+        // above); degrade to noise instead of panicking a worker if it does.
+        let Some((distance, neighbor)) = best else {
+            return Assignment {
+                label: NOISE,
+                neighbor: u32::MAX,
+                distance: f64::INFINITY,
+            };
+        };
         let label = if distance <= max_dist {
             labeling.labels[neighbor as usize]
         } else {

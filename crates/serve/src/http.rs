@@ -79,7 +79,7 @@ impl Server {
     /// Signal the workers and join them. In-flight requests finish; idle
     /// keep-alive connections are abandoned to their read timeouts.
     pub fn shutdown(self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Release);
         for w in self.workers {
             let _ = w.join();
         }
@@ -101,16 +101,15 @@ pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Ser
     let pool = Arc::new(builder.build().map_err(io::Error::other)?);
     let workers = (0..cfg.workers.max(1))
         .map(|i| {
-            let listener = listener.try_clone().expect("clone listener");
+            let listener = listener.try_clone()?;
             let registry = Arc::clone(&registry);
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("parclust-serve-{i}"))
                 .spawn(move || worker_loop(listener, registry, pool, stop))
-                .expect("spawn worker")
         })
-        .collect();
+        .collect::<io::Result<Vec<_>>>()?;
     Ok(Server {
         addr,
         stop,
@@ -124,7 +123,7 @@ fn worker_loop(
     pool: Arc<rayon::ThreadPool>,
     stop: Arc<AtomicBool>,
 ) {
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Per-connection errors (resets, malformed framing) only
@@ -169,7 +168,7 @@ fn handle_connection(
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.load(Ordering::Acquire) {
         let req = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => break, // clean EOF between requests
@@ -178,6 +177,7 @@ fn handle_connection(
                 let _ = write_response(
                     &mut writer,
                     400,
+                    // analyze:allow(hotpath-alloc-in-loop) — cold path: building the 400 body ends the connection
                     &Body::Json(serde_json::json!({"error": format!("{e}")})),
                     false,
                 );
@@ -578,8 +578,10 @@ fn assign_handler(
     for (i, p) in raw.iter().enumerate() {
         let coords = p
             .as_array()
+            // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
             .ok_or_else(|| format!("points[{i}] must be an array"))?;
         if coords.len() != dims {
+            // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
             return Err(format!(
                 "points[{i}] has {} coordinates, model is {dims}-dimensional",
                 coords.len()
@@ -716,8 +718,9 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
         let mut content_length = 0usize;
+        let mut h = String::new();
         loop {
-            let mut h = String::new();
+            h.clear();
             if self.reader.read_line(&mut h)? == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,

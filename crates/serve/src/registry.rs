@@ -291,7 +291,9 @@ impl ModelRegistry {
             let id = path
                 .file_stem()
                 .and_then(|s| s.to_str())
+                // analyze:allow(hotpath-alloc-in-loop) — admin path: disk loads dwarf these allocations
                 .ok_or_else(|| invalid(format!("unusable artifact name {path:?}")))?
+                // analyze:allow(hotpath-alloc-in-loop) — admin path: one id per loaded artifact
                 .to_string();
             self.load_path(&id, &path)?;
             ids.push(id);
@@ -319,12 +321,15 @@ impl ModelRegistry {
             let id = m
                 .get("id")
                 .and_then(Value::as_str)
+                // analyze:allow(hotpath-alloc-in-loop) — admin path: manifest errors are terminal
                 .ok_or_else(|| invalid(format!("models[{i}] missing \"id\"")))?;
             let path = m
                 .get("path")
                 .and_then(Value::as_str)
+                // analyze:allow(hotpath-alloc-in-loop) — admin path: manifest errors are terminal
                 .ok_or_else(|| invalid(format!("models[{i}] missing \"path\"")))?;
             self.load_path(id, &base.join(path))?;
+            // analyze:allow(hotpath-alloc-in-loop) — admin path: one id per loaded model
             ids.push(id.to_string());
         }
         if let Some(default) = v.get("default").and_then(Value::as_str) {

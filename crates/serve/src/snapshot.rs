@@ -58,15 +58,44 @@ pub struct SnapshotCell<T: Send + Sync + 'static> {
     version: AtomicU64,
     /// The authoritative current snapshot; also serializes writers.
     writer: Mutex<Arc<T>>,
+    /// Race-detector model of the writer slot: publishes write it,
+    /// slow-path loads read it. The TLS fast path is deliberately not
+    /// modeled — it only ever returns an `Arc` that was validated against
+    /// the version under the writer mutex, so its soundness reduces to the
+    /// slow path's.
+    #[cfg(feature = "racecheck")]
+    rc_data: rayon::racecheck::DataVar,
+    /// Race-detector model of the writer mutex's release/acquire edges.
+    #[cfg(feature = "racecheck")]
+    rc_lock: rayon::racecheck::SyncVar,
+    /// Race-detector model of the version counter's Release bump /
+    /// Acquire load pairing (the publication edge the fast path relies
+    /// on). [`SnapshotCell::store_racy`] skips exactly this release.
+    #[cfg(feature = "racecheck")]
+    rc_version: rayon::racecheck::SyncVar,
 }
 
 impl<T: Send + Sync + 'static> SnapshotCell<T> {
     pub fn new(initial: T) -> Self {
-        SnapshotCell {
+        let cell = SnapshotCell {
             id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
             version: AtomicU64::new(1),
+            // analyze:allow(hotpath-lock) — one-time construction; loads never touch this mutex in steady state
             writer: Mutex::new(Arc::new(initial)),
+            #[cfg(feature = "racecheck")]
+            rc_data: rayon::racecheck::DataVar::new("SnapshotCell"),
+            #[cfg(feature = "racecheck")]
+            rc_lock: rayon::racecheck::SyncVar::new(),
+            #[cfg(feature = "racecheck")]
+            rc_version: rayon::racecheck::SyncVar::new(),
+        };
+        #[cfg(feature = "racecheck")]
+        {
+            cell.rc_data.on_write();
+            cell.rc_lock.release();
+            cell.rc_version.release();
         }
+        cell
     }
 
     /// Current snapshot. Lock-free in steady state (no publish since this
@@ -86,7 +115,11 @@ impl<T: Send + Sync + 'static> SnapshotCell<T> {
             Some(Arc::clone(&slots[0].2))
         });
         match hit {
-            Some(any) => any.downcast::<T>().expect("snapshot cell type"),
+            // The id match guarantees this thread cached the entry from
+            // this very cell, so the downcast cannot fail; if it somehow
+            // does, refresh from the writer slot instead of panicking the
+            // worker.
+            Some(any) => any.downcast::<T>().unwrap_or_else(|_| self.load_slow()),
             None => self.load_slow(),
         }
     }
@@ -94,10 +127,21 @@ impl<T: Send + Sync + 'static> SnapshotCell<T> {
     /// Refresh the thread-local entry from the writer slot.
     fn load_slow(&self) -> Arc<T> {
         let (snap, v) = {
-            let guard = self.writer.lock().unwrap();
+            // analyze:allow(hotpath-lock) — the slow path exists to take this lock; steady-state loads never get here
+            let guard = lock_writer(&self.writer);
+            #[cfg(feature = "racecheck")]
+            {
+                self.rc_lock.acquire();
+                self.rc_version.acquire();
+                self.rc_data.on_read();
+            }
             // Read the version while holding the lock: this pairs the Arc
             // with the exact version it was published under.
-            (Arc::clone(&guard), self.version.load(Ordering::Acquire))
+            let out = (Arc::clone(&guard), self.version.load(Ordering::Acquire));
+            // Reader unlock: later writers must be ordered after this read.
+            #[cfg(feature = "racecheck")]
+            self.rc_lock.release();
+            out
         };
         let erased: Arc<dyn Any + Send + Sync> = Arc::clone(&snap) as _;
         SLOTS.with(|slots| {
@@ -115,19 +159,58 @@ impl<T: Send + Sync + 'static> SnapshotCell<T> {
     /// current snapshot in place. The second tuple element is passed
     /// through as the return value.
     pub fn update<R>(&self, f: impl FnOnce(&Arc<T>) -> (Option<Arc<T>>, R)) -> R {
-        let mut guard = self.writer.lock().unwrap();
+        // analyze:allow(hotpath-lock) — writer side; publishes are rare and serialize by design
+        let mut guard = lock_writer(&self.writer);
+        #[cfg(feature = "racecheck")]
+        self.rc_lock.acquire();
         let (next, out) = f(&guard);
         if let Some(next) = next {
             *guard = next;
+            #[cfg(feature = "racecheck")]
+            {
+                self.rc_data.on_write();
+                self.rc_version.release();
+            }
             self.version.fetch_add(1, Ordering::Release);
         }
+        #[cfg(feature = "racecheck")]
+        self.rc_lock.release();
         out
+    }
+
+    /// Test-only broken publisher: swaps the snapshot and bumps the
+    /// version **without** the release edge — what a `Relaxed` publish (or
+    /// a bare unsynchronized pointer swap) would do. The detector must
+    /// flag the write against any later slow-path read; used by the
+    /// seeded-race tests and the CI racecheck self-test.
+    #[cfg(feature = "racecheck")]
+    pub fn store_racy(&self, next: T) {
+        let mut guard = lock_writer(&self.writer);
+        // Acquire so the broken write is still ordered after *earlier*
+        // publishes (one seeded race, not a cascade), but release nothing.
+        self.rc_lock.acquire();
+        *guard = Arc::new(next);
+        self.rc_data.on_write();
+        // analyze:allow(atomics-discipline) — deliberately broken Relaxed publish; the race detector must catch it
+        self.version.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Unconditionally publish `next`.
     pub fn store(&self, next: T) {
         self.update(|_| (Some(Arc::new(next)), ()));
     }
+}
+
+/// Lock the writer slot, shrugging off poisoning: `update` mutates the
+/// guarded `Arc` only by whole-value assignment *after* the user closure
+/// returns, so a panic inside that closure (e.g. a labeling computation
+/// blowing up on one request) leaves the previous snapshot intact and
+/// must not take the cell down for every later request.
+fn lock_writer<T>(writer: &Mutex<Arc<T>>) -> std::sync::MutexGuard<'_, Arc<T>> {
+    writer
+        // analyze:allow(hotpath-lock) — shared helper for the two slow-path/writer-side lock sites above
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -173,6 +256,18 @@ mod tests {
         for (i, cell) in cells.iter().enumerate() {
             assert_eq!(*cell.load(), i + 1000, "evicted TLS entries must refill");
         }
+    }
+
+    #[test]
+    fn panicking_update_does_not_poison_the_cell() {
+        let cell = Arc::new(SnapshotCell::new(1u64));
+        let c2 = Arc::clone(&cell);
+        let _ = std::thread::spawn(move || {
+            c2.update(|_| -> (Option<Arc<u64>>, ()) { panic!("computation blew up") })
+        })
+        .join();
+        cell.store(2);
+        assert_eq!(*cell.load(), 2, "cell must survive a panicked writer");
     }
 
     #[test]

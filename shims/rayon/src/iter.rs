@@ -416,7 +416,11 @@ where
 
 /// Raw pointer wrapper for disjoint index-preserving writes across tasks.
 struct SendPtr<T>(*mut T);
+// SAFETY: every task derives writes from a distinct index range of one
+// allocation, so cross-thread use never aliases (see collect_exact_rec).
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same disjointness argument; shared references only copy the
+// pointer value, never dereference it concurrently at the same index.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
@@ -503,11 +507,11 @@ fn collect_exact_rec<P: Producer>(p: P, leaf: usize, offset: usize, out: SendPtr
             }))
         },
     );
-    // SAFETY (both arms): an `Ok` side fully initialized its range (the
-    // invariant above), and after a panic that range will never be read.
     match (ra, rb) {
         (Ok(()), Ok(())) => {}
         (Err(payload), Ok(())) => {
+            // SAFETY: the Ok right side fully initialized its range (the
+            // invariant above); after the panic it will never be read.
             unsafe {
                 std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(
                     out.0.add(offset + mid),
@@ -517,6 +521,8 @@ fn collect_exact_rec<P: Producer>(p: P, leaf: usize, offset: usize, out: SendPtr
             std::panic::resume_unwind(payload);
         }
         (Ok(()), Err(payload)) => {
+            // SAFETY: mirror case — the Ok left side fully initialized
+            // `[offset, offset+mid)` and the range is dead after the panic.
             unsafe {
                 std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(out.0.add(offset), mid))
             };
@@ -1160,7 +1166,11 @@ struct VecBuf<T> {
     cap: usize,
 }
 
+// SAFETY: VecBuf only carries the allocation; element accesses go through
+// producers/iterators that each own a disjoint index range.
 unsafe impl<T: Send> Send for VecBuf<T> {}
+// SAFETY: shared access is limited to reading `ptr`/`cap`; the disjoint
+// range ownership above prevents concurrent element aliasing.
 unsafe impl<T: Send> Sync for VecBuf<T> {}
 
 impl<T> Drop for VecBuf<T> {
@@ -1184,9 +1194,12 @@ impl<T: Send> Drop for VecP<T> {
         // Dropped without being iterated (e.g. mid-panic unwind): drop the
         // owned range in place.
         let slice = std::ptr::slice_from_raw_parts_mut(
+            // SAFETY: start ≤ cap, so the offset stays in the allocation.
             unsafe { self.buf.ptr.add(self.start) },
             self.end - self.start,
         );
+        // SAFETY: this producer exclusively owns [start, end) and none of
+        // those elements were moved out (into_iter/split_at skip Drop).
         unsafe { std::ptr::drop_in_place(slice) };
     }
 }
@@ -1215,6 +1228,7 @@ impl<T: Send> Iterator for VecIter<T> {
 impl<T: Send> Drop for VecIter<T> {
     fn drop(&mut self) {
         let slice = std::ptr::slice_from_raw_parts_mut(
+            // SAFETY: cur ≤ cap, so the offset stays in the allocation.
             unsafe { self.buf.ptr.add(self.cur) },
             self.end - self.cur,
         );

@@ -42,6 +42,8 @@ use std::thread::{self, JoinHandle, Thread};
 use std::time::Duration;
 
 pub mod iter;
+#[cfg(feature = "racecheck")]
+pub mod racecheck;
 mod registry;
 
 use registry::{
@@ -133,6 +135,10 @@ pub struct Scope<'scope> {
     pending: AtomicUsize,
     panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
     owner: Thread,
+    /// Models the `pending` countdown: each finishing spawn releases, the
+    /// scope owner acquires once the count reaches zero.
+    #[cfg(feature = "racecheck")]
+    rc_done: racecheck::SyncVar,
     marker: PhantomData<std::cell::Cell<&'scope ()>>,
 }
 
@@ -175,6 +181,8 @@ impl<'scope> Scope<'scope> {
             struct Arrive<'a, 'scope>(&'a Scope<'scope>);
             impl Drop for Arrive<'_, '_> {
                 fn drop(&mut self) {
+                    #[cfg(feature = "racecheck")]
+                    self.0.rc_done.release();
                     if self.0.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                         self.0.owner.unpark();
                     }
@@ -203,10 +211,16 @@ where
         pending: AtomicUsize::new(0),
         panic: Mutex::new(None),
         owner: thread::current(),
+        #[cfg(feature = "racecheck")]
+        rc_done: racecheck::SyncVar::new(),
         marker: PhantomData,
     };
     let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
     cooperative_wait(&s.registry, || s.pending.load(Ordering::Acquire) == 0);
+    // Pairs with the release in `Arrive::drop`: the owner observes every
+    // spawned job's effects before using anything they produced.
+    #[cfg(feature = "racecheck")]
+    s.rc_done.acquire();
     match result {
         Err(payload) => panic::resume_unwind(payload),
         Ok(value) => {

@@ -1,0 +1,513 @@
+//! Vector-clock happens-before race detection for the shim's lock-free core.
+//!
+//! Compiled only under the `racecheck` feature. The detector models the
+//! *logical* synchronization protocol of the pool — job publication, job
+//! completion, scope arrival — as explicit release/acquire edges on
+//! [`SyncVar`]s, and the unsafe shared cells (a stack job's closure and
+//! result slots, a heap job's environment, a `SnapshotCell`'s writer slot)
+//! as [`DataVar`]s. Every instrumented access is checked against the
+//! classic vector-clock happens-before relation: two accesses to the same
+//! `DataVar` race iff at least one is a write and neither happens-before
+//! the other.
+//!
+//! The detector sees only what is instrumented: the fork/join edges the
+//! shim's own atomics are supposed to create. Running the real EMST /
+//! HDBSCAN* pipelines under `racecheck` therefore validates that the
+//! `Release`/`Acquire` protocol in `registry.rs` (and `SnapshotCell` in
+//! the serving crate) covers every cross-thread hand-off — remove one
+//! release edge (see the seeded-race tests) and the detector reports the
+//! pair of conflicting access sites, `file:line` each.
+//!
+//! Threads created outside the pool (`std::thread::spawn`) are deliberately
+//! *not* modeled: they get fresh vector clocks with no fork edge, so
+//! anything they share with another thread through an instrumented cell is
+//! reported unless an instrumented release/acquire pair orders it. The
+//! seeded-race tests exploit this to make detection deterministic rather
+//! than timing-dependent.
+//!
+//! Races are recorded, not panicked on: tests drain them via [`take_races`]
+//! so a positive detection can assert on both access sites.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+type Tid = usize;
+
+/// Small per-thread id, assigned on first instrumented access. Never
+/// reused, so clocks of dead threads stay meaningful.
+fn tid() -> Tid {
+    static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static TID: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    TID.with(|t| {
+        let v = t.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
+/// A vector clock: component `t` counts the epochs of thread `t` that the
+/// owner has observed (directly or transitively through acquires).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: Tid) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: Tid, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Component-wise maximum (the join of the happens-before lattice).
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, &theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if theirs > *mine {
+                *mine = theirs;
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The calling thread's own clock. Only ever touched by its owner, so
+    /// no lock is needed; sync variables carry snapshots between threads.
+    static CLOCK: RefCell<VClock> = RefCell::new(VClock::default());
+}
+
+/// Run `f` with the current thread's id and clock. Lazily starts the
+/// thread's own component at epoch 1 so a thread that has never
+/// synchronized is ordered after *nothing* (epoch 0 would make its first
+/// access vacuously happen-before everyone).
+fn with_clock<R>(f: impl FnOnce(Tid, &mut VClock) -> R) -> R {
+    let t = tid();
+    CLOCK.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.get(t) == 0 {
+            c.set(t, 1);
+        }
+        f(t, &mut c)
+    })
+}
+
+/// The detector's own locks guard no user state and run no user code, so
+/// they can only be poisoned by a bug in this module; shrug it off rather
+/// than cascading poison panics through instrumented drop paths.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One instrumented release/acquire pairing point (a job-published flag, a
+/// completion flag, a publication counter, a mutex). `release` merges the
+/// caller's clock into the variable; `acquire` merges the variable into
+/// the caller.
+pub struct SyncVar {
+    clock: Mutex<VClock>,
+}
+
+impl SyncVar {
+    pub fn new() -> Self {
+        SyncVar {
+            clock: Mutex::new(VClock::default()),
+        }
+    }
+
+    /// Model a release operation: everything the caller has done so far
+    /// becomes visible to later acquirers, and the caller's epoch advances
+    /// so its *subsequent* work is not dragged under this edge.
+    pub fn release(&self) {
+        with_clock(|t, ct| {
+            lock(&self.clock).join(ct);
+            ct.set(t, ct.get(t) + 1);
+        });
+    }
+
+    /// Model an acquire operation: the caller observes everything released
+    /// into this variable so far.
+    pub fn acquire(&self) {
+        with_clock(|_, ct| {
+            ct.join(&lock(&self.clock));
+        });
+    }
+}
+
+impl Default for SyncVar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One instrumented access: which thread, at which of its epochs, from
+/// which source location, read or write.
+#[derive(Clone, Debug)]
+pub struct Access {
+    pub tid: Tid,
+    clock: u64,
+    pub location: &'static Location<'static>,
+    pub op: &'static str,
+}
+
+impl Access {
+    /// Does this access happen-before a thread whose clock is `c`?
+    fn ordered_before(&self, c: &VClock) -> bool {
+        c.get(self.tid) >= self.clock
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {} (thread {})", self.op, self.location, self.tid)
+    }
+}
+
+/// A detected race: two accesses to `var`, at least one a write, with no
+/// happens-before edge between them. Both sites are reported.
+#[derive(Clone, Debug)]
+pub struct Race {
+    pub var: &'static str,
+    pub first: Access,
+    pub second: Access,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race on `{}`: {} is concurrent with {}",
+            self.var, self.first, self.second
+        )
+    }
+}
+
+fn races_store() -> &'static Mutex<Vec<Race>> {
+    static RACES: OnceLock<Mutex<Vec<Race>>> = OnceLock::new();
+    RACES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn report(var: &'static str, first: Access, second: Access) {
+    let mut races = lock(races_store());
+    // One report per (variable, site pair): the same broken edge fires on
+    // every iteration of a stress loop otherwise.
+    if races.iter().any(|r| {
+        r.var == var
+            && r.first.location == first.location
+            && r.second.location == second.location
+            && r.first.op == first.op
+            && r.second.op == second.op
+    }) {
+        return;
+    }
+    races.push(Race { var, first, second });
+}
+
+/// Drain all races recorded so far (process-global). Tests call this
+/// before the scenario under test to discard leftovers, and after it to
+/// assert emptiness / inspect sites.
+pub fn take_races() -> Vec<Race> {
+    std::mem::take(&mut *lock(races_store()))
+}
+
+/// Number of races currently recorded, without draining.
+pub fn race_count() -> usize {
+    lock(races_store()).len()
+}
+
+/// A shared memory cell whose accesses are checked for happens-before
+/// ordering. Reads since the last write are all kept (one per thread);
+/// a write must be ordered after the previous write *and* every such read.
+pub struct DataVar {
+    label: &'static str,
+    state: Mutex<DataState>,
+}
+
+#[derive(Default)]
+struct DataState {
+    last_write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+impl DataVar {
+    pub fn new(label: &'static str) -> Self {
+        DataVar {
+            label,
+            state: Mutex::new(DataState::default()),
+        }
+    }
+
+    /// Record a read of the cell; races with an unordered previous write.
+    #[track_caller]
+    pub fn on_read(&self) {
+        let location = Location::caller();
+        with_clock(|t, ct| {
+            let mut s = lock(&self.state);
+            let me = Access {
+                tid: t,
+                clock: ct.get(t),
+                location,
+                op: "read",
+            };
+            if let Some(w) = &s.last_write {
+                if w.tid != t && !w.ordered_before(ct) {
+                    report(self.label, w.clone(), me.clone());
+                }
+            }
+            // Keep only the latest read per thread: earlier same-thread
+            // reads are ordered before it by program order.
+            s.reads.retain(|r| r.tid != t);
+            s.reads.push(me);
+        });
+    }
+
+    /// Record a write; races with an unordered previous write or any
+    /// unordered read since that write.
+    #[track_caller]
+    pub fn on_write(&self) {
+        let location = Location::caller();
+        with_clock(|t, ct| {
+            let mut s = lock(&self.state);
+            let me = Access {
+                tid: t,
+                clock: ct.get(t),
+                location,
+                op: "write",
+            };
+            if let Some(w) = &s.last_write {
+                if w.tid != t && !w.ordered_before(ct) {
+                    report(self.label, w.clone(), me.clone());
+                }
+            }
+            for r in &s.reads {
+                if r.tid != t && !r.ordered_before(ct) {
+                    report(self.label, r.clone(), me.clone());
+                }
+            }
+            s.reads.clear();
+            s.last_write = Some(me);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The race list is process-global, so every test that asserts on it
+    /// must hold this lock for its whole body.
+    fn test_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn same_thread_accesses_never_race() {
+        let _guard = test_lock();
+        take_races();
+        let v = DataVar::new("same-thread");
+        v.on_write();
+        v.on_read();
+        v.on_write();
+        assert!(take_races().is_empty());
+    }
+
+    #[test]
+    fn release_acquire_orders_cross_thread_accesses() {
+        let _guard = test_lock();
+        take_races();
+        let v = Arc::new(DataVar::new("published"));
+        let s = Arc::new(SyncVar::new());
+        let (v2, s2) = (Arc::clone(&v), Arc::clone(&s));
+        // Writer publishes through the sync var, then the reader acquires
+        // it: a proper edge, no race. The spawn itself adds no edge.
+        std::thread::spawn(move || {
+            v2.on_write();
+            s2.release();
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(move || {
+            s.acquire();
+            v.on_read();
+        })
+        .join()
+        .unwrap();
+        assert!(
+            take_races().is_empty(),
+            "release/acquire must order the pair"
+        );
+    }
+
+    #[test]
+    fn unsynchronized_write_read_is_reported_with_both_sites() {
+        let _guard = test_lock();
+        take_races();
+        let v = Arc::new(DataVar::new("racy-cell"));
+        let v2 = Arc::clone(&v);
+        // Thread join is real synchronization but deliberately unmodeled,
+        // so the detector must flag the pair no matter how it interleaves.
+        std::thread::spawn(move || v2.on_write()).join().unwrap();
+        std::thread::spawn(move || v.on_read()).join().unwrap();
+        let races = take_races();
+        assert_eq!(races.len(), 1, "exactly one race expected: {races:?}");
+        let r = &races[0];
+        assert_eq!(r.var, "racy-cell");
+        assert_eq!((r.first.op, r.second.op), ("write", "read"));
+        assert!(r.first.location.file().ends_with("racecheck.rs"));
+        assert!(r.second.location.file().ends_with("racecheck.rs"));
+        assert_ne!(r.first.location.line(), r.second.location.line());
+        assert_ne!(r.first.tid, r.second.tid);
+    }
+
+    #[test]
+    fn unsynchronized_write_write_is_reported() {
+        let _guard = test_lock();
+        take_races();
+        let v = Arc::new(DataVar::new("ww"));
+        let v2 = Arc::clone(&v);
+        std::thread::spawn(move || v2.on_write()).join().unwrap();
+        std::thread::spawn(move || v.on_write()).join().unwrap();
+        let races = take_races();
+        assert_eq!(races.len(), 1);
+        assert_eq!((races[0].first.op, races[0].second.op), ("write", "write"));
+    }
+
+    #[test]
+    fn read_then_unordered_write_is_reported() {
+        let _guard = test_lock();
+        take_races();
+        let v = Arc::new(DataVar::new("rw"));
+        let s = Arc::new(SyncVar::new());
+        let (v2, s2) = (Arc::clone(&v), Arc::clone(&s));
+        // Ordered initial write, then an unordered reader/writer pair.
+        v.on_write();
+        s.release();
+        std::thread::spawn(move || {
+            s2.acquire();
+            v2.on_read(); // ordered after the write — no race yet
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(move || {
+            s.acquire(); // ordered after the initial write...
+            v.on_write(); // ...but unordered with the read
+        })
+        .join()
+        .unwrap();
+        let races = take_races();
+        assert_eq!(races.len(), 1, "{races:?}");
+        assert_eq!((races[0].first.op, races[0].second.op), ("read", "write"));
+    }
+
+    #[test]
+    fn transitive_edges_compose() {
+        let _guard = test_lock();
+        take_races();
+        let v = Arc::new(DataVar::new("transitive"));
+        let ab = Arc::new(SyncVar::new());
+        let bc = Arc::new(SyncVar::new());
+        let (v_a, ab_a) = (Arc::clone(&v), Arc::clone(&ab));
+        let (ab_b, bc_b) = (Arc::clone(&ab), Arc::clone(&bc));
+        // A writes and releases to B; B forwards to C without touching the
+        // cell; C reads. Ordering must flow through the middle thread.
+        std::thread::spawn(move || {
+            v_a.on_write();
+            ab_a.release();
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(move || {
+            ab_b.acquire();
+            bc_b.release();
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(move || {
+            bc.acquire();
+            v.on_read();
+        })
+        .join()
+        .unwrap();
+        assert!(take_races().is_empty(), "transitive HB must be recognized");
+    }
+
+    #[test]
+    fn duplicate_site_pairs_are_reported_once() {
+        let _guard = test_lock();
+        take_races();
+        let v = Arc::new(DataVar::new("dedup"));
+        for _ in 0..5 {
+            let v2 = Arc::clone(&v);
+            std::thread::spawn(move || v2.on_write()).join().unwrap();
+        }
+        assert_eq!(take_races().len(), 1, "same site pair dedups");
+    }
+
+    #[test]
+    fn pool_join_protocol_is_race_free() {
+        let _guard = test_lock();
+        take_races();
+        // Real pool traffic: nested joins and scope spawns. The StackJob /
+        // HeapJob / Scope instrumentation must provide every edge; any
+        // missing release or acquire in the shim shows up here.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let total = pool.install(|| {
+            fn sum(xs: &[u64]) -> u64 {
+                if xs.len() < 16 {
+                    return xs.iter().sum();
+                }
+                let (lo, hi) = xs.split_at(xs.len() / 2);
+                let (a, b) = crate::join(|| sum(lo), || sum(hi));
+                a + b
+            }
+            let xs: Vec<u64> = (0..10_000).collect();
+            sum(&xs)
+        });
+        assert_eq!(total, 10_000 * 9_999 / 2);
+        let races = take_races();
+        assert!(races.is_empty(), "pool protocol raced: {races:?}");
+    }
+
+    #[test]
+    fn scope_protocol_is_race_free() {
+        let _guard = test_lock();
+        take_races();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let total = pool.install(|| {
+            let counter = std::sync::atomic::AtomicU64::new(0);
+            crate::scope(|s| {
+                for i in 0..64u64 {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        });
+        assert_eq!(total, 64 * 63 / 2);
+        let races = take_races();
+        assert!(races.is_empty(), "scope protocol raced: {races:?}");
+    }
+}

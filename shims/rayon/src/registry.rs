@@ -52,6 +52,8 @@ impl JobRef {
     /// The pointee must still be alive and not yet executed.
     #[inline]
     pub(crate) unsafe fn execute(self) {
+        // SAFETY: caller upholds the liveness/once contract above; the
+        // execute fn was paired with this data pointer at construction.
         unsafe { (self.execute)(self.data) }
     }
 }
@@ -66,6 +68,7 @@ pub(crate) struct Registry {
 
 // SAFETY: the queue owns JobRefs (Send); everything else is Sync already.
 unsafe impl Sync for Registry {}
+// SAFETY: same reasoning — JobRef is the only non-auto-Send field content.
 unsafe impl Send for Registry {}
 
 impl Registry {
@@ -74,6 +77,7 @@ impl Registry {
     pub(crate) fn spawn(width: usize, workers: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
         debug_assert!(workers <= width);
         let registry = Arc::new(Registry {
+            // analyze:allow(hotpath-lock) — the injector is mutex-based by design; see module docs on the blocking protocol
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             width: width.max(1),
@@ -88,6 +92,7 @@ impl Registry {
                     // deeply; give workers a roomy stack.
                     .stack_size(8 * 1024 * 1024)
                     .spawn(move || worker_main(r, index))
+                    // analyze:allow(hotpath-unwrap) — pool construction, runs once per pool
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -101,12 +106,14 @@ impl Registry {
 
     /// Enqueue a job and wake one sleeping worker.
     pub(crate) fn inject(&self, job: JobRef) {
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
         self.queue.lock().unwrap().push_back(job);
         self.available.notify_one();
     }
 
     /// Pop any queued job (help-waiting and steal-back both use this).
     pub(crate) fn try_pop(&self) -> Option<JobRef> {
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
         self.queue.lock().unwrap().pop_front()
     }
 
@@ -114,6 +121,7 @@ impl Registry {
     /// worker has claimed it yet. On success the caller owns the job again
     /// and must run it inline.
     pub(crate) fn try_reclaim(&self, data: *const ()) -> bool {
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
         let mut q = self.queue.lock().unwrap();
         // Our job is most likely near the back (LIFO-ish for the reclaimer).
         match q.iter().rposition(|j| j.data_ptr() == data) {
@@ -132,6 +140,7 @@ impl Registry {
     }
 
     fn wait_for_job(&self) -> Option<JobRef> {
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
         let mut q = self.queue.lock().unwrap();
         loop {
             if let Some(job) = q.pop_front() {
@@ -140,6 +149,7 @@ impl Registry {
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
+            // analyze:allow(hotpath-unwrap) — Condvar::wait only errs on poisoning, impossible here (see above)
             q = self.available.wait(q).unwrap();
         }
     }
@@ -234,6 +244,21 @@ pub(crate) struct StackJob<F, R> {
     result: UnsafeCell<Option<thread::Result<R>>>,
     done: AtomicBool,
     owner: Thread,
+    /// Models the `func` cell (written at construction, taken by the
+    /// executor).
+    #[cfg(feature = "racecheck")]
+    rc_func: crate::racecheck::DataVar,
+    /// Models the `result` cell (written by the executor, read by the
+    /// owner after settling).
+    #[cfg(feature = "racecheck")]
+    rc_result: crate::racecheck::DataVar,
+    /// Models handing the job ref to the queue (release) / popping it
+    /// (acquire) — the edge the queue mutex provides in reality.
+    #[cfg(feature = "racecheck")]
+    rc_publish: crate::racecheck::SyncVar,
+    /// Models the `done` flag's Release store / Acquire load pairing.
+    #[cfg(feature = "racecheck")]
+    rc_done: crate::racecheck::SyncVar,
 }
 
 impl<F, R> StackJob<F, R>
@@ -242,28 +267,60 @@ where
     R: Send,
 {
     pub(crate) fn new(func: F) -> Self {
-        StackJob {
+        let job = StackJob {
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(None),
             done: AtomicBool::new(false),
             owner: thread::current(),
-        }
+            #[cfg(feature = "racecheck")]
+            rc_func: crate::racecheck::DataVar::new("StackJob::func"),
+            #[cfg(feature = "racecheck")]
+            rc_result: crate::racecheck::DataVar::new("StackJob::result"),
+            #[cfg(feature = "racecheck")]
+            rc_publish: crate::racecheck::SyncVar::new(),
+            #[cfg(feature = "racecheck")]
+            rc_done: crate::racecheck::SyncVar::new(),
+        };
+        #[cfg(feature = "racecheck")]
+        job.rc_func.on_write();
+        job
     }
 
     /// Type-erase for injection. The returned ref's `data` pointer doubles
-    /// as the reclaim tag.
+    /// as the reclaim tag. Callers inject the ref immediately, so this is
+    /// where the publication edge is modeled.
     pub(crate) fn as_job_ref(&self) -> JobRef {
+        #[cfg(feature = "racecheck")]
+        self.rc_publish.release();
         JobRef {
             data: self as *const Self as *const (),
             execute: Self::execute_erased,
         }
     }
 
+    // SAFETY (fn contract): `data` must point to a live StackJob that has
+    // not executed yet; both queue paths (worker pop, reclaim) guarantee it.
     unsafe fn execute_erased(data: *const ()) {
+        // SAFETY: per the fn contract the pointee is alive for the call.
         let this = unsafe { &*(data as *const Self) };
+        #[cfg(feature = "racecheck")]
+        {
+            this.rc_publish.acquire();
+            this.rc_func.on_read();
+        }
+        // SAFETY: exactly one thread ever reaches a given job's execute
+        // (queue pop and reclaim are mutually exclusive), so the cell is
+        // not aliased.
+        // analyze:allow(hotpath-unwrap) — double execution is a scheduler bug; panic is the correct response
         let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
+        #[cfg(feature = "racecheck")]
+        this.rc_result.on_write();
+        // SAFETY: same exclusive access; the owner only reads `result`
+        // after observing `done` (Acquire pairing with the store below).
         unsafe { *this.result.get() = Some(result) };
+        #[cfg(feature = "racecheck")]
+        this.rc_done.release();
         this.done.store(true, Ordering::Release);
         this.owner.unpark();
     }
@@ -276,11 +333,21 @@ where
 
     #[inline]
     pub(crate) fn is_done(&self) -> bool {
-        self.done.load(Ordering::Acquire)
+        let done = self.done.load(Ordering::Acquire);
+        // A `true` answer licenses the caller to read `result`; model the
+        // Acquire pairing with the executor's Release store.
+        #[cfg(feature = "racecheck")]
+        if done {
+            self.rc_done.acquire();
+        }
+        done
     }
 
     /// Consume the settled job, resuming its panic if it had one.
     pub(crate) fn into_result(self) -> R {
+        #[cfg(feature = "racecheck")]
+        self.rc_result.on_read();
+        // analyze:allow(hotpath-unwrap) — consuming an unsettled job is a scheduler bug; panic is the correct response
         match self.result.into_inner().expect("stack job not settled") {
             Ok(v) => v,
             Err(payload) => panic::resume_unwind(payload),
@@ -293,6 +360,13 @@ where
 /// signalling; `scope` wraps spawns accordingly.
 pub(crate) struct HeapJob<F> {
     func: F,
+    /// Models the boxed environment (written by `push`, consumed by the
+    /// executor).
+    #[cfg(feature = "racecheck")]
+    rc_func: crate::racecheck::DataVar,
+    /// Models the queue hand-off edge, like `StackJob::rc_publish`.
+    #[cfg(feature = "racecheck")]
+    rc_publish: crate::racecheck::SyncVar,
 }
 
 impl<F> HeapJob<F>
@@ -305,15 +379,35 @@ where
     /// `func` may capture non-`'static` data; the caller must guarantee the
     /// captures outlive execution (scope blocks until all spawns finish).
     pub(crate) unsafe fn push(registry: &Registry, func: F) {
-        let boxed = Box::new(HeapJob { func });
+        let boxed = Box::new(HeapJob {
+            func,
+            #[cfg(feature = "racecheck")]
+            rc_func: crate::racecheck::DataVar::new("HeapJob::func"),
+            #[cfg(feature = "racecheck")]
+            rc_publish: crate::racecheck::SyncVar::new(),
+        });
+        #[cfg(feature = "racecheck")]
+        {
+            boxed.rc_func.on_write();
+            boxed.rc_publish.release();
+        }
         registry.inject(JobRef {
             data: Box::into_raw(boxed) as *const (),
             execute: Self::execute_erased,
         });
     }
 
+    // SAFETY (fn contract): `data` must be the Box::into_raw pointer from
+    // `push`, and each job is executed exactly once.
     unsafe fn execute_erased(data: *const ()) {
+        // SAFETY: reconstitutes the box allocated in `push`; ownership
+        // transfers back exactly once per the fn contract.
         let boxed = unsafe { Box::from_raw(data as *mut Self) };
+        #[cfg(feature = "racecheck")]
+        {
+            boxed.rc_publish.acquire();
+            boxed.rc_func.on_read();
+        }
         // The scope wrapper inside `func` catches panics; a stray unwind
         // here would tear down a worker, so be defensive anyway.
         let _ = panic::catch_unwind(AssertUnwindSafe(boxed.func));
