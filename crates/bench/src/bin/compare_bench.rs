@@ -22,8 +22,8 @@
 //! * `BENCH_RATIO_MIN=1.2` — override the minimum of every `--min-ratio`.
 
 use parclust_bench::gate::{
-    compare, metrics_from_baseline, metrics_from_loadgen, metrics_from_rows, Metric, RatioCheck,
-    DEFAULT_TOLERANCE,
+    baseline_json, compare, metrics_from_baseline, metrics_from_loadgen, metrics_from_rows, Metric,
+    RatioCheck, DEFAULT_TOLERANCE,
 };
 
 struct Opts {
@@ -32,6 +32,12 @@ struct Opts {
     serving: Vec<(String, std::path::PathBuf)>,
     ratios: Vec<RatioCheck>,
     tolerance: f64,
+    /// Where to write this run's inputs re-assembled as a baseline
+    /// document (`BENCH_prN.json` shape) — the refresh candidate CI
+    /// uploads with its bench artifacts.
+    write_baseline: Option<std::path::PathBuf>,
+    /// Free-form provenance note embedded in the written baseline.
+    note: String,
 }
 
 fn parse_args() -> Opts {
@@ -44,6 +50,8 @@ fn parse_args() -> Opts {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(DEFAULT_TOLERANCE),
+        write_baseline: None,
+        note: String::new(),
     };
     let mut args = std::env::args().skip(1);
     let mut have_baseline = false;
@@ -79,10 +87,15 @@ fn parse_args() -> Opts {
                     .parse()
                     .expect("tolerance must be a float")
             }
+            "--write-baseline" => {
+                opts.write_baseline = Some(args.next().expect("--write-baseline FILE").into());
+            }
+            "--note" => opts.note = args.next().expect("--note TEXT"),
             "--help" | "-h" => {
                 println!(
                     "usage: compare_bench --baseline FILE [--rows FILE]... \
-                     [--serving LABEL=FILE]... [--min-ratio NUM/DEN=MIN]... [--tolerance F]"
+                     [--serving LABEL=FILE]... [--min-ratio NUM/DEN=MIN]... [--tolerance F] \
+                     [--write-baseline FILE [--note TEXT]]"
                 );
                 std::process::exit(0);
             }
@@ -111,12 +124,28 @@ fn main() {
     let opts = parse_args();
 
     let baseline = metrics_from_baseline(&load_json(&opts.baseline));
+    let row_sets: Vec<serde_json::Value> = opts.rows.iter().map(|p| load_json(p)).collect();
+    let serving_blobs: Vec<(String, serde_json::Value)> = opts
+        .serving
+        .iter()
+        .map(|(label, path)| (label.clone(), load_json(path)))
+        .collect();
     let mut current: Vec<Metric> = Vec::new();
-    for path in &opts.rows {
-        current.extend(metrics_from_rows(&load_json(path)));
+    for rows in &row_sets {
+        current.extend(metrics_from_rows(rows));
     }
-    for (label, path) in &opts.serving {
-        current.extend(metrics_from_loadgen(label, &load_json(path)));
+    for (label, blob) in &serving_blobs {
+        current.extend(metrics_from_loadgen(label, blob));
+    }
+
+    // Write the refresh candidate before gating: a regressed run's numbers
+    // are exactly the ones someone debugging the regression wants to see,
+    // and committing a candidate is always a deliberate human step.
+    if let Some(path) = &opts.write_baseline {
+        let doc = baseline_json(&opts.note, &row_sets, &serving_blobs);
+        std::fs::write(path, doc.to_json_string_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("compare_bench: wrote baseline candidate {}", path.display());
     }
 
     let outcome = compare(&baseline, &current, opts.tolerance);

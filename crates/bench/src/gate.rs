@@ -96,6 +96,26 @@ pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
     out
 }
 
+/// Assemble a committed-baseline document (the `BENCH_prN.json` shape)
+/// from a run's raw inputs: `row_sets` are repro row arrays (concatenated),
+/// `serving` maps labels to loadgen reports. The result round-trips through
+/// [`metrics_from_baseline`] — CI writes this next to its bench artifacts
+/// so refreshing the committed baseline is download-and-commit, not a
+/// hand-assembled JSON.
+pub fn baseline_json(note: &str, row_sets: &[Value], serving: &[(String, Value)]) -> Value {
+    let mut rows = Vec::new();
+    for set in row_sets {
+        if let Some(items) = set.as_array() {
+            rows.extend(items.iter().cloned());
+        }
+    }
+    Value::Object(vec![
+        ("note".to_string(), Value::String(note.to_string())),
+        ("rows".to_string(), Value::Array(rows)),
+        ("serving".to_string(), Value::Object(serving.to_vec())),
+    ])
+}
+
 /// One baseline-vs-current comparison.
 #[derive(Debug, Clone)]
 pub struct Comparison {
@@ -289,6 +309,28 @@ mod tests {
         assert!(ms
             .iter()
             .any(|m| m.key == "serving/t1/assign_points_per_sec"));
+    }
+
+    #[test]
+    fn baseline_json_round_trips_through_metrics() {
+        // What CI writes as a refresh candidate must yield exactly the
+        // metrics the gate would extract from a committed baseline.
+        let rows = Value::Array(vec![table2_row("ds", "EMST-MemoGFK", 2.0, 1.5)]);
+        let serving = vec![(
+            "t4".to_string(),
+            json!({"assign_points_per_sec": 1000.0, "requests_per_sec": 10.0}),
+        )];
+        let doc = baseline_json("refresh candidate", std::slice::from_ref(&rows), &serving);
+        let mut expected = metrics_from_rows(&rows);
+        expected.extend(metrics_from_loadgen("t4", &serving[0].1));
+        assert_eq!(metrics_from_baseline(&doc), expected);
+        // And it survives an actual serialize/parse cycle.
+        let reparsed = crate::gate::tests::reparse(&doc);
+        assert_eq!(metrics_from_baseline(&reparsed), expected);
+    }
+
+    fn reparse(v: &Value) -> Value {
+        serde_json::from_str(&v.to_json_string_pretty()).unwrap()
     }
 
     #[test]

@@ -42,6 +42,27 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Runtime failure (connect, malformed server response, IO): diagnostic on
+/// stderr, exit 1. Safe to call from worker threads — the whole process
+/// should stop, not just the thread.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("loadgen: error: {msg}");
+    std::process::exit(1);
+}
+
+/// Command-line value we could not make sense of: diagnostic, exit 2.
+fn bad_arg(msg: impl std::fmt::Display) -> ! {
+    eprintln!("loadgen: error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse a flag's value (or its default), exiting 2 on malformed input.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: &str) -> T {
+    let raw = flag(args, name).unwrap_or_else(|| default.into());
+    raw.parse()
+        .unwrap_or_else(|_| bad_arg(format_args!("invalid value {raw:?} for {name}")))
+}
+
 fn parse_opts() -> Opts {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -52,30 +73,32 @@ fn parse_opts() -> Opts {
         );
         std::process::exit(0);
     }
+    let mix: Vec<String> = flag(&args, "--mix")
+        .unwrap_or_else(|| "cut,eom,assign".into())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    // Reject bad mixes here, before any connection is opened, so the error
+    // surfaces once on the main thread instead of panicking a worker.
+    for kind in &mix {
+        if !matches!(kind.as_str(), "cut" | "eom" | "assign") {
+            bad_arg(format_args!(
+                "unknown mix kind {kind:?} (use cut,eom,assign)"
+            ));
+        }
+    }
+    if mix.is_empty() {
+        bad_arg("--mix must name at least one of cut,eom,assign");
+    }
     Opts {
         addr: flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into()),
-        connections: flag(&args, "--connections")
-            .unwrap_or_else(|| "4".into())
-            .parse()
-            .expect("--connections N"),
-        requests: flag(&args, "--requests")
-            .unwrap_or_else(|| "1000".into())
-            .parse()
-            .expect("--requests N"),
-        batch: flag(&args, "--batch")
-            .unwrap_or_else(|| "64".into())
-            .parse()
-            .expect("--batch N"),
-        mix: flag(&args, "--mix")
-            .unwrap_or_else(|| "cut,eom,assign".into())
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .collect(),
+        connections: parse_flag(&args, "--connections", "4"),
+        requests: parse_flag(&args, "--requests", "1000"),
+        batch: parse_flag(&args, "--batch", "64"),
+        mix,
         out: flag(&args, "--out"),
-        seed: flag(&args, "--seed")
-            .unwrap_or_else(|| "42".into())
-            .parse()
-            .expect("--seed S"),
+        seed: parse_flag(&args, "--seed", "42"),
         model: flag(&args, "--model"),
         binary: args.iter().any(|a| a == "--binary"),
     }
@@ -119,43 +142,56 @@ fn main() {
     // One probe connection learns the model shape (dims + bbox + id) so
     // assign queries sample the data's own bounding box and binary frames
     // carry the right model id.
-    let mut probe = parclust_serve::Client::connect(&opts.addr).expect("connect");
+    let mut probe = parclust_serve::Client::connect(&opts.addr)
+        .unwrap_or_else(|e| fail(format_args!("connect {}: {e}", opts.addr)));
     let info_path = match &opts.model {
         Some(id) => format!("/models/{id}"),
         None => "/model".to_string(),
     };
-    let (status, model) = probe.get(&info_path).expect("GET model info");
-    assert_eq!(status, 200, "GET {info_path} failed: {model}");
+    let (status, model) = probe
+        .get(&info_path)
+        .unwrap_or_else(|e| fail(format_args!("GET {info_path}: {e}")));
+    if status != 200 {
+        fail(format_args!("GET {info_path} failed ({status}): {model}"));
+    }
     // The id binary frames must carry: the routed id, or the server's
     // default when running against the legacy routes.
     let model_id = match &opts.model {
         Some(id) => id.clone(),
         None => {
-            let (status, index) = probe.get("/models").expect("GET /models");
-            assert_eq!(status, 200, "GET /models failed: {index}");
+            let (status, index) = probe
+                .get("/models")
+                .unwrap_or_else(|e| fail(format_args!("GET /models: {e}")));
+            if status != 200 {
+                fail(format_args!("GET /models failed ({status}): {index}"));
+            }
             index
                 .get("default")
                 .and_then(Value::as_str)
-                .expect("server has a default model")
+                .unwrap_or_else(|| fail("server reports no default model (pass --model ID)"))
                 .to_string()
         }
     };
-    let dims = model.get("dims").and_then(Value::as_u64).expect("dims") as usize;
+    let dims = model
+        .get("dims")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| fail(format_args!("malformed model info (no dims): {model}")))
+        as usize;
     let n_points = model.get("n").and_then(Value::as_u64).unwrap_or(0);
-    let lo: Vec<f64> = model
-        .get("bbox_lo")
-        .and_then(Value::as_array)
-        .expect("bbox_lo")
-        .iter()
-        .map(|v| v.as_f64().unwrap())
-        .collect();
-    let hi: Vec<f64> = model
-        .get("bbox_hi")
-        .and_then(Value::as_array)
-        .expect("bbox_hi")
-        .iter()
-        .map(|v| v.as_f64().unwrap())
-        .collect();
+    let bbox_axis = |key: &str| -> Vec<f64> {
+        model
+            .get(key)
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| fail(format_args!("malformed model info (no {key}): {model}")))
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .unwrap_or_else(|| fail(format_args!("malformed model info ({key}): {model}")))
+            })
+            .collect()
+    };
+    let lo: Vec<f64> = bbox_axis("bbox_lo");
+    let hi: Vec<f64> = bbox_axis("bbox_hi");
     let diag: f64 = lo
         .iter()
         .zip(&hi)
@@ -182,8 +218,8 @@ fn main() {
             let (lo, hi) = (lo.clone(), hi.clone());
             let model_id = model_id.clone();
             std::thread::spawn(move || {
-                let mut client =
-                    parclust_serve::Client::connect(&opts.addr).expect("connect worker");
+                let mut client = parclust_serve::Client::connect(&opts.addr)
+                    .unwrap_or_else(|e| fail(format_args!("connect {}: {e}", opts.addr)));
                 let mut rng = StdRng::seed_from_u64(opts.seed ^ (c as u64) << 32);
                 let mut stats: Vec<(String, KindStats)> = opts
                     .mix
@@ -235,15 +271,19 @@ fn main() {
                             let q0 = Instant::now();
                             let (status, body) = client
                                 .post_binary(&format!("{route}/assign_binary"), &frame)
-                                .expect("binary request");
+                                .unwrap_or_else(|e| {
+                                    fail(format_args!("POST {route}/assign_binary: {e}"))
+                                });
                             let ns = q0.elapsed().as_nanos() as u64;
-                            assert_eq!(
-                                status,
-                                200,
-                                "assign_binary failed: {}",
-                                String::from_utf8_lossy(&body)
-                            );
-                            let resp = AssignResponse::decode(&body).expect("decode response");
+                            if status != 200 {
+                                fail(format_args!(
+                                    "assign_binary failed ({status}): {}",
+                                    String::from_utf8_lossy(&body)
+                                ));
+                            }
+                            let resp = AssignResponse::decode(&body).unwrap_or_else(|e| {
+                                fail(format_args!("malformed assign_binary response: {e}"))
+                            });
                             assert_eq!(resp.labels.len(), opts.batch);
                             ns
                         }
@@ -260,7 +300,11 @@ fn main() {
                             let body = serde_json::json!({"points": Value::Array(pts)});
                             timed_json(&mut client, &format!("{route}/assign"), &body)
                         }
-                        other => panic!("unknown mix kind {other} (use cut,eom,assign)"),
+                        // Unreachable: parse_opts rejects unknown kinds
+                        // before any worker starts.
+                        other => bad_arg(format_args!(
+                            "unknown mix kind {other:?} (use cut,eom,assign)"
+                        )),
                     };
                     stats
                         .iter_mut()
@@ -281,7 +325,10 @@ fn main() {
         .map(|k| (k.clone(), KindStats::default()))
         .collect();
     for h in handles {
-        for (kind, s) in h.join().expect("worker panicked") {
+        let worker = h
+            .join()
+            .unwrap_or_else(|_| fail("worker thread panicked (see message above)"));
+        for (kind, s) in worker {
             merged
                 .iter_mut()
                 .find(|(k, _)| *k == kind)
@@ -323,10 +370,12 @@ fn main() {
         let path = std::path::Path::new(out);
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create out dir");
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(format_args!("create {}: {e}", dir.display())));
             }
         }
-        std::fs::write(path, report.to_json_string_pretty()).expect("write report");
+        std::fs::write(path, report.to_json_string_pretty())
+            .unwrap_or_else(|e| fail(format_args!("write {out}: {e}")));
         eprintln!("wrote {out}");
     }
 }
@@ -334,8 +383,12 @@ fn main() {
 /// POST a JSON body and return the elapsed nanoseconds (asserting 200).
 fn timed_json(client: &mut parclust_serve::Client, path: &str, body: &Value) -> u64 {
     let q0 = Instant::now();
-    let (status, resp) = client.post(path, body).expect("request");
+    let (status, resp) = client
+        .post(path, body)
+        .unwrap_or_else(|e| fail(format_args!("POST {path}: {e}")));
     let ns = q0.elapsed().as_nanos() as u64;
-    assert_eq!(status, 200, "{path} failed: {resp}");
+    if status != 200 {
+        fail(format_args!("POST {path} failed ({status}): {resp}"));
+    }
     ns
 }

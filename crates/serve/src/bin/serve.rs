@@ -34,6 +34,38 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Runtime failure (IO, bad data, bind, ...): diagnostic on stderr, exit 1.
+/// Malformed command lines go through `bad_arg`/`usage` (exit 2) instead.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("serve: error: {msg}");
+    std::process::exit(1);
+}
+
+/// Command-line value we could not make sense of: diagnostic, exit 2.
+fn bad_arg(msg: impl std::fmt::Display) -> ! {
+    eprintln!("serve: error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse a flag's value (or its default), exiting 2 with the offending
+/// input on failure instead of panicking.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: &str) -> T {
+    let raw = flag(args, name).unwrap_or_else(|| default.into());
+    raw.parse()
+        .unwrap_or_else(|_| bad_arg(format_args!("invalid value {raw:?} for {name}")))
+}
+
+/// Reject dimensionalities `with_model_dims!` cannot monomorphize, before
+/// the macro's library-level panic can fire.
+fn check_dims(dims: usize) -> usize {
+    if !matches!(dims, 2 | 3 | 5 | 7 | 10 | 16) {
+        bad_arg(format_args!(
+            "unsupported dimensionality {dims} (supported: 2,3,5,7,10,16)"
+        ));
+    }
+    dims
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -54,9 +86,11 @@ fn generate<const D: usize>(gen: &str, n: usize, seed: u64) -> Vec<parclust::Poi
         "varden" => parclust_data::seed_spreader::<D>(n, seed),
         "sensor" => parclust_data::sensor_like::<D>(n, seed, 8),
         "gps" => {
-            // gps_like returns Point<3>; the assert keeps the coordinate
+            // gps_like returns Point<3>; the check keeps the coordinate
             // copy below exact for the one legal dims.
-            assert_eq!(D, 3, "--gen gps is 3-dimensional");
+            if D != 3 {
+                bad_arg(format_args!("--gen gps is 3-dimensional (got --dims {D})"));
+            }
             let pts3 = parclust_data::gps_like(n, seed);
             let mut out = Vec::with_capacity(pts3.len());
             for p in pts3 {
@@ -68,7 +102,9 @@ fn generate<const D: usize>(gen: &str, n: usize, seed: u64) -> Vec<parclust::Poi
             }
             out
         }
-        other => panic!("unknown generator {other}"),
+        other => bad_arg(format_args!(
+            "unknown generator {other:?} (use uniform, varden, gps, sensor)"
+        )),
     }
 }
 
@@ -77,26 +113,18 @@ fn generate<const D: usize>(gen: &str, n: usize, seed: u64) -> Vec<parclust::Poi
 /// smoke leg).
 fn gen_points(args: &[String]) {
     let out = flag(args, "--out").unwrap_or_else(|| usage());
-    let dims: usize = flag(args, "--dims")
-        .unwrap_or_else(|| "2".into())
-        .parse()
-        .expect("--dims D");
-    let n: usize = flag(args, "--n")
-        .unwrap_or_else(|| "10000".into())
-        .parse()
-        .expect("--n N");
-    let seed: u64 = flag(args, "--seed")
-        .unwrap_or_else(|| "42".into())
-        .parse()
-        .expect("--seed S");
-    let chunk_len: usize = flag(args, "--chunk-len")
-        .map(|v| v.parse().expect("--chunk-len N"))
-        .unwrap_or(parclust_data::DEFAULT_CHUNK_LEN);
+    let dims: usize = check_dims(parse_flag(args, "--dims", "2"));
+    let n: usize = parse_flag(args, "--n", "10000");
+    let seed: u64 = parse_flag(args, "--seed", "42");
+    let chunk_len: usize = match flag(args, "--chunk-len") {
+        Some(_) => parse_flag(args, "--chunk-len", "0"),
+        None => parclust_data::DEFAULT_CHUNK_LEN,
+    };
     with_model_dims!(dims, |D| {
         let points: Vec<parclust::Point<D>> =
             generate(flag(args, "--gen").as_deref().unwrap_or("uniform"), n, seed);
         parclust_data::write_chunked(std::path::Path::new(&out), &points, chunk_len)
-            .expect("write .pcls");
+            .unwrap_or_else(|e| fail(format_args!("write {out}: {e}")));
         let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
         println!(
             "wrote {out} ({} points, {}D, {bytes} bytes)",
@@ -126,38 +154,23 @@ fn has_flag(args: &[String], name: &str) -> bool {
 
 fn build(args: &[String]) {
     let out = flag(args, "--out").unwrap_or_else(|| usage());
-    let min_pts: usize = flag(args, "--minpts")
-        .unwrap_or_else(|| "10".into())
-        .parse()
-        .expect("--minpts N");
-    let min_cluster_size: usize = flag(args, "--min-cluster-size")
-        .unwrap_or_else(|| "10".into())
-        .parse()
-        .expect("--min-cluster-size N");
-    let n: usize = flag(args, "--n")
-        .unwrap_or_else(|| "10000".into())
-        .parse()
-        .expect("--n N");
-    let seed: u64 = flag(args, "--seed")
-        .unwrap_or_else(|| "42".into())
-        .parse()
-        .expect("--seed S");
+    let min_pts: usize = parse_flag(args, "--minpts", "10");
+    let min_cluster_size: usize = parse_flag(args, "--min-cluster-size", "10");
+    let n: usize = parse_flag(args, "--n", "10000");
+    let seed: u64 = parse_flag(args, "--seed", "42");
     let max_live_pairs: Option<usize> =
-        flag(args, "--max-live-pairs").map(|v| v.parse().expect("--max-live-pairs N"));
+        flag(args, "--max-live-pairs").map(|_| parse_flag(args, "--max-live-pairs", "0"));
     let csv = flag(args, "--csv");
     let points_file = flag(args, "--points-file");
     // A .pcls file fixes its own dimensionality; otherwise --dims decides.
-    let dims: usize = match &points_file {
+    let dims: usize = check_dims(match &points_file {
         Some(path) => {
             parclust_data::chunked_header(std::path::Path::new(path))
-                .expect("read .pcls header")
+                .unwrap_or_else(|e| fail(format_args!("read {path}: {e}")))
                 .dims as usize
         }
-        None => flag(args, "--dims")
-            .unwrap_or_else(|| "2".into())
-            .parse()
-            .expect("--dims D"),
-    };
+        None => parse_flag(args, "--dims", "2"),
+    });
     with_model_dims!(dims, |D| {
         let t0 = std::time::Instant::now();
         let model = if let Some(path) = &points_file {
@@ -165,7 +178,7 @@ fn build(args: &[String]) {
             // (with --max-live-pairs) bounded WSPD pair batches — the
             // multi-million-point build path.
             let mut src = parclust_data::ChunkedReader::<D>::open(std::path::Path::new(path))
-                .expect("open points file");
+                .unwrap_or_else(|e| fail(format_args!("open {path}: {e}")));
             eprintln!(
                 "building model from {path}: {} points, {}D (streamed), minPts={min_pts}, \
                  minClusterSize={min_cluster_size}, maxLivePairs={max_live_pairs:?}",
@@ -173,10 +186,11 @@ fn build(args: &[String]) {
                 D
             );
             ClusterModel::build_from_source(&mut src, min_pts, min_cluster_size, max_live_pairs)
-                .expect("build model from source")
+                .unwrap_or_else(|e| fail(format_args!("build from {path}: {e}")))
         } else {
             let points: Vec<parclust::Point<D>> = if let Some(path) = &csv {
-                parclust_data::read_csv(std::path::Path::new(path)).expect("read csv")
+                parclust_data::read_csv(std::path::Path::new(path))
+                    .unwrap_or_else(|e| fail(format_args!("read {path}: {e}")))
             } else {
                 generate(flag(args, "--gen").as_deref().unwrap_or("varden"), n, seed)
             };
@@ -190,7 +204,9 @@ fn build(args: &[String]) {
             ClusterModel::build_with_options(&points, min_pts, min_cluster_size, max_live_pairs)
         };
         eprintln!("built in {:.2}s", t0.elapsed().as_secs_f64());
-        model.save(std::path::Path::new(&out)).expect("save model");
+        model
+            .save(std::path::Path::new(&out))
+            .unwrap_or_else(|e| fail(format_args!("save {out}: {e}")));
         let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
         println!(
             "wrote {out} ({bytes} bytes, {} condensed clusters)",
@@ -210,14 +226,8 @@ fn id_from_path(path: &str) -> String {
 
 fn serve(args: &[String]) {
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into());
-    let workers: usize = flag(args, "--workers")
-        .unwrap_or_else(|| "4".into())
-        .parse()
-        .expect("--workers N");
-    let pool_threads: usize = flag(args, "--threads")
-        .unwrap_or_else(|| "0".into())
-        .parse()
-        .expect("--threads N");
+    let workers: usize = parse_flag(args, "--workers", "4");
+    let pool_threads: usize = parse_flag(args, "--threads", "0");
 
     let registry = Arc::new(ModelRegistry::new());
     let models = flag_all(args, "--model");
@@ -230,19 +240,19 @@ fn serve(args: &[String]) {
         let id = ids.get(i).cloned().unwrap_or_else(|| id_from_path(path));
         registry
             .load_path(&id, std::path::Path::new(path))
-            .unwrap_or_else(|e| panic!("load {path}: {e}"));
+            .unwrap_or_else(|e| fail(format_args!("load {path}: {e}")));
         eprintln!("loaded {path} as {id:?}");
     }
     if let Some(dir) = flag(args, "--models-dir") {
         let ids = registry
             .load_dir(std::path::Path::new(&dir))
-            .unwrap_or_else(|e| panic!("scan {dir}: {e}"));
+            .unwrap_or_else(|e| fail(format_args!("scan {dir}: {e}")));
         eprintln!("loaded {} model(s) from {dir}: {ids:?}", ids.len());
     }
     if let Some(manifest) = flag(args, "--manifest") {
         let ids = registry
             .load_manifest(std::path::Path::new(&manifest))
-            .unwrap_or_else(|e| panic!("manifest {manifest}: {e}"));
+            .unwrap_or_else(|e| fail(format_args!("manifest {manifest}: {e}")));
         eprintln!(
             "loaded {} model(s) from manifest {manifest}: {ids:?}",
             ids.len()
@@ -251,7 +261,7 @@ fn serve(args: &[String]) {
     if let Some(default) = flag(args, "--default") {
         registry
             .set_default(&default)
-            .unwrap_or_else(|e| panic!("--default: {e}"));
+            .unwrap_or_else(|e| fail(format_args!("--default: {e}")));
     }
     let snapshot = registry.snapshot();
     if snapshot.models.is_empty() {
@@ -273,7 +283,7 @@ fn serve(args: &[String]) {
             pool_threads,
         },
     )
-    .expect("bind server");
+    .unwrap_or_else(|e| fail(format_args!("bind: {e}")));
     // Parseable by scripts (CI greps for this line to learn the port).
     println!("listening on {}", server.addr());
     // Serve until killed.
@@ -284,26 +294,30 @@ fn serve(args: &[String]) {
 
 fn query(args: &[String]) {
     let model_path = flag(args, "--model").unwrap_or_else(|| usage());
-    let spec = if let Some(eps) = flag(args, "--eps") {
+    let spec = if flag(args, "--eps").is_some() {
         LabelingSpec::Cut {
-            eps: eps.parse().expect("--eps F"),
+            eps: parse_flag(args, "--eps", "0"),
         }
-    } else if let Some(k) = flag(args, "--k") {
+    } else if flag(args, "--k").is_some() {
         LabelingSpec::CutK {
-            k: k.parse().expect("--k N"),
+            k: parse_flag(args, "--k", "0"),
         }
-    } else if let Some(e) = flag(args, "--eom-eps") {
+    } else if flag(args, "--eom-eps").is_some() {
         LabelingSpec::Eom {
-            cluster_selection_epsilon: e.parse().expect("--eom-eps F"),
+            cluster_selection_epsilon: parse_flag(args, "--eom-eps", "0"),
         }
     } else {
         LabelingSpec::Eom {
             cluster_selection_epsilon: 0.0,
         }
     };
-    let dims = parclust_serve::peek_dims(std::path::Path::new(&model_path)).expect("peek dims");
+    let dims = check_dims(
+        parclust_serve::peek_dims(std::path::Path::new(&model_path))
+            .unwrap_or_else(|e| fail(format_args!("read {model_path}: {e}"))),
+    );
     with_model_dims!(dims, |D| {
-        let model = ClusterModel::<D>::load(std::path::Path::new(&model_path)).expect("load model");
+        let model = ClusterModel::<D>::load(std::path::Path::new(&model_path))
+            .unwrap_or_else(|e| fail(format_args!("load {model_path}: {e}")));
         let engine = QueryEngine::new(Arc::new(model));
         let labeling = engine.labeling(spec);
         println!(

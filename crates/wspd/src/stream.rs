@@ -2,27 +2,69 @@
 //!
 //! [`wspd_stream_batches`] enumerates exactly the pair set of
 //! [`crate::wspd_materialize`] — the same recursion, the same split rule —
-//! but never holds more than `cap` pairs at once: whenever the buffer
-//! fills, it is handed to the caller's batch callback and cleared. This is
-//! the ingestion side of the bounded-memory pipeline: batches flow straight
-//! into BCCP computation and streaming Kruskal merges instead of a
-//! materialized `Vec` of the whole decomposition.
+//! but never *delivers* more than `cap` pairs at once: batches are handed
+//! to the caller's callback and cleared. This is the ingestion side of the
+//! bounded-memory pipeline: batches flow straight into BCCP computation and
+//! streaming Kruskal merges instead of a materialized `Vec` of the whole
+//! decomposition.
 //!
-//! Enumeration is sequential depth-first (deterministic batch boundaries;
-//! the expensive per-pair work — BCCP — parallelizes *within* each batch
-//! downstream), and each batch arrives canonically ordered the way the
-//! traversal discovers pairs. Consumers that need scheduling-independent
-//! output re-sort, exactly as they do for the materialized path.
+//! Production is **parallel but order-deterministic**. The sequential
+//! depth-first enumeration defines a canonical pair sequence; the parallel
+//! producer splits that recursion into a DFS-ordered list of independent
+//! tasks (each task owning one contiguous run of the sequence), enumerates
+//! tasks concurrently in waves, and re-concatenates their outputs in task
+//! order. Batch boundaries are then fixed `cap`-sized windows of the
+//! canonical sequence — *identical* to the sequential batcher's, at every
+//! pool width, which is the contract `tests/streaming_semantics.rs` pins.
+//! Production of wave `k+1` overlaps with consumption of wave `k` (one
+//! `rayon::join`), so the downstream `StreamingForest` merge no longer
+//! serializes behind a fully sequential DFS front-end.
+//!
+//! Each batch arrives canonically ordered the way the traversal discovers
+//! pairs. Consumers that need scheduling-independent output re-sort,
+//! exactly as they do for the materialized path.
+
+use std::collections::VecDeque;
 
 use parclust_kdtree::{KdTree, NodeId};
+use rayon::prelude::*;
 
 use crate::policy::SeparationPolicy;
 use crate::traverse::NodePair;
 
+/// Inputs below this size take the sequential path outright; task
+/// expansion overhead would dominate.
+const PAR_STREAM_CUTOFF: usize = 2048;
+
+/// Producer tasks stop splitting below this combined node size (same scale
+/// as the traversal's `PAIR_GRAIN`).
+const TASK_GRAIN: usize = 2048;
+
+/// Task-list expansion stops once this many tasks exist; plenty of slack
+/// for stealing without flooding tiny tasks. Width-independent on purpose —
+/// the task list (hence the canonical sequence) never depends on the pool.
+const TASK_TARGET: usize = 256;
+
+/// One contiguous run of the canonical DFS pair sequence.
+///
+/// Expansion rules (each preserves the task's output, in order):
+/// * `Node(a)`, `a` internal → `[Node(l), Node(r), Pair(l, r)]`
+///   (mirrors `stream_node`: left subtree, right subtree, cross pairs);
+/// * `Node(a)`, `a` leaf → `[]` (a leaf emits nothing);
+/// * `Pair(a, b)` not well-separated, `(s, o) = split_order(a, b)` →
+///   `[Pair(s.left, o), Pair(s.right, o)]` (mirrors `stream_pair`);
+/// * `Pair(a, b)` well-separated → terminal, emits exactly that pair.
+#[derive(Clone, Copy)]
+enum Task {
+    Node(NodeId),
+    Pair(NodeId, NodeId),
+}
+
 /// Enumerate the WSPD of `tree` under `policy`, delivering pairs in batches
 /// of at most `cap`. `on_batch` receives a buffer of canonically-ordered
 /// (`a < b`) pairs; the buffer is cleared after each call, so callers must
-/// consume it before returning.
+/// consume it before returning. Batch boundaries depend only on the tree,
+/// the policy, and `cap` — never on the worker count.
 pub fn wspd_stream_batches<const D: usize, P, F>(
     tree: &KdTree<D>,
     policy: &P,
@@ -30,18 +72,26 @@ pub fn wspd_stream_batches<const D: usize, P, F>(
     on_batch: &mut F,
 ) where
     P: SeparationPolicy<D>,
-    F: FnMut(&mut Vec<NodePair>),
+    F: FnMut(&mut Vec<NodePair>) + Send,
 {
     assert!(cap >= 1, "batch capacity must be positive");
-    let mut buf: Vec<NodePair> = Vec::with_capacity(cap.min(1 << 20));
-    if tree.len() > 1 {
+    if tree.len() <= 1 {
+        return;
+    }
+    if rayon::current_num_threads() <= 1 || tree.len() < PAR_STREAM_CUTOFF {
+        let mut buf: Vec<NodePair> = Vec::with_capacity(cap.min(1 << 20));
         stream_node(tree, policy, cap, &mut buf, on_batch, tree.root());
+        if !buf.is_empty() {
+            on_batch(&mut buf);
+            buf.clear();
+        }
+        return;
     }
-    if !buf.is_empty() {
-        on_batch(&mut buf);
-        buf.clear();
-    }
+    stream_parallel(tree, policy, cap, on_batch);
 }
+
+// ---------------------------------------------------------------------------
+// Sequential reference path (defines the canonical sequence).
 
 fn stream_node<const D: usize, P, F>(
     tree: &KdTree<D>,
@@ -95,6 +145,156 @@ fn stream_pair<const D: usize, P, F>(
     let (l, r) = (node_a.left, node_a.right);
     stream_pair(tree, policy, cap, buf, on_batch, l, b);
     stream_pair(tree, policy, cap, buf, on_batch, r, b);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel producer.
+
+fn stream_parallel<const D: usize, P, F>(tree: &KdTree<D>, policy: &P, cap: usize, on_batch: &mut F)
+where
+    P: SeparationPolicy<D>,
+    F: FnMut(&mut Vec<NodePair>) + Send,
+{
+    let tasks = expand_tasks(tree, policy);
+    // Wave size scales with the pool so every worker has a task and a
+    // steal target; output is wave-partition-independent, so the width
+    // dependence here cannot leak into batch boundaries.
+    let wave = rayon::current_num_threads().max(2) * 4;
+
+    let mut pending: VecDeque<NodePair> = VecDeque::new();
+    let mut batch: Vec<NodePair> = Vec::with_capacity(cap.min(1 << 20));
+    let produce = |chunk: &[Task]| -> Vec<Vec<NodePair>> {
+        chunk
+            .par_iter()
+            .map(|&task| {
+                let mut out = Vec::new();
+                match task {
+                    Task::Node(a) => collect_node(tree, policy, a, &mut out),
+                    Task::Pair(a, b) => collect_pair(tree, policy, a, b, &mut out),
+                }
+                out
+            })
+            .collect()
+    };
+
+    let mut chunks = tasks.chunks(wave);
+    let mut current = chunks.next().map(produce);
+    while let Some(produced) = current {
+        let next_chunk = chunks.next();
+        // Overlap: drain wave k into batches (and the consumer) while the
+        // pool enumerates wave k+1.
+        let ((), next) = rayon::join(
+            || {
+                for run in produced {
+                    pending.extend(run);
+                }
+                while pending.len() >= cap {
+                    batch.extend(pending.drain(..cap));
+                    on_batch(&mut batch);
+                    batch.clear();
+                }
+            },
+            || next_chunk.map(produce),
+        );
+        current = next;
+    }
+    if !pending.is_empty() {
+        batch.extend(pending.drain(..));
+        on_batch(&mut batch);
+        batch.clear();
+    }
+}
+
+/// Split the canonical DFS recursion into a task list whose concatenated
+/// outputs reproduce the sequential pair sequence exactly. Rounds of
+/// in-order expansion (see [`Task`]) stop at [`TASK_TARGET`] tasks or when
+/// every task is terminal/below [`TASK_GRAIN`].
+fn expand_tasks<const D: usize, P>(tree: &KdTree<D>, policy: &P) -> Vec<Task>
+where
+    P: SeparationPolicy<D>,
+{
+    let mut tasks = vec![Task::Node(tree.root())];
+    loop {
+        if tasks.len() >= TASK_TARGET {
+            return tasks;
+        }
+        let mut next = Vec::with_capacity(tasks.len() * 3);
+        let mut changed = false;
+        for &task in &tasks {
+            match task {
+                Task::Node(a) => {
+                    let node = tree.node(a);
+                    if node.is_leaf() {
+                        changed = true; // drop: a leaf emits nothing
+                    } else if node.size() < TASK_GRAIN {
+                        next.push(task);
+                    } else {
+                        next.push(Task::Node(node.left));
+                        next.push(Task::Node(node.right));
+                        next.push(Task::Pair(node.left, node.right));
+                        changed = true;
+                    }
+                }
+                Task::Pair(a, b) => {
+                    if policy.well_separated(tree, a, b) {
+                        next.push(task); // terminal: emits exactly one pair
+                    } else if tree.node(a).size() + tree.node(b).size() < TASK_GRAIN {
+                        next.push(task);
+                    } else {
+                        let (s, o) = crate::traverse::split_order(tree, a, b);
+                        let node_s = tree.node(s);
+                        next.push(Task::Pair(node_s.left, o));
+                        next.push(Task::Pair(node_s.right, o));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        tasks = next;
+        if !changed {
+            return tasks;
+        }
+    }
+}
+
+/// Sequential enumeration of one `Node` task (no cap handling — the drain
+/// stage owns batching).
+fn collect_node<const D: usize, P>(tree: &KdTree<D>, policy: &P, a: NodeId, out: &mut Vec<NodePair>)
+where
+    P: SeparationPolicy<D>,
+{
+    let node = tree.node(a);
+    if node.is_leaf() {
+        return;
+    }
+    let (l, r) = (node.left, node.right);
+    collect_node(tree, policy, l, out);
+    collect_node(tree, policy, r, out);
+    collect_pair(tree, policy, l, r, out);
+}
+
+/// Sequential enumeration of one `Pair` task.
+fn collect_pair<const D: usize, P>(
+    tree: &KdTree<D>,
+    policy: &P,
+    a: NodeId,
+    b: NodeId,
+    out: &mut Vec<NodePair>,
+) where
+    P: SeparationPolicy<D>,
+{
+    if policy.well_separated(tree, a, b) {
+        out.push(if a < b { (a, b) } else { (b, a) });
+        return;
+    }
+    let (a, b) = crate::traverse::split_order(tree, a, b);
+    let node_a = tree.node(a);
+    debug_assert!(
+        !node_a.is_leaf(),
+        "two leaves are always well-separated; cannot split a singleton"
+    );
+    collect_pair(tree, policy, node_a.left, b, out);
+    collect_pair(tree, policy, node_a.right, b, out);
 }
 
 #[cfg(test)]
@@ -182,6 +382,43 @@ mod tests {
             })
             .collect();
         assert_eq!(runs[0], runs[1], "batch boundaries must be reproducible");
+    }
+
+    /// The tentpole contract: the parallel producer (explicit pools of
+    /// width 2/4/8, input above `PAR_STREAM_CUTOFF`) must deliver batches
+    /// that are element-for-element identical — contents *and* boundaries —
+    /// to the width-1 sequential batcher, for caps straddling the wave size.
+    #[test]
+    fn parallel_batches_identical_to_sequential_across_widths() {
+        let pts = random_points::<2>(PAR_STREAM_CUTOFF * 2, 5);
+        let tree = KdTree::build(&pts);
+        let in_pool = |threads: usize, cap: usize| -> Vec<Vec<NodePair>> {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| {
+                    let mut batches = Vec::new();
+                    wspd_stream_batches(
+                        &tree,
+                        &GeometricSep::PAPER_DEFAULT,
+                        cap,
+                        &mut |b: &mut Vec<NodePair>| batches.push(b.clone()),
+                    );
+                    batches
+                })
+        };
+        for cap in [97usize, 4096] {
+            let baseline = in_pool(1, cap);
+            assert!(baseline.len() > 1, "want a multi-batch scenario");
+            for threads in [2usize, 4, 8] {
+                let got = in_pool(threads, cap);
+                assert_eq!(
+                    got, baseline,
+                    "cap={cap}: batches differ at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

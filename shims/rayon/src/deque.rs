@@ -1,0 +1,535 @@
+//! Per-worker Chase–Lev work-stealing deques.
+//!
+//! Each pool worker owns one [`Deque`]: the owner pushes and pops jobs at
+//! the *bottom* (LIFO, so nested `join`s reclaim their own most recent job
+//! with one uncontended pop), while idle workers steal from the *top*
+//! (FIFO, so thieves take the oldest — largest — pending subtree). This is
+//! the classic Chase–Lev layout with the memory orderings from Lê, Pop,
+//! Cohen & Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP '13):
+//!
+//! * `push` publishes the slot with a `Release` store of `bottom`;
+//! * `steal` validates its speculative slot read with a `SeqCst` CAS on
+//!   `top` — a failed CAS means another thief (or the owner taking the last
+//!   element) won, and the read is discarded;
+//! * `pop` decrements `bottom`, then a `SeqCst` fence orders that store
+//!   against the thieves' `top` reads, so owner and thief can never both
+//!   keep the same job.
+//!
+//! Slots hold the two (under racecheck: three) words of an erased
+//! [`JobRef`] as individual atomics, so a stalled thief that loses the CAS
+//! race may read a *stale* job — but never a torn one, and the value is
+//! discarded on CAS failure. Growth installs a doubled buffer and retires
+//! the old one until the deque drops (a stalled thief may still be reading
+//! it); `top` monotonically increasing guarantees a slot is never rewritten
+//! while a thief could still validate a read of it within one buffer.
+//!
+//! Under the `racecheck` feature the real publication edge (the `Release`
+//! store of `bottom` paired with a successful steal) is modeled on the
+//! job's own `SyncVar`: released in [`Deque::push`], acquired in
+//! [`Deque::steal`] after the validating CAS. [`Deque::push_racy`] is a
+//! test-only seeded bug that skips the release — the moral equivalent of a
+//! `Relaxed` bottom store — so the detector's coverage of the steal edge
+//! can itself be tested.
+
+use crate::registry::{JobRef, RawJob};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Starting buffer capacity (slots). Deliberately small so ordinary test
+/// workloads exercise the growth path.
+const INITIAL_CAP: usize = 64;
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// Nothing to take (`top >= bottom` at the time of the scan).
+    Empty,
+    /// Lost a CAS race with the owner or another thief; retrying may help.
+    Abort,
+    /// Took the oldest queued job.
+    Success(JobRef),
+}
+
+/// One job slot: the words of a [`RawJob`], each stored atomically so a
+/// concurrent stale read is unserializable garbage but never a torn value.
+struct Slot {
+    data: AtomicPtr<()>,
+    exec: AtomicPtr<()>,
+    #[cfg(feature = "racecheck")]
+    publish: AtomicPtr<()>,
+}
+
+/// A growable circular buffer indexed by the unwrapped `top`/`bottom`
+/// counters (masked; capacity is a power of two).
+struct Buffer {
+    slots: Box<[Slot]>,
+    mask: usize,
+}
+
+impl Buffer {
+    fn alloc(cap: usize) -> Box<Buffer> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| Slot {
+                data: AtomicPtr::new(ptr::null_mut()),
+                exec: AtomicPtr::new(ptr::null_mut()),
+                #[cfg(feature = "racecheck")]
+                publish: AtomicPtr::new(ptr::null_mut()),
+            })
+            .collect();
+        Box::new(Buffer {
+            slots,
+            mask: cap - 1,
+        })
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &Slot {
+        &self.slots[index as usize & self.mask]
+    }
+
+    /// Store a job's words into the slot for `index` (owner only).
+    #[inline]
+    fn write(&self, index: isize, job: JobRef) {
+        let raw = job.into_raw();
+        let slot = self.slot(index);
+        slot.data.store(raw.data, Ordering::Relaxed);
+        slot.exec.store(raw.exec, Ordering::Relaxed);
+        #[cfg(feature = "racecheck")]
+        slot.publish.store(raw.publish, Ordering::Relaxed);
+    }
+
+    /// Load the job words at `index`. The result is only meaningful once
+    /// the caller validates it (owner: the fence protocol; thief: the
+    /// `top` CAS) — until then it may be stale, but never torn.
+    #[inline]
+    fn read(&self, index: isize) -> JobRef {
+        let slot = self.slot(index);
+        let raw = RawJob {
+            data: slot.data.load(Ordering::Relaxed),
+            exec: slot.exec.load(Ordering::Relaxed),
+            #[cfg(feature = "racecheck")]
+            publish: slot.publish.load(Ordering::Relaxed),
+        };
+        // SAFETY: slots are only written by `Buffer::write` with words
+        // taken from a real JobRef, and growth copies slots verbatim, so
+        // any (data, exec) pair read here was a valid pairing. Validation
+        // by the caller guarantees the pairing is also *current* before
+        // the job is executed.
+        unsafe { JobRef::from_raw(raw) }
+    }
+}
+
+/// A single worker's stealing deque. Exactly one thread (the owner) may
+/// call [`push`](Deque::push)/[`pop`](Deque::pop); any thread may call
+/// [`steal`](Deque::steal).
+pub(crate) struct Deque {
+    /// Next slot the owner writes; owner-only stores.
+    bottom: AtomicIsize,
+    /// Oldest live slot; advanced by the validating CAS in `steal`/`pop`.
+    top: AtomicIsize,
+    /// Current buffer. Replaced (owner-only) on growth.
+    buf: AtomicPtr<Buffer>,
+    /// Buffers replaced by growth. They must outlive any stalled thief
+    /// still speculatively reading them, so they are only freed when the
+    /// deque itself drops.
+    // analyze:allow(hotpath-lock) — touched only on the rare amortized growth path, never per job
+    #[allow(clippy::vec_box)]
+    // each Buffer needs a stable address: stalled thieves hold raw pointers into it
+    retired: Mutex<Vec<Box<Buffer>>>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Deque {
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(Buffer::alloc(INITIAL_CAP))),
+            // analyze:allow(hotpath-lock) — one-time construction, not per job
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only: publish a job at the bottom.
+    pub(crate) fn push(&self, job: JobRef) {
+        // The Release store of `bottom` in `push_inner` is the real
+        // publication edge for this job; model it on the job's SyncVar so
+        // a thief that executes the job provably happens-after this point.
+        #[cfg(feature = "racecheck")]
+        // SAFETY: the job is enqueued right below and its pointee stays
+        // alive until executed (join/scope contract), so the publish var
+        // it points to is alive here.
+        unsafe {
+            job.release_publish()
+        };
+        self.push_inner(job);
+    }
+
+    /// Racecheck-only seeded bug: push *without* the modeled release —
+    /// what a `Relaxed` store of `bottom` would be. Exists so tests can
+    /// assert the detector actually covers the steal edge.
+    #[cfg(feature = "racecheck")]
+    #[cfg_attr(not(test), allow(dead_code))] // exercised only by the detector's own tests
+    pub(crate) fn push_racy(&self, job: JobRef) {
+        self.push_inner(job);
+    }
+
+    fn push_inner(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: `buf` always points at a live Buffer — installed at
+        // construction or by `grow`, and only freed in `drop` (replaced
+        // buffers are retired, not freed). Only the owner replaces it, and
+        // we are the owner.
+        let mut buffer = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        if b - t >= buffer.cap() as isize {
+            self.grow(t, b);
+            // SAFETY: as above; `grow` installed the replacement.
+            buffer = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        }
+        buffer.write(b, job);
+        // Release-publish the slot write above to any thief that acquires
+        // `bottom` (the steal-side load) — the Chase–Lev publication edge.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: take the most recently pushed job (LIFO).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: `buf` is live and only the owner (us) replaces it.
+        let buffer = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order our `bottom` store against the thieves' `top` CASes: after
+        // this fence, either we see every steal that could have taken slot
+        // `b`, or the thief sees our decremented `bottom` and aborts.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let job = buffer.read(b);
+        if t == b {
+            // Last element: race any thief for it with the same CAS they
+            // use, so exactly one side keeps the job.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                // A thief validated first; our copy of the job is dead.
+                return None;
+            }
+        }
+        Some(job)
+    }
+
+    /// Any thread: try to take the oldest job (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the `top` load above against the `bottom` load below, so a
+        // concurrent `pop` cannot hide the last element from us while we
+        // also lose the CAS (the classic owner/thief symmetry argument).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: `buf` is live (never freed before the deque drops;
+        // growth retires, it does not free).
+        let buffer = unsafe { &*self.buf.load(Ordering::Acquire) };
+        // Speculative read: may be stale if the owner wrapped past us, but
+        // the CAS below only succeeds if slot `t` was still live, in which
+        // case the owner cannot have rewritten it (slots are rewritten
+        // only once `top` has moved past them).
+        let job = buffer.read(t);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Abort;
+        }
+        // The CAS validated ownership of the job; model the acquire side
+        // of the publication edge released in `push`.
+        #[cfg(feature = "racecheck")]
+        // SAFETY: we now exclusively own this pending job, so its pointee
+        // (and the publish var inside it) is alive until we execute it.
+        unsafe {
+            job.acquire_publish()
+        };
+        Steal::Success(job)
+    }
+
+    /// Owner-only: replace the buffer with one of double capacity, copying
+    /// the live range `[t, b)`.
+    fn grow(&self, t: isize, b: isize) {
+        let old_ptr = self.buf.load(Ordering::Relaxed);
+        // SAFETY: `buf` is live and only the owner (us) replaces it.
+        let old = unsafe { &*old_ptr };
+        let new = Buffer::alloc(old.cap() * 2);
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        self.buf.store(Box::into_raw(new), Ordering::Release);
+        // A stalled thief may still read the old buffer; keep it alive
+        // until the deque drops.
+        // SAFETY: `old_ptr` came from `Box::into_raw` (in `new` or a prior
+        // `grow`) and is retired exactly once — `buf` no longer holds it.
+        let old_box = unsafe { Box::from_raw(old_ptr) };
+        let mut retired = self.retired.lock().unwrap(); // analyze:allow(hotpath-lock, hotpath-unwrap) — rare amortized growth path; job bodies catch panics, so the lock cannot be poisoned
+        retired.push(old_box);
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // Queued JobRefs are plain pointer words owned by their creating
+        // construct (join/scope never returns before its jobs settle, and
+        // the pool drains before dropping), so only the buffers need
+        // freeing here; `retired` frees itself.
+        let ptr = *self.buf.get_mut();
+        // SAFETY: `buf` always holds a `Box::into_raw` pointer and nothing
+        // else can free it; with `&mut self` no thief can be reading it.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::StackJob;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// Run every pushed job to completion so the StackJobs can be dropped.
+    fn drain_inline(d: &Deque) {
+        while let Some(job) = d.pop() {
+            // SAFETY: every JobRef in these tests points at a StackJob that
+            // outlives the deque and is executed exactly once.
+            unsafe { job.execute() };
+        }
+    }
+
+    #[test]
+    fn owner_pops_lifo() {
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<StackJob<_, ()>> = (0..10usize)
+            .map(|i| {
+                let order = &order;
+                StackJob::new(move || order.lock().unwrap().push(i))
+            })
+            .collect();
+        let d = Deque::new();
+        for j in &jobs {
+            d.push(j.as_job_ref());
+        }
+        drain_inline(&d);
+        assert_eq!(*order.lock().unwrap(), (0..10).rev().collect::<Vec<_>>());
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn thief_steals_fifo() {
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<StackJob<_, ()>> = (0..10usize)
+            .map(|i| {
+                let order = &order;
+                StackJob::new(move || order.lock().unwrap().push(i))
+            })
+            .collect();
+        let d = Deque::new();
+        for j in &jobs {
+            d.push(j.as_job_ref());
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| loop {
+                match d.steal() {
+                    // SAFETY: a validated steal hands over sole ownership of
+                    // a live StackJob; it is executed exactly once.
+                    Steal::Success(job) => unsafe { job.execute() },
+                    Steal::Abort => std::hint::spin_loop(),
+                    Steal::Empty => break,
+                }
+            });
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn growth_preserves_all_jobs() {
+        // 10× the initial capacity forces several growth rounds.
+        let n = INITIAL_CAP * 10;
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<StackJob<_, ()>> = (0..n)
+            .map(|_| {
+                let hits = &hits;
+                StackJob::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let d = Deque::new();
+        for j in &jobs {
+            d.push(j.as_job_ref());
+        }
+        drain_inline(&d);
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+
+    /// The modeled publish edge: a normal push/steal hand-off must be
+    /// race-free — the release in `push` and the acquire after the
+    /// validating CAS in `steal` cover the closure and environment reads.
+    #[cfg(feature = "racecheck")]
+    #[test]
+    fn push_steal_handoff_is_race_free() {
+        let _guard = crate::racecheck::test_lock();
+        crate::racecheck::take_races();
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<StackJob<_, ()>> = (0..32usize)
+            .map(|_| {
+                let hits = &hits;
+                StackJob::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let d = Deque::new();
+        for j in &jobs {
+            d.push(j.as_job_ref());
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| loop {
+                match d.steal() {
+                    // SAFETY: a validated steal hands over sole ownership of
+                    // a live StackJob; it is executed exactly once.
+                    Steal::Success(job) => unsafe { job.execute() },
+                    Steal::Abort => std::hint::spin_loop(),
+                    Steal::Empty => break,
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        let races = crate::racecheck::take_races();
+        assert!(races.is_empty(), "validated steal raced: {races:?}");
+    }
+
+    /// Seeded broken steal: `push_racy` skips the modeled release (the
+    /// moral equivalent of a `Relaxed` bottom store), so a thief executing
+    /// the job reads the closure without a happens-before edge from the
+    /// owner's write. The detector must report it with both file:line
+    /// sites: the owner's construction write and the thief's executor read.
+    #[cfg(feature = "racecheck")]
+    #[test]
+    fn seeded_racy_push_is_caught_with_both_sites() {
+        let _guard = crate::racecheck::test_lock();
+        crate::racecheck::take_races();
+        let hits = AtomicUsize::new(0);
+        let job = {
+            let hits = &hits;
+            StackJob::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let d = Deque::new();
+        d.push_racy(job.as_job_ref());
+        std::thread::scope(|s| {
+            s.spawn(|| loop {
+                match d.steal() {
+                    Steal::Success(stolen) => {
+                        // SAFETY: the lone StackJob is live and executed once.
+                        unsafe { stolen.execute() };
+                        break;
+                    }
+                    _ => std::hint::spin_loop(),
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        let races = crate::racecheck::take_races();
+        let hit = races
+            .iter()
+            .find(|r| r.var == "StackJob::func" && r.first.op == "write" && r.second.op == "read")
+            .unwrap_or_else(|| panic!("seeded racy push not detected: {races:?}"));
+        // Both conflicting sites, file:line each — the owner-side write in
+        // StackJob::new and the thief-side read in execute_erased.
+        assert!(hit.first.location.file().ends_with("registry.rs"));
+        assert!(hit.second.location.file().ends_with("registry.rs"));
+        assert_ne!(
+            hit.first.location.line(),
+            hit.second.location.line(),
+            "distinct conflicting sites expected"
+        );
+        assert_ne!(hit.first.tid, hit.second.tid);
+    }
+
+    #[test]
+    fn owner_and_thieves_partition_the_jobs() {
+        // Concurrent pops and steals must execute every job exactly once;
+        // StackJob's "executed twice" panic catches duplication, the count
+        // catches loss.
+        let n = 4096usize;
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<StackJob<_, ()>> = (0..n)
+            .map(|_| {
+                let hits = &hits;
+                StackJob::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let d = Deque::new();
+        std::thread::scope(|s| {
+            let thieves: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut got = 0usize;
+                        let mut dry = 0;
+                        while dry < 1000 {
+                            match d.steal() {
+                                Steal::Success(job) => {
+                                    // SAFETY: validated steal — sole owner of
+                                    // a live StackJob, executed exactly once.
+                                    unsafe { job.execute() };
+                                    got += 1;
+                                    dry = 0;
+                                }
+                                Steal::Abort => {}
+                                Steal::Empty => {
+                                    dry += 1;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            // Owner: interleave pushes with occasional pops.
+            let mut popped = 0usize;
+            for (i, j) in jobs.iter().enumerate() {
+                d.push(j.as_job_ref());
+                if i % 3 == 0 {
+                    if let Some(job) = d.pop() {
+                        // SAFETY: popped jobs are live StackJobs owned by this
+                        // scope, each executed exactly once.
+                        unsafe { job.execute() };
+                        popped += 1;
+                    }
+                }
+            }
+            drain_inline(&d);
+            let stolen: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+            assert!(popped + stolen <= n);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+}

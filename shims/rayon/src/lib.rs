@@ -6,12 +6,15 @@
 //! ran iterator chains sequentially and spawned a fresh OS thread per
 //! `join`), this version executes on a **persistent worker pool**:
 //!
-//! * Every pool is a [`registry`]: a shared injector queue plus a fixed set
-//!   of long-lived worker threads. [`join`] enqueues its second closure as a
-//!   stack job, runs the first inline, then either *reclaims* the job from
-//!   the queue (the cheap uncontended path) or *helps* — executing other
-//!   queued jobs while it waits — which keeps nested fork-join deadlock-free
-//!   with a bounded thread count and no per-call spawning.
+//! * Every pool is a [`registry`]: one Chase–Lev stealing deque per
+//!   long-lived worker (owner pushes/pops LIFO, idle workers steal FIFO
+//!   from victims) plus a small mutex injector for jobs submitted from
+//!   outside the pool. [`join`] pushes its second closure onto the calling
+//!   worker's own deque, runs the first inline, then either *reclaims* the
+//!   job with one local pop (the cheap uncontended path) or — when a thief
+//!   took it — *helps*: executing local, injected, and stolen jobs while it
+//!   waits, which keeps nested fork-join deadlock-free with a bounded
+//!   thread count and no per-call spawning or locking.
 //! * The parallel-iterator surface ([`prelude`]) is built on splittable
 //!   producers: terminal ops (`for_each`, `collect`, `reduce`, `sum`,
 //!   `count`, `min_by`/`max_by`) recursively split their input and dispatch
@@ -41,13 +44,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle, Thread};
 use std::time::Duration;
 
+mod deque;
 pub mod iter;
 #[cfg(feature = "racecheck")]
 pub mod racecheck;
 mod registry;
 
 use registry::{
-    cooperative_wait, current_ctx, current_registry, default_width, HeapJob, Registry, StackJob,
+    cooperative_wait, current_ctx, current_registry, default_width, local_index_in, HeapJob,
+    Registry, StackJob,
 };
 
 pub mod prelude {
@@ -80,10 +85,12 @@ pub fn current_thread_index() -> Option<usize> {
 
 /// Run the two closures, potentially in parallel, and return both results.
 ///
-/// `oper_b` is enqueued on the current registry while `oper_a` runs on the
-/// calling thread; the call settles `oper_b` by reclaiming it or by helping
-/// the pool until a worker finishes it. On a width-1 registry both closures
-/// run inline, sequentially.
+/// On a pool worker, `oper_b` is pushed onto the worker's own stealing
+/// deque while `oper_a` runs on the calling thread; the call then settles
+/// `oper_b` with one local pop (nobody stole it — the common case) or by
+/// helping the pool until the thief finishes it. On a foreign thread the
+/// job goes through the registry's injector instead. On a width-1 registry
+/// both closures run inline, sequentially.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -101,14 +108,34 @@ where
     let job_b = StackJob::new(oper_b);
     let job_ref = job_b.as_job_ref();
     let tag = job_ref.data_ptr();
-    registry.inject(job_ref);
 
+    if let Some(index) = local_index_in(&registry) {
+        // Worker path: publish job_b on our own deque. Thieves take the
+        // *oldest* entry first, so anything pushed above job_b during
+        // `oper_a` (nested joins, scope spawns executed while helping) has
+        // settled or been stolen by the time we reclaim — the pop below
+        // yields job_b itself, a stray leftover spawned onto our deque by
+        // a stolen job, or `None` once job_b is gone to a thief.
+        registry.submit(job_ref);
+        let ra = match panic::catch_unwind(AssertUnwindSafe(oper_a)) {
+            Ok(v) => v,
+            Err(payload) => {
+                // `oper_a` panicked, but `job_b` may still point into this
+                // stack frame: settle it before unwinding. Job bodies catch
+                // their own panics, so this cannot double-unwind.
+                settle_local(&registry, index, &job_b);
+                panic::resume_unwind(payload);
+            }
+        };
+        settle_local(&registry, index, &job_b);
+        return (ra, job_b.into_result());
+    }
+
+    // Foreign thread (global-registry caller): go through the injector.
+    registry.inject(job_ref);
     let ra = match panic::catch_unwind(AssertUnwindSafe(oper_a)) {
         Ok(v) => v,
         Err(payload) => {
-            // `oper_a` panicked, but `job_b` may still point into this stack
-            // frame: settle it before unwinding. Job bodies catch their own
-            // panics, so this cannot double-unwind.
             if registry.try_reclaim(tag) {
                 job_b.run_inline();
             } else {
@@ -124,6 +151,28 @@ where
         cooperative_wait(&registry, || job_b.is_done());
     }
     (ra, job_b.into_result())
+}
+
+/// Settle a worker's own `join` job: pop-and-run from the local deque (the
+/// steal-back fast path — usually the very job we pushed) until the job is
+/// done, falling back to full help-waiting once the deque runs dry (the
+/// job was stolen and is in flight on another worker).
+fn settle_local<F, R>(registry: &Registry, index: usize, job_b: &StackJob<F, R>)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    while !job_b.is_done() {
+        match registry.pop_local(index) {
+            // SAFETY: locally queued jobs are alive until executed
+            // (join/scope contract) and never unwind.
+            Some(job) => unsafe { job.execute() },
+            None => {
+                cooperative_wait(registry, || job_b.is_done());
+                return;
+            }
+        }
+    }
 }
 
 /// Scope for structured task spawning: every spawned closure runs as a pool
@@ -451,6 +500,76 @@ mod tests {
         }
         // Threads outside any pool have no index at all.
         assert_eq!(thread::spawn(current_thread_index).join().unwrap(), None);
+    }
+
+    #[test]
+    fn stolen_jobs_keep_thread_index_bounded() {
+        // Regression test for the stealing scheduler: a worker executing a
+        // job stolen from a foreign deque must still report its *own*
+        // index (< width) and the pool's width — per-thread sharded
+        // structures and `block_size`-style grain math rely on both being
+        // width-stable no matter which deque a job came from.
+        use std::sync::atomic::AtomicBool;
+        for width in [2usize, 3, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let (a_thread, b_thread, b_index, b_width) = pool.install(|| {
+                let flag = AtomicBool::new(false);
+                let (a, b) = join(
+                    || {
+                        // Spin until job_b has run: this thread never pops
+                        // its deque meanwhile, so job_b was necessarily
+                        // *stolen* by another worker.
+                        while !flag.load(Ordering::Acquire) {
+                            thread::yield_now();
+                        }
+                        thread::current().id()
+                    },
+                    || {
+                        let index = current_thread_index().expect("stolen job left the pool");
+                        let w = current_num_threads();
+                        let id = thread::current().id();
+                        flag.store(true, Ordering::Release);
+                        (id, index, w)
+                    },
+                );
+                (a, b.0, b.1, b.2)
+            });
+            assert_ne!(a_thread, b_thread, "job_b must have been stolen");
+            assert!(b_index < width, "index {b_index} escaped width {width}");
+            assert_eq!(b_width, width);
+        }
+    }
+
+    /// Deep nested joins at several widths with the detector on: every
+    /// publish/steal edge of the deque scheduler must carry a modeled
+    /// release/acquire pair, so zero races may be reported.
+    #[cfg(feature = "racecheck")]
+    #[test]
+    fn deep_nested_joins_are_race_free_across_widths() {
+        let _guard = racecheck::test_lock();
+        for threads in [2usize, 4, 8] {
+            racecheck::take_races();
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let total = pool.install(|| {
+                fn count(depth: usize) -> u64 {
+                    if depth == 0 {
+                        return 1;
+                    }
+                    let (a, b) = join(|| count(depth - 1), || count(depth - 1));
+                    a + b
+                }
+                count(10)
+            });
+            assert_eq!(total, 1 << 10);
+            let races = racecheck::take_races();
+            assert!(
+                races.is_empty(),
+                "nested joins raced at {threads}: {races:?}"
+            );
+        }
     }
 
     #[test]

@@ -227,6 +227,16 @@ pub fn race_count() -> usize {
     lock(races_store()).len()
 }
 
+/// Serialize tests that assert on the process-global race list. Any test —
+/// in this crate or downstream — that calls [`take_races`] must hold this
+/// guard for its whole body, or a concurrently seeded race leaks into its
+/// assertion.
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A shared memory cell whose accesses are checked for happens-before
 /// ordering. Reads since the last write are all kept (one per thread);
 /// a write must be ordered after the previous write *and* every such read.
@@ -307,13 +317,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    /// The race list is process-global, so every test that asserts on it
-    /// must hold this lock for its whole body.
-    fn test_lock() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
+    // `super::test_lock` serializes every test asserting on the global
+    // race list, including the stealing-deque tests in `crate::deque`.
 
     #[test]
     fn same_thread_accesses_never_race() {

@@ -1,29 +1,37 @@
 //! The worker-pool core of the rayon shim.
 //!
-//! A [`Registry`] is one pool: a shared FIFO injector queue of erased
-//! [`JobRef`]s plus a fixed set of persistent worker threads that pop and
-//! execute them. Every pool-aware entry point (`join`, `scope`, the `Par`
-//! terminal ops, `ThreadPool::install`) resolves its registry through a
-//! thread-local: worker threads carry `(registry, index)` so nested
-//! parallelism stays inside the pool that spawned it, and foreign threads
-//! fall back to the lazily created global registry.
+//! A [`Registry`] is one pool: a small mutex-guarded *injector* queue for
+//! jobs submitted from outside the pool, one Chase–Lev stealing
+//! [`Deque`](crate::deque::Deque) per worker for jobs forked *inside* it,
+//! and a fixed set of persistent worker threads. Every pool-aware entry
+//! point (`join`, `scope`, the `Par` terminal ops, `ThreadPool::install`)
+//! resolves its registry through a thread-local: worker threads carry
+//! `(registry, index)` so nested parallelism stays inside the pool that
+//! spawned it, and foreign threads fall back to the lazily created global
+//! registry.
 //!
-//! Blocking protocol: a thread that must wait for a job it enqueued either
-//! *reclaims* it (removes it from the queue and runs it inline — the
-//! "steal-back" path that makes the common uncontended `join` cheap) or
-//! *helps* (executes other queued jobs until its own completes). Helping is
-//! what makes nested `join`s deadlock-free with a bounded worker count.
-//! Threads outside the pool (e.g. the caller of `install`) block without
-//! helping, so pool-scoped work only ever runs on pool workers and
-//! `current_thread_index` stays below the pool width.
+//! Scheduling discipline: a worker forking work pushes onto its own deque
+//! (LIFO for the owner), so the common uncontended `join` settles with one
+//! local pop — no shared queue, no lock. Idle workers scan: own deque,
+//! then the injector, then round-robin steals from the other deques (FIFO,
+//! taking the oldest — largest — pending subtree). A thread that must wait
+//! for a job it enqueued either *reclaims* it (the local pop / injector
+//! remove fast path) or *helps* — executing other available jobs until its
+//! own completes — which keeps nested `join`s deadlock-free with a bounded
+//! worker count. Threads outside the pool (e.g. the caller of `install`)
+//! block without helping, so pool-scoped work only ever runs on pool
+//! workers and `current_thread_index` stays below the pool width even when
+//! a worker is executing a job stolen from a foreign deque.
 
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, Thread};
 use std::time::Duration;
+
+use crate::deque::{Deque, Steal};
 
 /// A type-erased pointer to a job living on a stack frame ([`StackJob`]) or
 /// on the heap ([`HeapJob`]). The pointee must stay alive until `execute`
@@ -32,6 +40,12 @@ use std::time::Duration;
 pub(crate) struct JobRef {
     data: *const (),
     execute: unsafe fn(*const ()),
+    /// Racecheck-only: the job's publication `SyncVar`, released at the
+    /// enqueue site (deque push / injector inject) and acquired at the
+    /// dequeue site (steal / injector pop) — modeling the ordering edge
+    /// the real queue provides there.
+    #[cfg(feature = "racecheck")]
+    publish: *const crate::racecheck::SyncVar,
 }
 
 // SAFETY: a JobRef is only ever executed once, and the owning construct
@@ -39,10 +53,72 @@ pub(crate) struct JobRef {
 // (atomics + catch_unwind) makes cross-thread execution sound.
 unsafe impl Send for JobRef {}
 
+/// The raw words of a [`JobRef`], exposed so the stealing deque can store
+/// them in atomic slots (guaranteeing stale-but-never-torn reads).
+pub(crate) struct RawJob {
+    pub(crate) data: *mut (),
+    pub(crate) exec: *mut (),
+    #[cfg(feature = "racecheck")]
+    pub(crate) publish: *mut (),
+}
+
 impl JobRef {
     #[inline]
     pub(crate) fn data_ptr(&self) -> *const () {
         self.data
+    }
+
+    /// Decompose into raw words for atomic slot storage.
+    #[inline]
+    pub(crate) fn into_raw(self) -> RawJob {
+        RawJob {
+            data: self.data as *mut (),
+            exec: self.execute as *mut (),
+            #[cfg(feature = "racecheck")]
+            publish: self.publish as *mut (),
+        }
+    }
+
+    /// Reassemble a job from raw words produced by [`JobRef::into_raw`].
+    ///
+    /// # Safety
+    /// The words must originate from one `into_raw` call (the deque's slot
+    /// discipline guarantees the pairing), and the usual JobRef liveness
+    /// contract must still hold before the job is executed.
+    #[inline]
+    pub(crate) unsafe fn from_raw(raw: RawJob) -> JobRef {
+        JobRef {
+            data: raw.data as *const (),
+            // SAFETY: `raw.exec` was produced by casting exactly this fn
+            // pointer type in `into_raw`, so transmuting back is sound.
+            execute: unsafe { std::mem::transmute::<*mut (), unsafe fn(*const ())>(raw.exec) },
+            #[cfg(feature = "racecheck")]
+            publish: raw.publish as *const crate::racecheck::SyncVar,
+        }
+    }
+
+    /// Model the enqueue half of the queue hand-off edge.
+    ///
+    /// # Safety
+    /// The job's pointee (which owns the publish var) must be alive, i.e.
+    /// the job has not executed yet.
+    #[cfg(feature = "racecheck")]
+    #[inline]
+    pub(crate) unsafe fn release_publish(&self) {
+        // SAFETY: per the fn contract the pointee is alive.
+        unsafe { (*self.publish).release() }
+    }
+
+    /// Model the dequeue half of the queue hand-off edge.
+    ///
+    /// # Safety
+    /// The caller must exclusively own this pending job (a validated steal
+    /// or queue pop), so the pointee is alive.
+    #[cfg(feature = "racecheck")]
+    #[inline]
+    pub(crate) unsafe fn acquire_publish(&self) {
+        // SAFETY: per the fn contract the pointee is alive.
+        unsafe { (*self.publish).acquire() }
     }
 
     /// Run the job. Job bodies catch panics internally, so this never
@@ -58,18 +134,19 @@ impl JobRef {
     }
 }
 
-/// One worker pool: injector queue + membership data.
+/// One worker pool: per-worker stealing deques, a shared injector for
+/// foreign submissions, and membership data.
 pub(crate) struct Registry {
     queue: Mutex<VecDeque<JobRef>>,
     available: Condvar,
+    /// Workers currently in (or entering) the condvar wait; lets `submit`
+    /// skip the notify syscall on the hot push path when nobody sleeps.
+    sleepers: AtomicUsize,
+    /// One stealing deque per spawned worker, indexed by worker index.
+    deques: Vec<Deque>,
     width: usize,
     shutdown: AtomicBool,
 }
-
-// SAFETY: the queue owns JobRefs (Send); everything else is Sync already.
-unsafe impl Sync for Registry {}
-// SAFETY: same reasoning — JobRef is the only non-auto-Send field content.
-unsafe impl Send for Registry {}
 
 impl Registry {
     /// Create a registry of logical `width` and spawn `workers` persistent
@@ -77,9 +154,11 @@ impl Registry {
     pub(crate) fn spawn(width: usize, workers: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
         debug_assert!(workers <= width);
         let registry = Arc::new(Registry {
-            // analyze:allow(hotpath-lock) — the injector is mutex-based by design; see module docs on the blocking protocol
+            // analyze:allow(hotpath-lock) — the injector is mutex-based by design; worker-forked jobs go through the lock-free deques instead
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            deques: (0..workers).map(|_| Deque::new()).collect(),
             width: width.max(1),
             shutdown: AtomicBool::new(false),
         });
@@ -104,24 +183,50 @@ impl Registry {
         self.width
     }
 
-    /// Enqueue a job and wake one sleeping worker.
+    /// Enqueue a job from the calling thread: onto the caller's own deque
+    /// when it is a worker of this pool, onto the injector otherwise.
+    pub(crate) fn submit(&self, job: JobRef) {
+        match local_index_in(self) {
+            Some(index) => {
+                self.deques[index].push(job);
+                self.notify();
+            }
+            None => self.inject(job),
+        }
+    }
+
+    /// Enqueue a job on the shared injector and wake one sleeping worker.
     pub(crate) fn inject(&self, job: JobRef) {
-        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
+        // The injector mutex is the real publication edge here; model it.
+        #[cfg(feature = "racecheck")]
+        // SAFETY: the job is enqueued below and its pointee stays alive
+        // until executed (join/scope/install contract).
+        unsafe {
+            job.release_publish()
+        };
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design (foreign submissions only); job bodies catch panics, so the lock cannot be poisoned
         self.queue.lock().unwrap().push_back(job);
         self.available.notify_one();
     }
 
-    /// Pop any queued job (help-waiting and steal-back both use this).
+    /// Pop from the shared injector.
     pub(crate) fn try_pop(&self) -> Option<JobRef> {
-        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
-        self.queue.lock().unwrap().pop_front()
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design (foreign submissions only); job bodies catch panics, so the lock cannot be poisoned
+        let job = self.queue.lock().unwrap().pop_front();
+        #[cfg(feature = "racecheck")]
+        if let Some(ref job) = job {
+            // SAFETY: we exclusively own this pending job now.
+            unsafe { job.acquire_publish() };
+        }
+        job
     }
 
-    /// Remove the specific job identified by `data` from the queue, if no
-    /// worker has claimed it yet. On success the caller owns the job again
-    /// and must run it inline.
+    /// Remove the specific job identified by `data` from the injector, if
+    /// no worker has claimed it yet. On success the caller owns the job
+    /// again and must run it inline. (Worker-pushed jobs are reclaimed via
+    /// [`Registry::pop_local`] instead.)
     pub(crate) fn try_reclaim(&self, data: *const ()) -> bool {
-        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design (foreign submissions only); job bodies catch panics, so the lock cannot be poisoned
         let mut q = self.queue.lock().unwrap();
         // Our job is most likely near the back (LIFO-ish for the reclaimer).
         match q.iter().rposition(|j| j.data_ptr() == data) {
@@ -133,25 +238,82 @@ impl Registry {
         }
     }
 
-    /// Ask workers to exit once the queue drains.
+    /// Owner-only: pop the calling worker's own deque.
+    pub(crate) fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].pop()
+    }
+
+    /// Find any runnable job: the caller's own deque first (LIFO), then
+    /// the injector, then round-robin steals from the other deques.
+    pub(crate) fn find_work(&self, local: Option<usize>) -> Option<JobRef> {
+        if let Some(index) = local {
+            if let Some(job) = self.deques[index].pop() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.try_pop() {
+            return Some(job);
+        }
+        self.try_steal(local)
+    }
+
+    /// Round-robin over every deque but the thief's own. A lost CAS race
+    /// (`Abort`) means somebody made progress, so the sweep restarts.
+    fn try_steal(&self, thief: Option<usize>) -> Option<JobRef> {
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        let start = thief.map_or(0, |i| i + 1);
+        loop {
+            let mut contended = false;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if Some(victim) == thief {
+                    continue;
+                }
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Abort => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                return None;
+            }
+        }
+    }
+
+    /// Wake one sleeping worker, if any. Cheap test-first: a worker that
+    /// races past the check parks on a short timeout, so a missed wake
+    /// costs at most one timeout period.
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            self.available.notify_one();
+        }
+    }
+
+    /// Ask workers to exit once the queues drain.
     pub(crate) fn terminate(&self) {
         self.shutdown.store(true, Ordering::Release);
         self.available.notify_all();
     }
 
-    fn wait_for_job(&self) -> Option<JobRef> {
-        // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design; job bodies catch panics, so the lock cannot be poisoned
-        let mut q = self.queue.lock().unwrap();
-        loop {
-            if let Some(job) = q.pop_front() {
-                return Some(job);
-            }
-            if self.shutdown.load(Ordering::Acquire) {
-                return None;
-            }
-            // analyze:allow(hotpath-unwrap) — Condvar::wait only errs on poisoning, impossible here (see above)
-            q = self.available.wait(q).unwrap();
+    /// Park an idle worker briefly on the injector condvar. The short
+    /// timeout bounds the cost of the benign `notify` race: stealable
+    /// deque pushes that missed the sleeper are found on the next scan.
+    fn sleep(&self) {
+        self.sleepers.fetch_add(1, Ordering::Relaxed);
+        // analyze:allow(hotpath-lock, hotpath-unwrap) — idle path only: the worker found no work anywhere
+        let q = self.queue.lock().unwrap();
+        if q.is_empty() && !self.shutdown.load(Ordering::Acquire) {
+            let _ = self
+                .available
+                .wait_timeout(q, Duration::from_millis(1))
+                // analyze:allow(hotpath-unwrap) — Condvar::wait only errs on poisoning, impossible here (job bodies catch panics)
+                .unwrap();
         }
+        self.sleepers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -162,10 +324,18 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
             index,
         })
     });
-    while let Some(job) = registry.wait_for_job() {
-        // SAFETY: the job was injected by a construct that keeps it alive
-        // until executed; execute catches panics internally.
-        unsafe { job.execute() };
+    loop {
+        match registry.find_work(Some(index)) {
+            // SAFETY: every queued job's construct keeps it alive until
+            // executed; execute catches panics internally.
+            Some(job) => unsafe { job.execute() },
+            None => {
+                if registry.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                registry.sleep();
+            }
+        }
     }
 }
 
@@ -182,6 +352,18 @@ thread_local! {
 
 pub(crate) fn current_ctx() -> Option<Ctx> {
     CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// The calling thread's worker index in `registry`, if it is one of that
+/// registry's own workers (i.e. owns `registry.deques[index]`).
+pub(crate) fn local_index_in(registry: &Registry) -> Option<usize> {
+    CONTEXT.with(|c| {
+        c.borrow().as_ref().and_then(|ctx| {
+            (std::ptr::eq(Arc::as_ptr(&ctx.registry), registry)
+                && ctx.index < registry.deques.len())
+            .then_some(ctx.index)
+        })
+    })
 }
 
 /// The registry governing parallelism on the calling thread: its own pool
@@ -223,11 +405,12 @@ pub(crate) fn global_registry() -> &'static Arc<Registry> {
     })
 }
 
-/// Execute queued jobs while waiting for `done`; parks briefly when the
-/// queue is empty. Used by threads *inside* the pool's computation.
+/// Execute available jobs while waiting for `done`; parks briefly when
+/// nothing is runnable. Used by threads *inside* the pool's computation.
 pub(crate) fn cooperative_wait(registry: &Registry, done: impl Fn() -> bool) {
+    let local = local_index_in(registry);
     while !done() {
-        match registry.try_pop() {
+        match registry.find_work(local) {
             // SAFETY: queued jobs are alive until executed (join/scope
             // contract) and never unwind.
             Some(job) => unsafe { job.execute() },
@@ -252,8 +435,11 @@ pub(crate) struct StackJob<F, R> {
     /// owner after settling).
     #[cfg(feature = "racecheck")]
     rc_result: crate::racecheck::DataVar,
-    /// Models handing the job ref to the queue (release) / popping it
-    /// (acquire) — the edge the queue mutex provides in reality.
+    /// Models handing the job ref to a queue (released at the enqueue
+    /// site, acquired at the dequeue site via [`JobRef::release_publish`] /
+    /// [`JobRef::acquire_publish`]) — the edge the deque's `Release`
+    /// bottom-store / validated steal (or the injector mutex) provides in
+    /// reality.
     #[cfg(feature = "racecheck")]
     rc_publish: crate::racecheck::SyncVar,
     /// Models the `done` flag's Release store / Acquire load pairing.
@@ -286,31 +472,32 @@ where
         job
     }
 
-    /// Type-erase for injection. The returned ref's `data` pointer doubles
-    /// as the reclaim tag. Callers inject the ref immediately, so this is
-    /// where the publication edge is modeled.
+    /// Type-erase for enqueueing. The returned ref's `data` pointer doubles
+    /// as the reclaim tag; the publication edge is modeled at the enqueue
+    /// site (deque push or injector inject), not here.
     pub(crate) fn as_job_ref(&self) -> JobRef {
-        #[cfg(feature = "racecheck")]
-        self.rc_publish.release();
         JobRef {
             data: self as *const Self as *const (),
             execute: Self::execute_erased,
+            #[cfg(feature = "racecheck")]
+            publish: &self.rc_publish,
         }
     }
 
     // SAFETY (fn contract): `data` must point to a live StackJob that has
-    // not executed yet; both queue paths (worker pop, reclaim) guarantee it.
+    // not executed yet; every dequeue path (local pop, validated steal,
+    // injector pop, reclaim) guarantees it.
     unsafe fn execute_erased(data: *const ()) {
         // SAFETY: per the fn contract the pointee is alive for the call.
         let this = unsafe { &*(data as *const Self) };
+        // (Under racecheck, the executing thread acquired `rc_publish` at
+        // the dequeue site, so this read is ordered after the owner's
+        // write of `func`; inline reclaim runs on the owning thread.)
         #[cfg(feature = "racecheck")]
-        {
-            this.rc_publish.acquire();
-            this.rc_func.on_read();
-        }
+        this.rc_func.on_read();
         // SAFETY: exactly one thread ever reaches a given job's execute
-        // (queue pop and reclaim are mutually exclusive), so the cell is
-        // not aliased.
+        // (the dequeue paths are mutually exclusive), so the cell is not
+        // aliased.
         // analyze:allow(hotpath-unwrap) — double execution is a scheduler bug; panic is the correct response
         let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
@@ -373,7 +560,8 @@ impl<F> HeapJob<F>
 where
     F: FnOnce() + Send,
 {
-    /// Box `func` and enqueue it.
+    /// Box `func` and enqueue it on the caller's deque (worker) or the
+    /// injector (foreign thread).
     ///
     /// # Safety
     /// `func` may capture non-`'static` data; the caller must guarantee the
@@ -387,13 +575,15 @@ where
             rc_publish: crate::racecheck::SyncVar::new(),
         });
         #[cfg(feature = "racecheck")]
-        {
-            boxed.rc_func.on_write();
-            boxed.rc_publish.release();
-        }
-        registry.inject(JobRef {
-            data: Box::into_raw(boxed) as *const (),
+        boxed.rc_func.on_write();
+        let data = Box::into_raw(boxed);
+        registry.submit(JobRef {
+            data: data as *const (),
             execute: Self::execute_erased,
+            // SAFETY: `data` points to the live box just leaked above; the
+            // publish var lives inside it until execution.
+            #[cfg(feature = "racecheck")]
+            publish: unsafe { &(*data).rc_publish },
         });
     }
 
@@ -403,11 +593,10 @@ where
         // SAFETY: reconstitutes the box allocated in `push`; ownership
         // transfers back exactly once per the fn contract.
         let boxed = unsafe { Box::from_raw(data as *mut Self) };
+        // (The dequeue site acquired `rc_publish`, ordering this read
+        // after `push`'s write of the environment.)
         #[cfg(feature = "racecheck")]
-        {
-            boxed.rc_publish.acquire();
-            boxed.rc_func.on_read();
-        }
+        boxed.rc_func.on_read();
         // The scope wrapper inside `func` catches panics; a stray unwind
         // here would tear down a worker, so be defensive anyway.
         let _ = panic::catch_unwind(AssertUnwindSafe(boxed.func));

@@ -157,6 +157,44 @@ fn dendrogram_identical_across_thread_counts() {
 }
 
 #[test]
+fn emst_identical_under_forced_stealing_churn() {
+    // Stealing stress: unrelated scope-spawned jobs keep the workers
+    // unevenly busy while the pipeline runs, so join halves are routinely
+    // executed by thieves rather than their submitting worker. Because
+    // split trees (and `block_size`) depend only on input length and
+    // granularity hints — never on which deque a job ran from — the result
+    // must still be bit-identical to the single-threaded run.
+    let pts: Vec<Point<2>> = seed_spreader(3_000, 19);
+    let baseline = in_pool(1, || emst_memogfk(&pts));
+    for threads in &THREADS[1..] {
+        for round in 0..3u64 {
+            let run = in_pool(*threads, || {
+                rayon::scope(|s| {
+                    // Churn: cheap but nonzero jobs, enough of them to
+                    // outnumber the workers and keep the deques hot.
+                    for i in 0..64 {
+                        s.spawn(move |_| {
+                            let mut acc = i as u64 + round;
+                            for _ in 0..500 {
+                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            }
+                            assert_ne!(acc, u64::MAX); // keep the work alive
+                        });
+                    }
+                    emst_memogfk(&pts)
+                })
+            });
+            assert_eq!(
+                edge_bits(&baseline.edges),
+                edge_bits(&run.edges),
+                "EMST-MemoGFK: edges differ under stealing churn at {threads} threads"
+            );
+            assert_eq!(baseline.total_weight.to_bits(), run.total_weight.to_bits());
+        }
+    }
+}
+
+#[test]
 fn results_survive_pool_reuse() {
     // A long-lived pool must give the same answer on every install — no
     // state (thread indices, queue residue) may leak between runs.
