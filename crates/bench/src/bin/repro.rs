@@ -17,7 +17,8 @@ use parclust::{
     optics_approx, NOISE,
 };
 use parclust_bench::{
-    best_time, dataset, fmt_secs, thread_counts, with_points, DataSpec, Report, ResultRow, DATASETS,
+    best_time, best_time_with_metrics, dataset, fmt_secs, thread_counts, with_points, DataSpec,
+    Report, ResultRow, DATASETS,
 };
 
 struct Opts {
@@ -31,6 +32,8 @@ struct Opts {
     points_file: Option<std::path::PathBuf>,
     max_memory: u64,
     strict_memory: bool,
+    /// Write a Chrome-trace JSON of every pipeline span to this path.
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Opts {
@@ -45,6 +48,7 @@ fn parse_args() -> Opts {
         points_file: None,
         max_memory: parclust_bench::memory::parse_bytes("2G").unwrap(),
         strict_memory: false,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,6 +82,7 @@ fn parse_args() -> Opts {
                         .expect("byte size like 512M or 2G")
             }
             "--strict-memory" => opts.strict_memory = true,
+            "--trace" => opts.trace = Some(args.next().expect("--trace PATH").into()),
             "--datasets" => {
                 opts.only_datasets = Some(
                     args.next()
@@ -91,7 +96,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: repro [table2|table3|table4|table5|fig6|fig7|fig8|fig9|fig10|memory|minpts|ablation|extract|scale|all]... \
                      [--scale F] [--reps N] [--minpts N] [--threads N] [--cluster-eps a,b,c] [--datasets a,b] [--out DIR] \
-                     [--points-file PATH] [--max-memory SIZE] [--strict-memory]"
+                     [--points-file PATH] [--max-memory SIZE] [--strict-memory] [--trace PATH]"
                 );
                 std::process::exit(0);
             }
@@ -140,19 +145,20 @@ const EMST_METHODS: &[&str] = &["EMST-Naive", "EMST-GFK", "EMST-MemoGFK", "EMST-
 const HDB_METHODS: &[&str] = &["HDBSCAN-MemoGFK", "HDBSCAN-GanTao"];
 
 /// Run one named EMST method at `threads`; `None` if the method does not
-/// apply (Delaunay beyond 2D).
+/// apply (Delaunay beyond 2D). The third element is the pool's
+/// work-distribution counters for the row's `extra` field.
 fn run_emst_method(
     method: &str,
     spec: &DataSpec,
     n: usize,
     threads: usize,
     reps: usize,
-) -> Option<(f64, parclust::Stats)> {
+) -> Option<(f64, parclust::Stats, serde_json::Value)> {
     if method == "EMST-Delaunay" && spec.dims != 2 {
         return None;
     }
-    let (stats, secs) = with_points!(spec, n, |pts| {
-        best_time(threads, reps, || match method {
+    let (stats, secs, pool) = with_points!(spec, n, |pts| {
+        best_time_with_metrics(threads, reps, || match method {
             "EMST-Naive" => emst_naive(&pts).stats,
             "EMST-GFK" => emst_gfk(&pts).stats,
             "EMST-MemoGFK" => emst_memogfk(&pts).stats,
@@ -161,7 +167,7 @@ fn run_emst_method(
             _ => unreachable!("unknown method {method}"),
         })
     });
-    Some((secs, stats))
+    Some((secs, stats, pool))
 }
 
 /// Type-erasure helper: reachable for every dimension but only ever called
@@ -184,9 +190,9 @@ fn run_hdbscan_method(
     threads: usize,
     reps: usize,
     min_pts: usize,
-) -> (f64, parclust::Stats) {
+) -> (f64, parclust::Stats, serde_json::Value) {
     with_points!(spec, n, |pts| {
-        let (stats, secs) = best_time(threads, reps, || {
+        let (stats, secs, pool) = best_time_with_metrics(threads, reps, || {
             let mut h = match method {
                 "HDBSCAN-MemoGFK" => hdbscan_memogfk(&pts, min_pts),
                 "HDBSCAN-GanTao" => hdbscan_gantao(&pts, min_pts),
@@ -199,7 +205,7 @@ fn run_hdbscan_method(
             h.stats.total += h.stats.dendrogram;
             h.stats
         });
-        (secs, stats)
+        (secs, stats, pool)
     })
 }
 
@@ -236,13 +242,15 @@ fn table4_and_2(opts: &Opts, report: &mut Report) {
                     cells.push("-".into());
                     cells.push("-".into());
                 }
-                Some((t1, _)) => {
-                    let (tp, _) = run_emst_method(method, spec, n, max_t, opts.reps).unwrap();
+                Some((t1, _, _)) => {
+                    let (tp, _, pool) = run_emst_method(method, spec, n, max_t, opts.reps).unwrap();
                     cells.push(fmt_secs(t1));
                     cells.push(fmt_secs(tp));
                     seq_times.push((method.to_string(), t1));
                     par_times.push((method.to_string(), tp));
-                    for (threads, secs) in [(1, t1), (max_t, tp)] {
+                    // Pool counters ride on the parallel row only: the
+                    // 1-thread run has nothing to steal.
+                    for (threads, secs, pool) in [(1, t1, None), (max_t, tp, Some(pool))] {
                         report.push(ResultRow {
                             experiment: "table4".into(),
                             dataset: spec.name.into(),
@@ -250,7 +258,7 @@ fn table4_and_2(opts: &Opts, report: &mut Report) {
                             threads,
                             n,
                             seconds: secs,
-                            extra: None,
+                            extra: pool.map(|p| serde_json::json!({ "pool": p })),
                         });
                     }
                 }
@@ -346,8 +354,8 @@ fn table3(opts: &Opts, report: &mut Report) {
     let mut ratios = Vec::new();
     for spec in selected(opts) {
         let n = n_of(spec, opts.scale);
-        let (tb, _) = run_emst_method("EMST-Boruvka", spec, n, 1, opts.reps).unwrap();
-        let (tm, _) = run_emst_method("EMST-MemoGFK", spec, n, 1, opts.reps).unwrap();
+        let (tb, _, _) = run_emst_method("EMST-Boruvka", spec, n, 1, opts.reps).unwrap();
+        let (tm, _, _) = run_emst_method("EMST-MemoGFK", spec, n, 1, opts.reps).unwrap();
         let ratio = tb / tm;
         ratios.push(ratio);
         println!(
@@ -390,12 +398,12 @@ fn table5(opts: &Opts, report: &mut Report) {
         let mut cells = Vec::new();
         let mut pairs = Vec::new();
         for method in HDB_METHODS {
-            let (t1, _) = run_hdbscan_method(method, spec, n, 1, opts.reps, opts.min_pts);
-            let (tp, _) = run_hdbscan_method(method, spec, n, max_t, opts.reps, opts.min_pts);
+            let (t1, _, _) = run_hdbscan_method(method, spec, n, 1, opts.reps, opts.min_pts);
+            let (tp, _, pool) = run_hdbscan_method(method, spec, n, max_t, opts.reps, opts.min_pts);
             cells.push(fmt_secs(t1));
             cells.push(fmt_secs(tp));
             pairs.push((method.to_string(), t1, tp));
-            for (threads, secs) in [(1, t1), (max_t, tp)] {
+            for (threads, secs, pool) in [(1, t1, None), (max_t, tp, Some(pool))] {
                 report.push(ResultRow {
                     experiment: "table5".into(),
                     dataset: spec.name.into(),
@@ -403,7 +411,7 @@ fn table5(opts: &Opts, report: &mut Report) {
                     threads,
                     n,
                     seconds: secs,
-                    extra: None,
+                    extra: pool.map(|p| serde_json::json!({ "pool": p })),
                 });
             }
         }
@@ -451,7 +459,7 @@ fn figures_6_7(opts: &Opts, report: &mut Report, which: &str) {
                     run_hdbscan_method(method, spec, n, t, opts.reps, opts.min_pts).0
                 } else {
                     match run_emst_method(method, spec, n, t, opts.reps) {
-                        Some((secs, _)) => secs,
+                        Some((secs, _, _)) => secs,
                         None => {
                             applicable = false;
                             break;
@@ -508,12 +516,12 @@ fn fig8(opts: &Opts, report: &mut Report) {
         let n = n_of(spec, opts.scale);
         let mut rows: Vec<(String, parclust::Stats)> = Vec::new();
         for method in EMST_METHODS {
-            if let Some((_, stats)) = run_emst_method(method, spec, n, max_t, opts.reps) {
+            if let Some((_, stats, _)) = run_emst_method(method, spec, n, max_t, opts.reps) {
                 rows.push((method.to_string(), stats));
             }
         }
         for method in HDB_METHODS {
-            let (_, stats) = run_hdbscan_method(method, spec, n, max_t, opts.reps, opts.min_pts);
+            let (_, stats, _) = run_hdbscan_method(method, spec, n, max_t, opts.reps, opts.min_pts);
             rows.push((method.to_string(), stats));
         }
         for (method, s) in rows {
@@ -607,7 +615,7 @@ fn fig10(opts: &Opts, report: &mut Report) {
         for method in ["HDBSCAN-MemoGFK", "HDBSCAN-GanTao", "OPTICS-GanTaoApprox"] {
             print!("{method:<22}");
             for &t in &ts {
-                let (secs, _) = run_hdbscan_method(method, spec, n, t, opts.reps, opts.min_pts);
+                let (secs, _, _) = run_hdbscan_method(method, spec, n, t, opts.reps, opts.min_pts);
                 print!("{:>12}", fmt_secs(secs));
                 report.push(ResultRow {
                     experiment: "fig10".into(),
@@ -724,7 +732,7 @@ fn minpts(opts: &Opts, report: &mut Report) {
         let n = n_of(spec, opts.scale);
         print!("{:<20}", spec.name);
         for mp in mps {
-            let (secs, _) = run_hdbscan_method("HDBSCAN-MemoGFK", spec, n, max_t, opts.reps, mp);
+            let (secs, _, _) = run_hdbscan_method("HDBSCAN-MemoGFK", spec, n, max_t, opts.reps, mp);
             print!("{:>12}", fmt_secs(secs));
             report.push(ResultRow {
                 experiment: "minpts".into(),
@@ -922,7 +930,7 @@ fn scale_run<const D: usize>(path: &std::path::Path, opts: &Opts, report: &mut R
         fmt_bytes(fixed)
     );
 
-    let (stats, secs) = best_time(max_t, opts.reps, || {
+    let (stats, secs, pool) = best_time_with_metrics(max_t, opts.reps, || {
         parclust::emst_streaming(&pts, cap).stats
     });
     let rss = peak_rss_bytes();
@@ -962,6 +970,7 @@ fn scale_run<const D: usize>(path: &std::path::Path, opts: &Opts, report: &mut R
             "max_memory_bytes": opts.max_memory,
             "peak_rss_bytes": rss.unwrap_or(0),
             "rss_within_budget": within.unwrap_or(false),
+            "pool": pool,
         })),
     });
     if opts.strict_memory {
@@ -983,6 +992,10 @@ fn scale_run<const D: usize>(path: &std::path::Path, opts: &Opts, report: &mut R
 
 fn main() {
     let opts = parse_args();
+    if opts.trace.is_some() {
+        // Must precede the first span: enabling pins the trace epoch.
+        parclust_obs::trace::enable();
+    }
     let run_all = opts.experiments.iter().any(|e| e == "all");
     let want = |name: &str| run_all || opts.experiments.iter().any(|e| e == name);
     println!(
@@ -1039,6 +1052,22 @@ fn main() {
     let out = opts.out_dir.join("repro.json");
     report.write(&out).expect("write JSON report");
     println!("\nwrote {} rows to {}", report.rows.len(), out.display());
+
+    if let Some(path) = &opts.trace {
+        parclust_obs::trace::disable();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+            }
+        }
+        let json = parclust_obs::export::drain_chrome_json();
+        std::fs::write(path, &json).expect("write trace");
+        println!(
+            "wrote Chrome trace to {} ({} bytes)",
+            path.display(),
+            json.len()
+        );
+    }
     if !scale_ok {
         std::process::exit(1);
     }

@@ -73,6 +73,18 @@ pub fn metrics_from_loadgen(label: &str, v: &Value) -> Vec<Metric> {
             gated: false,
         });
     }
+    // Latency quantiles are tracked but never gated: they are bucket upper
+    // bounds from a log-spaced histogram, so a one-bucket jitter would be a
+    // 2x "regression" on an otherwise healthy run.
+    for field in ["latency_p50_ms", "latency_p99_ms"] {
+        if let Some(x) = v.get(field).and_then(Value::as_f64) {
+            out.push(Metric {
+                key: format!("serving/{label}/{field}"),
+                value: x,
+                gated: false,
+            });
+        }
+    }
     out
 }
 
@@ -295,6 +307,27 @@ mod tests {
             .find(|m| m.key == "serving/t4/requests_per_sec")
             .unwrap();
         assert!(!rps.gated, "latency-bound metric is informational");
+    }
+
+    #[test]
+    fn loadgen_latency_quantiles_are_tracked_but_ungated() {
+        let blob = json!({
+            "requests_per_sec": 10_000.0,
+            "latency_p50_ms": 1.2,
+            "latency_p90_ms": 3.4,
+            "latency_p99_ms": 8.0,
+        });
+        let ms = metrics_from_loadgen("t4", &blob);
+        for key in ["serving/t4/latency_p50_ms", "serving/t4/latency_p99_ms"] {
+            let m = ms.iter().find(|m| m.key == key).unwrap();
+            assert!(!m.gated, "{key} must never gate");
+        }
+        // p90 is report-only: present in loadgen output, not a baseline
+        // metric (keeps the committed baseline schema minimal).
+        assert!(!ms.iter().any(|m| m.key.contains("p90")));
+        // Reports without quantiles (older baselines) still parse.
+        let old = json!({"requests_per_sec": 5_000.0});
+        assert_eq!(metrics_from_loadgen("t1", &old).len(), 1);
     }
 
     #[test]

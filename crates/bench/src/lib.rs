@@ -180,11 +180,19 @@ macro_rules! with_points {
 /// Best-of-`reps` timing: one pool is built up front (worker spawning never
 /// lands inside the timed region) and every repetition is timed — including
 /// the first, cold-cache one — with the fastest returned.
-pub fn best_time<T: Send>(
+pub fn best_time<T: Send>(threads: usize, reps: usize, f: impl FnMut() -> T + Send) -> (T, f64) {
+    let (out, secs, _) = best_time_with_metrics(threads, reps, f);
+    (out, secs)
+}
+
+/// [`best_time`] plus the pool's work-distribution counters (jobs per
+/// worker, steal attempts/hits, injector pushes, idle parks) accumulated
+/// over *all* repetitions, serialized for a [`ResultRow`]'s `extra` field.
+pub fn best_time_with_metrics<T: Send>(
     threads: usize,
     reps: usize,
     mut f: impl FnMut() -> T + Send,
-) -> (T, f64) {
+) -> (T, f64, serde_json::Value) {
     assert!(reps >= 1);
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -199,7 +207,23 @@ pub fn best_time<T: Send>(
             best = Some((out, secs));
         }
     }
-    best.unwrap()
+    let (out, secs) = best.unwrap();
+    (out, secs, pool_metrics_json(&pool.metrics()))
+}
+
+/// Serialize a pool's counters for bench JSON: totals plus the per-worker
+/// job split (the work-imbalance signal).
+pub fn pool_metrics_json(m: &rayon::PoolMetrics) -> serde_json::Value {
+    let jobs_per_worker: Vec<u64> = m.workers.iter().map(|w| w.jobs).collect();
+    serde_json::json!({
+        "workers": m.workers.len() as u64,
+        "jobs": m.total_jobs(),
+        "steal_attempts": m.total_steal_attempts(),
+        "steal_hits": m.total_steal_hits(),
+        "injected": m.injected,
+        "parks": m.total_parks(),
+        "jobs_per_worker": jobs_per_worker,
+    })
 }
 
 /// Largest pool width the harness benches at: `PARCLUST_MAX_THREADS` when
@@ -285,6 +309,7 @@ pub fn fmt_secs(s: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde_json::Value;
 
     #[test]
     fn dataset_lookup() {
@@ -315,5 +340,32 @@ mod tests {
         let (v, secs) = best_time(1, 2, || 7 * 6);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn timing_with_metrics_reports_pool_counters() {
+        use rayon::prelude::*;
+        let (sum, _, pool) = best_time_with_metrics(2, 2, || {
+            (0..10_000u64).into_par_iter().with_min_len(16).sum::<u64>()
+        });
+        assert_eq!(sum, 10_000 * 9_999 / 2);
+        assert_eq!(pool.get("workers").and_then(Value::as_u64), Some(2));
+        assert!(pool.get("jobs").and_then(Value::as_u64).unwrap() > 0);
+        let per_worker: u64 = pool
+            .get("jobs_per_worker")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            Some(per_worker),
+            pool.get("jobs").and_then(Value::as_u64),
+            "per-worker jobs must sum to the total"
+        );
+        assert!(
+            pool.get("steal_attempts").and_then(Value::as_u64)
+                >= pool.get("steal_hits").and_then(Value::as_u64)
+        );
     }
 }

@@ -157,6 +157,7 @@ fn build_dendrogram(
     start: u32,
     params: Option<DendrogramParams>,
 ) -> Dendrogram {
+    let _span = parclust_obs::span!("dendrogram.build", n = n);
     if n == 0 {
         // The empty point set has an empty (rootless) dendrogram; every
         // downstream query returns empty labelings. Serving layers hit this

@@ -126,6 +126,7 @@ pub(crate) fn wspd_mst_naive<const D: usize, P: SeparationPolicy<D>>(
     // wspd phase, as in the paper's decomposition: "kruskal" is the MST
     // stage only).
     let mut edges: Vec<Edge> = Stats::time(&mut stats.wspd, || {
+        let _span = parclust_obs::span!("bccp.batch", pairs = pairs.len());
         pairs
             .par_iter()
             .map(|&(a, b)| {
@@ -142,6 +143,7 @@ pub(crate) fn wspd_mst_naive<const D: usize, P: SeparationPolicy<D>>(
     let mut uf = UnionFind::new(n);
     let mut out = Vec::with_capacity(n - 1);
     Stats::time(&mut stats.kruskal, || {
+        let _span = parclust_obs::span!("mst.kruskal", edges = edges.len());
         kruskal_batch(&mut edges, &mut uf, &mut out)
     });
     stats.rounds = 1;
@@ -213,6 +215,7 @@ pub(crate) fn wspd_mst_gfk<const D: usize, P: SeparationPolicy<D>>(
 
             // Line 6: BCCP the small pairs (cached across rounds).
             let mut s_l: Vec<GfkPair> = s_l.to_vec();
+            let _span = parclust_obs::span!("bccp.batch", pairs = s_l.len());
             s_l.par_iter_mut().for_each(|p| {
                 if !p.has_bccp {
                     counters.bccp();
@@ -238,6 +241,7 @@ pub(crate) fn wspd_mst_gfk<const D: usize, P: SeparationPolicy<D>>(
 
         // Lines 7–8: Kruskal on the round's edges.
         Stats::time(&mut stats.kruskal, || {
+            let _span = parclust_obs::span!("mst.kruskal", edges = batch.len());
             kruskal_batch(&mut batch, &mut uf, &mut out)
         });
 
@@ -298,6 +302,7 @@ pub(crate) fn wspd_mst_memogfk_sched<const D: usize, P: SeparationPolicy<D>>(
         // still-relevant pair of cardinality > β can produce.
         let rho = AtomicF64Min::default();
         Stats::time(&mut stats.wspd, || {
+            let _span = parclust_obs::span!("wspd.get_rho", beta = beta);
             wspd_traverse(
                 tree,
                 policy,
@@ -316,6 +321,7 @@ pub(crate) fn wspd_mst_memogfk_sched<const D: usize, P: SeparationPolicy<D>>(
         // GetPairs (line 5): retrieve pairs whose BCCP lies in [ρ_lo, ρ_hi).
         let edges_c: Collector<Edge> = Collector::new();
         Stats::time(&mut stats.wspd, || {
+            let _span = parclust_obs::span!("wspd.get_pairs", beta = beta);
             wspd_traverse(
                 tree,
                 policy,
@@ -357,6 +363,7 @@ pub(crate) fn wspd_mst_memogfk_sched<const D: usize, P: SeparationPolicy<D>>(
         peak_live = peak_live.max(batch.len());
 
         Stats::time(&mut stats.kruskal, || {
+            let _span = parclust_obs::span!("mst.kruskal", edges = batch.len());
             kruskal_batch(&mut batch, &mut uf, &mut out)
         });
 
@@ -403,12 +410,14 @@ pub(crate) fn wspd_mst_streaming<const D: usize, P: SeparationPolicy<D>>(
     let mut peak = 0usize;
     wspd_stream_batches(tree, policy, cap, &mut |pairs: &mut Vec<NodePair>| {
         stats.rounds += 1;
+        let _batch_span = parclust_obs::span!("wspd.batch", pairs = pairs.len());
         peak = peak.max(pairs.len());
         counters.pairs(pairs.len() as u64);
         // Per-node component annotation against the *current* forest; the
         // prune below only ever skips edges that provably cannot enter
         // the MST, so the result is independent of batching.
         let batch: Vec<Edge> = Stats::time(&mut stats.wspd, || {
+            let _span = parclust_obs::span!("bccp.batch", pairs = pairs.len());
             let comp = component_annotation(tree, forest.uf());
             let fref = &forest;
             let candidates: Vec<Option<Edge>> = pairs

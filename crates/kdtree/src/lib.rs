@@ -82,6 +82,7 @@ impl<const D: usize> KdTree<D> {
         let n = input.len();
         assert!(n > 0, "KdTree::build requires at least one point");
         assert!(n < (u32::MAX / 2) as usize, "point count exceeds u32 arena");
+        let _span = parclust_obs::span!("kdtree.build", points = n);
         let mut points = input.to_vec();
         let mut idx: Vec<u32> = (0..n as u32).collect();
         let mut nodes: Vec<Node<D>> = vec![Node::default(); 2 * n - 1];

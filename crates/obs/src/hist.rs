@@ -1,0 +1,179 @@
+//! Fixed-bucket latency histogram over integer nanoseconds.
+//!
+//! The bucket layout is chosen at construction and never changes, so the
+//! hot path is a binary search over the (immutable) bounds followed by
+//! three `Relaxed` `fetch_add`s — no locks, no allocation, and safe to
+//! share across any number of recording threads behind an `Arc`.
+//!
+//! Readers (`/metrics` rendering, quantile estimation) take racy `Relaxed`
+//! snapshots: totals may lag in-flight increments by a few events, which
+//! is the standard Prometheus contract for lock-free collectors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent fixed-bucket histogram. Bucket `i` counts observations
+/// `v <= bounds[i]` (and `> bounds[i-1]`); one extra overflow bucket
+/// counts everything above the last bound, mirroring Prometheus'
+/// `le="+Inf"`.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Build a histogram from ascending, deduplicated upper bounds.
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        for _ in 0..=bounds.len() {
+            buckets.push(AtomicU64::new(0));
+        }
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency layout: log-spaced (factor 2) bounds from 1 µs
+    /// to ~134 s. Covers everything from a cache-hit route handler to a
+    /// full clustering rebuild without tuning.
+    pub fn latency_default() -> Histogram {
+        let mut bounds = Vec::with_capacity(28);
+        for k in 0..28u32 {
+            bounds.push(1_000u64 << k);
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Record one observation, in nanoseconds. Lock-free; `Relaxed`.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let idx = self.bounds.partition_point(|&b| b < ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// The bucket upper bounds (exclusive of the implicit overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last. Racy snapshot.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for bucket in &self.buckets {
+            out.push(bucket.load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    /// Estimate the `q`-quantile (0.0..=1.0) in nanoseconds as the upper
+    /// bound of the bucket containing the target rank — a conservative
+    /// (never under-reporting) estimate. Observations in the overflow
+    /// bucket saturate to the last finite bound. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum >= target {
+                return self.bounds.get(i).copied().unwrap_or_else(|| {
+                    self.bounds.last().copied().unwrap_or(0) // overflow bucket
+                });
+            }
+        }
+        // Racy snapshot undercounted buckets relative to `count`.
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// `quantile_ns` converted to milliseconds, for report JSON.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_are_le_exact() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        h.record_ns(10); // == bound 0 → bucket 0 (le semantics)
+        h.record_ns(11); // > bound 0 → bucket 1
+        h.record_ns(100); // == bound 1 → bucket 1
+        h.record_ns(1000); // == bound 2 → bucket 2
+        h.record_ns(1001); // overflow
+        h.record_ns(0); // below everything → bucket 0
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_ns(), 10 + 11 + 100 + 1000 + 1001);
+    }
+
+    #[test]
+    fn concurrent_increments_match_serial_truth() {
+        let h = Arc::new(Histogram::latency_default());
+        let per_thread = 10_000u64;
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Deterministic spread across many buckets.
+                        h.record_ns((t * per_thread + i) * 37 + 500);
+                    }
+                });
+            }
+        });
+        let n = threads * per_thread;
+        assert_eq!(h.count(), n);
+        let serial_sum: u64 = (0..n).map(|j| j * 37 + 500).sum();
+        assert_eq!(h.sum_ns(), serial_sum);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for _ in 0..90 {
+            h.record_ns(5); // bucket 0
+        }
+        for _ in 0..10 {
+            h.record_ns(500); // bucket 2
+        }
+        assert_eq!(h.quantile_ns(0.5), 10);
+        assert_eq!(h.quantile_ns(0.90), 10);
+        assert_eq!(h.quantile_ns(0.99), 1000);
+        assert_eq!(h.quantile_ms(0.99), 1000.0 / 1e6);
+        // Empty histogram reports 0, not garbage.
+        assert_eq!(Histogram::new(vec![10]).quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn overflow_quantile_saturates_to_last_bound() {
+        let h = Histogram::new(vec![10]);
+        h.record_ns(1_000_000);
+        assert_eq!(h.quantile_ns(0.5), 10);
+    }
+}

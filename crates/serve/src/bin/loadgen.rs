@@ -13,6 +13,7 @@
 //! loadgen --addr 127.0.0.1:8077 --model geo --binary --mix assign --batch 512
 //! ```
 
+use parclust_obs::Histogram;
 use parclust_serve::{AssignRequest, AssignResponse, LabelingSpec};
 use rand::prelude::*;
 use serde_json::Value;
@@ -210,11 +211,16 @@ fn main() {
     );
 
     let next = Arc::new(AtomicUsize::new(0));
+    // One lock-free histogram shared by every worker: the same collector
+    // the server's /metrics endpoint uses, so the client-side percentiles
+    // reported here are directly comparable to a concurrent scrape.
+    let hist = Arc::new(Histogram::latency_default());
     let t0 = Instant::now();
     let handles: Vec<_> = (0..opts.connections)
         .map(|c| {
             let opts = opts.clone();
             let next = Arc::clone(&next);
+            let hist = Arc::clone(&hist);
             let (lo, hi) = (lo.clone(), hi.clone());
             let model_id = model_id.clone();
             std::thread::spawn(move || {
@@ -306,6 +312,7 @@ fn main() {
                             "unknown mix kind {other:?} (use cut,eom,assign)"
                         )),
                     };
+                    hist.record_ns(ns);
                     stats
                         .iter_mut()
                         .find(|(k, _)| k == kind)
@@ -363,6 +370,11 @@ fn main() {
         "wall_secs": wall,
         "requests_per_sec": rps,
         "assign_points_per_sec": assign_requests as f64 * opts.batch as f64 / wall,
+        // All-kind latency quantiles from the shared histogram:
+        // conservative bucket upper bounds, same collector as /metrics.
+        "latency_p50_ms": hist.quantile_ms(0.50),
+        "latency_p90_ms": hist.quantile_ms(0.90),
+        "latency_p99_ms": hist.quantile_ms(0.99),
         "kinds": Value::Object(kind_objects),
     });
     println!("{}", report.to_json_string_pretty());

@@ -14,6 +14,7 @@
 //! | route | body | answer |
 //! |---|---|---|
 //! | `GET /healthz` | — | liveness |
+//! | `GET /metrics` | — | Prometheus text metrics |
 //! | `GET /models` | — | loaded model ids + default |
 //! | `GET /models/{id}` (alias `/model`) | — | model metadata |
 //! | `POST /models/{id}/cut` (alias `/cut`) | `{"eps": f}` or `{"k": n}` | single-linkage labeling |
@@ -26,8 +27,14 @@
 //! JSON labels are integers with noise as `-1`; pass `"include_labels":
 //! false` to `/cut` / `/eom` for counts only. `/assign_binary` answers
 //! `application/octet-stream` on success and a JSON error otherwise.
+//!
+//! Every request is observed by the server's [`Metrics`] registry —
+//! `GET /metrics` renders per-model/per-route request counters, an
+//! in-flight gauge, a malformed-request counter, and per-route latency
+//! histograms in the Prometheus text format.
 
 use crate::engine::LabelingSpec;
+use crate::metrics::{route_index, Metrics, NO_MODEL};
 use crate::proto::{AssignRequest, AssignResponse};
 use crate::registry::{ModelHandle, ModelRegistry};
 use parclust::NOISE;
@@ -36,7 +43,7 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Reject request bodies above this size (64 MiB) — bounds memory per
 /// connection regardless of what a client claims in Content-Length.
@@ -68,12 +75,18 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    metrics: Arc<Metrics>,
 }
 
 impl Server {
     /// The actually-bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's metrics registry (also scraped at `GET /metrics`).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// Signal the workers and join them. In-flight requests finish; idle
@@ -99,21 +112,24 @@ pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Ser
         builder = builder.num_threads(cfg.pool_threads);
     }
     let pool = Arc::new(builder.build().map_err(io::Error::other)?);
+    let metrics = Arc::new(Metrics::new());
     let workers = (0..cfg.workers.max(1))
         .map(|i| {
             let listener = listener.try_clone()?;
             let registry = Arc::clone(&registry);
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name(format!("parclust-serve-{i}"))
-                .spawn(move || worker_loop(listener, registry, pool, stop))
+                .spawn(move || worker_loop(listener, registry, pool, stop, metrics))
         })
         .collect::<io::Result<Vec<_>>>()?;
     Ok(Server {
         addr,
         stop,
         workers,
+        metrics,
     })
 }
 
@@ -122,13 +138,14 @@ fn worker_loop(
     registry: Arc<ModelRegistry>,
     pool: Arc<rayon::ThreadPool>,
     stop: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
 ) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Per-connection errors (resets, malformed framing) only
                 // tear down that connection.
-                let _ = handle_connection(stream, &registry, &pool, &stop);
+                let _ = handle_connection(stream, &registry, &pool, &stop, &metrics);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -145,10 +162,12 @@ struct Request {
     body: Vec<u8>,
 }
 
-/// A response body: JSON (queries, errors) or a binary protocol frame.
+/// A response body: JSON (queries, errors), a binary protocol frame, or
+/// plain text (the `/metrics` exposition).
 enum Body {
     Json(Value),
     Bytes(Vec<u8>),
+    Text(String),
 }
 
 impl From<Value> for Body {
@@ -162,6 +181,7 @@ fn handle_connection(
     registry: &ModelRegistry,
     pool: &rayon::ThreadPool,
     stop: &AtomicBool,
+    metrics: &Metrics,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
@@ -173,7 +193,8 @@ fn handle_connection(
             Ok(Some(req)) => req,
             Ok(None) => break, // clean EOF between requests
             Err(e) => {
-                // Framing error: answer 400 if the peer still listens.
+                // Framing error: count it, answer 400 if the peer listens.
+                metrics.framing_error();
                 let _ = write_response(
                     &mut writer,
                     400,
@@ -185,13 +206,60 @@ fn handle_connection(
             }
         };
         let keep = req.keep_alive;
-        let (status, body) = route(registry, pool, &req);
+        let (route_idx, model_label) = classify(registry, &req);
+        metrics.begin();
+        let t0 = Instant::now();
+        let (status, body) = route(registry, pool, metrics, &req);
+        metrics.finish(
+            &model_label,
+            route_idx,
+            status,
+            t0.elapsed().as_nanos() as u64,
+        );
         write_response(&mut writer, status, &body, keep)?;
         if !keep {
             break;
         }
     }
     Ok(())
+}
+
+/// Map a request to its `(route, model)` metric labels. Route labels come
+/// from the fixed [`crate::metrics::ROUTES`] set; the model label is the
+/// resolved id (the registry default for legacy routes), with unknown ids
+/// folded into [`NO_MODEL`] so path scanning cannot grow the metric
+/// cardinality.
+fn classify(registry: &ModelRegistry, req: &Request) -> (usize, String) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let snapshot = registry.snapshot();
+    let known = |id: &str| -> String {
+        if snapshot.get(id).is_some() {
+            id.to_string()
+        } else {
+            NO_MODEL.to_string()
+        }
+    };
+    let default_id = || -> String {
+        snapshot
+            .default_handle()
+            .map(|(id, _)| id.to_string())
+            .unwrap_or_else(|| NO_MODEL.to_string())
+    };
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (route_index("healthz"), NO_MODEL.to_string()),
+        ("GET", ["metrics"]) => (route_index("metrics"), NO_MODEL.to_string()),
+        ("GET", ["models"]) => (route_index("models"), NO_MODEL.to_string()),
+        ("POST", ["admin", ..]) => (route_index("admin"), NO_MODEL.to_string()),
+        ("GET", ["model"]) => (route_index("info"), default_id()),
+        ("GET", ["models", id]) => (route_index("info"), known(id)),
+        ("POST", [action @ ("cut" | "eom" | "assign" | "assign_binary")]) => {
+            (route_index(action), default_id())
+        }
+        ("POST", ["models", id, action @ ("cut" | "eom" | "assign" | "assign_binary")]) => {
+            (route_index(action), known(id))
+        }
+        _ => (route_index("other"), NO_MODEL.to_string()),
+    }
 }
 
 /// Cap on a single request/header line and on the header count — bounds
@@ -297,6 +365,10 @@ fn write_response<W: Write>(
             std::borrow::Cow::Owned(v.to_json_string().into_bytes()),
         ),
         Body::Bytes(b) => ("application/octet-stream", std::borrow::Cow::Borrowed(b)),
+        Body::Text(t) => (
+            "text/plain; version=0.0.4; charset=utf-8",
+            std::borrow::Cow::Borrowed(t.as_bytes()),
+        ),
     };
     write!(
         w,
@@ -314,7 +386,12 @@ fn json_err(msg: impl Into<String>) -> Body {
     Body::Json(serde_json::json!({"error": msg.into()}))
 }
 
-fn route(registry: &ModelRegistry, pool: &rayon::ThreadPool, req: &Request) -> (u16, Body) {
+fn route(
+    registry: &ModelRegistry,
+    pool: &rayon::ThreadPool,
+    metrics: &Metrics,
+    req: &Request,
+) -> (u16, Body) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let snapshot = registry.snapshot();
 
@@ -324,6 +401,15 @@ fn route(registry: &ModelRegistry, pool: &rayon::ThreadPool, req: &Request) -> (
         match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => {
                 return (200, Body::Json(serde_json::json!({"status": "ok"})));
+            }
+            ("GET", ["metrics"]) => {
+                use std::fmt::Write as _;
+                let mut text = metrics.render();
+                // The registry gauge lives here (not in `Metrics`) because
+                // only the routing layer holds the registry.
+                text.push_str("# TYPE parclust_models_loaded gauge\n");
+                let _ = writeln!(text, "parclust_models_loaded {}", snapshot.models.len());
+                return (200, Body::Text(text));
             }
             ("GET", ["models"]) => return (200, models_index(&snapshot)),
             ("POST", ["admin", "load"]) => return admin_load(registry, &req.body),
@@ -659,6 +745,15 @@ impl Client {
 
     pub fn get(&mut self, path: &str) -> io::Result<(u16, Value)> {
         self.request_json("GET", path, None)
+    }
+
+    /// GET a path whose response body is plain text (e.g. `/metrics`).
+    pub fn get_text(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.send_request("GET", path, "text/plain", &[])?;
+        let (status, body) = self.read_response()?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok((status, text))
     }
 
     pub fn post(&mut self, path: &str, body: &Value) -> io::Result<(u16, Value)> {

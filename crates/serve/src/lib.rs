@@ -52,6 +52,7 @@
 pub mod artifact;
 pub mod engine;
 pub mod http;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod snapshot;
@@ -59,6 +60,7 @@ pub mod snapshot;
 pub use artifact::{peek_dims, ClusterModel, FORMAT_VERSION};
 pub use engine::{Assignment, LabelCache, Labeling, LabelingSpec, QueryEngine};
 pub use http::{start, Client, Server, ServerConfig};
+pub use metrics::Metrics;
 pub use proto::{AssignRequest, AssignResponse, PROTO_VERSION};
 pub use registry::{EngineHandle, ModelHandle, ModelRegistry, RegistrySnapshot};
 pub use snapshot::SnapshotCell;

@@ -1,0 +1,282 @@
+//! Serving metrics: lock-free request counters, an in-flight gauge, and
+//! per-route latency histograms, rendered in the Prometheus text
+//! exposition format at `GET /metrics`.
+//!
+//! The record path is lock-free: route labels come from a fixed set (so
+//! per-route state is a plain array indexed once per request), per-model
+//! counters live behind a [`SnapshotCell`] copy-on-write list (reads are
+//! one snapshot load + a linear probe over the handful of loaded models;
+//! the writer mutex is touched only the first time a model id is seen),
+//! and durations feed [`parclust_obs::Histogram`]s, which are `Relaxed`
+//! `fetch_add`s all the way down. Scrape-time rendering takes racy
+//! `Relaxed` snapshots — the standard Prometheus contract.
+//!
+//! Label cardinality is bounded by construction: routes are a fixed
+//! 10-entry set, and the model label only takes values the caller
+//! resolved against the registry (unknown ids fold into
+//! [`NO_MODEL`]), so a scanner probing random paths cannot grow the
+//! metric surface.
+
+use crate::snapshot::SnapshotCell;
+use parclust_obs::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The fixed route label set. Every request maps to exactly one entry;
+/// unrecognized paths fold into `"other"`.
+pub const ROUTES: [&str; 10] = [
+    "healthz",
+    "models",
+    "info",
+    "cut",
+    "eom",
+    "assign",
+    "assign_binary",
+    "admin",
+    "metrics",
+    "other",
+];
+
+/// Model label for requests that do not resolve to a loaded model
+/// (index/admin/metrics routes, unknown ids).
+pub const NO_MODEL: &str = "-";
+
+/// Index of `label` in [`ROUTES`]; unknown labels map to `"other"`.
+pub fn route_index(label: &str) -> usize {
+    ROUTES
+        .iter()
+        .position(|r| *r == label)
+        .unwrap_or(ROUTES.len() - 1)
+}
+
+/// Per-model request counters, one slot per [`ROUTES`] entry. Shared by
+/// `Arc` across snapshot generations so increments survive publishes.
+struct RouteCounters {
+    counts: [AtomicU64; ROUTES.len()],
+}
+
+impl RouteCounters {
+    fn new() -> RouteCounters {
+        RouteCounters {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The server-wide metrics registry. One instance per [`crate::Server`];
+/// all connection workers share it behind an `Arc`.
+pub struct Metrics {
+    /// Requests currently being routed (gauge).
+    in_flight: AtomicU64,
+    /// Requests answered with a non-2xx status or dropped on a framing
+    /// error before routing.
+    malformed: AtomicU64,
+    /// Request duration histograms, one per [`ROUTES`] entry.
+    hist: Vec<Histogram>,
+    /// `(model label, counters)` — copy-on-write; the list only grows
+    /// (one entry per distinct model label, including [`NO_MODEL`]).
+    per_model: SnapshotCell<Vec<(String, Arc<RouteCounters>)>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics {
+            in_flight: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            hist: (0..ROUTES.len())
+                .map(|_| Histogram::latency_default())
+                .collect(),
+            per_model: SnapshotCell::new(Vec::new()),
+        }
+    }
+
+    /// Mark a request entering routing. Pair with [`Metrics::finish`].
+    pub fn begin(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed request: drops the in-flight gauge, bumps the
+    /// `(model, route)` counter, feeds the route's latency histogram, and
+    /// counts non-2xx answers as malformed.
+    pub fn finish(&self, model: &str, route: usize, status: u16, dur_ns: u64) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.counters_for(model).counts[route].fetch_add(1, Ordering::Relaxed);
+        self.hist[route].record_ns(dur_ns);
+        if !(200..300).contains(&status) {
+            self.malformed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a request dropped before routing (framing error, oversized
+    /// body): no route label exists yet, only the malformed counter moves.
+    pub fn framing_error(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current in-flight gauge (tests).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Counter slot for `model`, registering it on first sight. Steady
+    /// state is one snapshot load plus a short linear probe.
+    fn counters_for(&self, model: &str) -> Arc<RouteCounters> {
+        let snap = self.per_model.load();
+        if let Some((_, c)) = snap.iter().find(|(m, _)| m == model) {
+            return Arc::clone(c);
+        }
+        // Cold path: first request for this model label.
+        self.per_model.update(|cur| {
+            if let Some((_, c)) = cur.iter().find(|(m, _)| m == model) {
+                return (None, Arc::clone(c)); // lost the registration race
+            }
+            let mut next = Vec::with_capacity(cur.len() + 1);
+            next.extend(cur.iter().cloned());
+            let counters = Arc::new(RouteCounters::new());
+            next.push((model.to_string(), Arc::clone(&counters)));
+            (Some(Arc::new(next)), counters)
+        })
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4). Zero-count series are omitted, `# TYPE` headers
+    /// are not.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        out.push_str("# TYPE parclust_requests_total counter\n");
+        let models = self.per_model.load();
+        for (model, counters) in models.iter() {
+            for (i, route) in ROUTES.iter().enumerate() {
+                let c = counters.counts[i].load(Ordering::Relaxed);
+                if c > 0 {
+                    let _ = writeln!(
+                        out,
+                        "parclust_requests_total{{model=\"{model}\",route=\"{route}\"}} {c}"
+                    );
+                }
+            }
+        }
+        out.push_str("# TYPE parclust_in_flight_requests gauge\n");
+        let _ = writeln!(
+            out,
+            "parclust_in_flight_requests {}",
+            self.in_flight.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE parclust_malformed_requests_total counter\n");
+        let _ = writeln!(
+            out,
+            "parclust_malformed_requests_total {}",
+            self.malformed.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE parclust_request_duration_seconds histogram\n");
+        for (i, route) in ROUTES.iter().enumerate() {
+            let h = &self.hist[i];
+            if h.count() == 0 {
+                continue;
+            }
+            let buckets = h.bucket_counts();
+            let mut cum = 0u64;
+            for (bound_ns, c) in h.bounds().iter().zip(&buckets) {
+                cum += c;
+                let _ = writeln!(
+                    out,
+                    "parclust_request_duration_seconds_bucket{{route=\"{route}\",le=\"{}\"}} {cum}",
+                    *bound_ns as f64 / 1e9
+                );
+            }
+            cum += buckets.last().copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "parclust_request_duration_seconds_bucket{{route=\"{route}\",le=\"+Inf\"}} {cum}"
+            );
+            let _ = writeln!(
+                out,
+                "parclust_request_duration_seconds_sum{{route=\"{route}\"}} {}",
+                h.sum_ns() as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "parclust_request_duration_seconds_count{{route=\"{route}\"}} {}",
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_indices_cover_the_fixed_set() {
+        for (i, r) in ROUTES.iter().enumerate() {
+            assert_eq!(route_index(r), i);
+        }
+        assert_eq!(route_index("no-such-route"), ROUTES.len() - 1);
+    }
+
+    #[test]
+    fn counters_and_gauge_render_exactly() {
+        let m = Metrics::new();
+        m.begin();
+        m.finish("geo", route_index("cut"), 200, 5_000);
+        m.begin();
+        m.finish("geo", route_index("cut"), 200, 7_000);
+        m.begin();
+        m.finish(NO_MODEL, route_index("healthz"), 200, 1_000);
+        m.begin();
+        m.finish("geo", route_index("assign"), 400, 2_000);
+        m.framing_error();
+        let text = m.render();
+        assert!(text.contains("parclust_requests_total{model=\"geo\",route=\"cut\"} 2"));
+        assert!(text.contains("parclust_requests_total{model=\"-\",route=\"healthz\"} 1"));
+        assert!(text.contains("parclust_requests_total{model=\"geo\",route=\"assign\"} 1"));
+        // One 400 + one framing error.
+        assert!(text.contains("parclust_malformed_requests_total 2"));
+        assert!(text.contains("parclust_in_flight_requests 0"));
+        // Histogram totals for the cut route: two requests, 12 µs total.
+        assert!(text.contains("parclust_request_duration_seconds_count{route=\"cut\"} 2"));
+        assert!(text.contains("parclust_request_duration_seconds_sum{route=\"cut\"} 0.000012"));
+        assert!(
+            text.contains("parclust_request_duration_seconds_bucket{route=\"cut\",le=\"+Inf\"} 2")
+        );
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_begin_finish() {
+        let m = Metrics::new();
+        m.begin();
+        m.begin();
+        assert_eq!(m.in_flight(), 2);
+        m.finish(NO_MODEL, route_index("models"), 200, 10);
+        assert_eq!(m.in_flight(), 1);
+        m.finish(NO_MODEL, route_index("models"), 200, 10);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn model_registration_survives_concurrent_first_sight() {
+        let m = std::sync::Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        m.begin();
+                        m.finish("shared", route_index("eom"), 200, 100);
+                    }
+                });
+            }
+        });
+        let text = m.render();
+        assert!(text.contains("parclust_requests_total{model=\"shared\",route=\"eom\"} 800"));
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end test of the `/metrics` observability layer over real
+//! sockets: drive a known request mix, scrape, and check the Prometheus
+//! families against exact expected counts.
+
+use parclust::Point;
+use parclust_serve::{
+    start, Client, ClusterModel, EngineHandle, ModelRegistry, QueryEngine, Server, ServerConfig,
+};
+use rand::prelude::*;
+use std::sync::Arc;
+
+fn blob_server() -> Server {
+    let mut rng = StdRng::seed_from_u64(11);
+    let pts: Vec<Point<2>> = (0..150)
+        .map(|_| Point([rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]))
+        .collect();
+    let model = Arc::new(ClusterModel::build(&pts, 5, 10));
+    let engine = Arc::new(QueryEngine::new(model));
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("blobs", Arc::new(EngineHandle::new(engine)))
+        .unwrap();
+    start(
+        registry,
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            pool_threads: 1,
+        },
+    )
+    .expect("start server")
+}
+
+/// Parse one sample's value out of the exposition text by exact line
+/// prefix (series name + label set).
+fn sample(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(prefix) && l.as_bytes().get(prefix.len()) == Some(&b' '))
+        .and_then(|l| l[prefix.len() + 1..].trim().parse().ok())
+}
+
+#[test]
+fn metrics_scrape_reports_exact_counters_and_histograms() {
+    let server = blob_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A fixed mix: 3 healthz, 2 cuts (default-model route), 1 eom via the
+    // multi-model route, 1 info.
+    for _ in 0..3 {
+        assert_eq!(client.get("/healthz").unwrap().0, 200);
+    }
+    for eps in [1.0, 2.0] {
+        let (status, _) = client
+            .post(
+                "/cut",
+                &serde_json::json!({"eps": eps, "include_labels": false}),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, _) = client
+        .post(
+            "/models/blobs/eom",
+            &serde_json::json!({"include_labels": false}),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(client.get("/models/blobs").unwrap().0, 200);
+
+    let (status, text) = client.get_text("/metrics").unwrap();
+    assert_eq!(status, 200);
+
+    // Exact request counters, per (model, route).
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_requests_total{model=\"-\",route=\"healthz\"}"
+        ),
+        Some(3.0)
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_requests_total{model=\"blobs\",route=\"cut\"}"
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_requests_total{model=\"blobs\",route=\"eom\"}"
+        ),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_requests_total{model=\"blobs\",route=\"info\"}"
+        ),
+        Some(1.0)
+    );
+    // Gauges: the only request in flight is the scrape itself (it renders
+    // before its own `finish`); one model loaded.
+    assert_eq!(sample(&text, "parclust_in_flight_requests"), Some(1.0));
+    assert_eq!(sample(&text, "parclust_models_loaded"), Some(1.0));
+    assert_eq!(
+        sample(&text, "parclust_malformed_requests_total"),
+        Some(0.0)
+    );
+    // Histogram totals match the per-route request counts, and the +Inf
+    // bucket equals the count (every observation lands somewhere).
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_request_duration_seconds_count{route=\"cut\"}"
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_request_duration_seconds_bucket{route=\"cut\",le=\"+Inf\"}"
+        ),
+        Some(2.0)
+    );
+    assert!(
+        sample(
+            &text,
+            "parclust_request_duration_seconds_sum{route=\"cut\"}"
+        )
+        .unwrap()
+            > 0.0
+    );
+    // Families carry TYPE headers (what Prometheus actually parses).
+    for family in [
+        "# TYPE parclust_requests_total counter",
+        "# TYPE parclust_in_flight_requests gauge",
+        "# TYPE parclust_malformed_requests_total counter",
+        "# TYPE parclust_request_duration_seconds histogram",
+        "# TYPE parclust_models_loaded gauge",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+
+    // Scrapes are monotone: another request strictly advances its counter
+    // and the scrape itself shows up under the metrics route.
+    assert_eq!(client.get("/healthz").unwrap().0, 200);
+    let (_, text2) = client.get_text("/metrics").unwrap();
+    assert_eq!(
+        sample(
+            &text2,
+            "parclust_requests_total{model=\"-\",route=\"healthz\"}"
+        ),
+        Some(4.0)
+    );
+    assert_eq!(
+        sample(
+            &text2,
+            "parclust_requests_total{model=\"-\",route=\"metrics\"}"
+        ),
+        Some(1.0)
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_move_only_the_malformed_counter_labels() {
+    let server = blob_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // 4xx answers: bad body on a real route, an unknown route, an unknown
+    // model id. Each counts as malformed; the unknown id folds into the
+    // "-" model label so junk paths cannot grow metric cardinality.
+    let (status, _) = client
+        .post("/cut", &serde_json::json!({"eps": "not-a-number"}))
+        .unwrap();
+    assert_eq!(status, 400);
+    assert_eq!(client.get("/no/such/route").unwrap().0, 404);
+    let (status, _) = client
+        .post(
+            "/models/ghost/eom",
+            &serde_json::json!({"include_labels": false}),
+        )
+        .unwrap();
+    assert_eq!(status, 404);
+
+    let (_, text) = client.get_text("/metrics").unwrap();
+    assert_eq!(
+        sample(&text, "parclust_malformed_requests_total"),
+        Some(3.0)
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_requests_total{model=\"blobs\",route=\"cut\"}"
+        ),
+        Some(1.0),
+        "a 400 on a resolved model still counts under that model"
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "parclust_requests_total{model=\"-\",route=\"other\"}"
+        ),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample(&text, "parclust_requests_total{model=\"-\",route=\"eom\"}"),
+        Some(1.0)
+    );
+    assert!(
+        !text.contains("model=\"ghost\""),
+        "unknown ids must not mint label values:\n{text}"
+    );
+
+    drop(client);
+    server.shutdown();
+}

@@ -78,6 +78,7 @@ pub fn wspd_stream_batches<const D: usize, P, F>(
     if tree.len() <= 1 {
         return;
     }
+    let _span = parclust_obs::span!("wspd.stream", points = tree.len());
     if rayon::current_num_threads() <= 1 || tree.len() < PAR_STREAM_CUTOFF {
         let mut buf: Vec<NodePair> = Vec::with_capacity(cap.min(1 << 20));
         stream_node(tree, policy, cap, &mut buf, on_batch, tree.root());

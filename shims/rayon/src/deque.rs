@@ -31,6 +31,12 @@
 //! test-only seeded bug that skips the release — the moral equivalent of a
 //! `Relaxed` bottom store — so the detector's coverage of the steal edge
 //! can itself be tested.
+//!
+//! The deque itself carries no instrumentation: steal attempts/hits, jobs
+//! executed, injector pushes, and idle parks are counted per worker in the
+//! registry (see `WorkerStats` in [`crate::registry`]) and exported via
+//! [`crate::ThreadPool::metrics`] — keeping this hot loop free of even
+//! `Relaxed` counter traffic.
 
 use crate::registry::{JobRef, RawJob};
 use std::ptr;

@@ -340,9 +340,67 @@ impl std::fmt::Debug for Registry {
     }
 }
 
+/// Scheduler counters for one pool worker, snapshotted by
+/// [`ThreadPool::metrics`]. All counters are monotone over the pool's
+/// lifetime and collected with `Relaxed` increments, so a snapshot taken
+/// while the pool is busy can lag in-flight work by a few events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Jobs this worker executed, from any source (own deque, injector,
+    /// steals).
+    pub jobs: u64,
+    /// `steal` calls issued at other workers' deques (lost-CAS retries
+    /// count again).
+    pub steal_attempts: u64,
+    /// Steal attempts that returned a job.
+    pub steal_hits: u64,
+    /// Times the worker parked on the idle condvar.
+    pub parks: u64,
+}
+
+/// A snapshot of one pool's scheduler counters; see [`ThreadPool::metrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Per-worker counters, indexed by worker index.
+    pub workers: Vec<WorkerMetrics>,
+    /// Jobs submitted through the shared injector (from outside the pool,
+    /// e.g. `install` calls).
+    pub injected: u64,
+}
+
+impl PoolMetrics {
+    /// Total jobs executed across all workers.
+    pub fn total_jobs(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Total successful steals across all workers.
+    pub fn total_steal_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_hits).sum()
+    }
+
+    /// Total steal attempts across all workers.
+    pub fn total_steal_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_attempts).sum()
+    }
+
+    /// Total idle parks across all workers.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+}
+
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
         self.registry.width()
+    }
+
+    /// Snapshot this pool's scheduler counters (jobs executed, steal
+    /// attempts/hits, injector pushes, idle parks). Counters are racy
+    /// `Relaxed` reads — take the snapshot after the work of interest has
+    /// settled (e.g. after `install` returns) for exact totals.
+    pub fn metrics(&self) -> PoolMetrics {
+        self.registry.metrics()
     }
 
     /// Run `op` on one of this pool's workers and block until it returns.
@@ -655,6 +713,30 @@ mod tests {
             counter.load(Ordering::Relaxed)
         });
         assert_eq!(total, 8 + 80);
+    }
+
+    #[test]
+    fn pool_metrics_count_jobs_and_injections() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.metrics().workers.len(), 4);
+        let sum = pool.install(|| {
+            (0..10_000u64)
+                .into_par_iter()
+                .with_min_len(16)
+                .map(|x| x)
+                .sum::<u64>()
+        });
+        assert_eq!(sum, 10_000 * 9_999 / 2);
+        let m = pool.metrics();
+        assert!(m.injected >= 1, "install goes through the injector");
+        assert!(m.total_jobs() > 0, "fan-out must execute pool jobs");
+        assert!(m.total_steal_attempts() >= m.total_steal_hits());
+        assert!(m.total_parks() > 0, "the pool idled before install");
+        // Counters are monotone across snapshots.
+        pool.install(|| ());
+        let m2 = pool.metrics();
+        assert!(m2.injected >= m.injected);
+        assert!(m2.total_jobs() >= m.total_jobs());
     }
 
     #[test]

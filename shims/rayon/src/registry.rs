@@ -26,7 +26,7 @@
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, Thread};
 use std::time::Duration;
@@ -134,6 +134,33 @@ impl JobRef {
     }
 }
 
+/// Per-worker scheduler counters. All increments are `Relaxed` — the
+/// counters are observability only (never synchronization), so they add a
+/// single uncontended RMW on a cache line the worker already owns.
+/// Readers take racy snapshots via [`Registry::metrics`].
+pub(crate) struct WorkerStats {
+    /// Jobs this worker executed (its own deque, the injector, or steals).
+    jobs: AtomicU64,
+    /// Individual `Deque::steal` calls this worker issued at other
+    /// workers' deques (retries after a lost CAS race count again).
+    steal_attempts: AtomicU64,
+    /// Steal attempts that yielded a job.
+    steal_hits: AtomicU64,
+    /// Times this worker parked on the idle condvar.
+    parks: AtomicU64,
+}
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            jobs: AtomicU64::new(0),
+            steal_attempts: AtomicU64::new(0),
+            steal_hits: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        }
+    }
+}
+
 /// One worker pool: per-worker stealing deques, a shared injector for
 /// foreign submissions, and membership data.
 pub(crate) struct Registry {
@@ -144,6 +171,10 @@ pub(crate) struct Registry {
     sleepers: AtomicUsize,
     /// One stealing deque per spawned worker, indexed by worker index.
     deques: Vec<Deque>,
+    /// One counter block per spawned worker, indexed like `deques`.
+    stats: Vec<WorkerStats>,
+    /// Jobs pushed through the shared injector (foreign submissions).
+    inject_count: AtomicU64,
     width: usize,
     shutdown: AtomicBool,
 }
@@ -159,6 +190,8 @@ impl Registry {
             available: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             deques: (0..workers).map(|_| Deque::new()).collect(),
+            stats: (0..workers).map(|_| WorkerStats::new()).collect(),
+            inject_count: AtomicU64::new(0),
             width: width.max(1),
             shutdown: AtomicBool::new(false),
         });
@@ -204,6 +237,7 @@ impl Registry {
         unsafe {
             job.release_publish()
         };
+        self.inject_count.fetch_add(1, Ordering::Relaxed);
         // analyze:allow(hotpath-lock, hotpath-unwrap) — mutex injector by design (foreign submissions only); job bodies catch panics, so the lock cannot be poisoned
         self.queue.lock().unwrap().push_back(job);
         self.available.notify_one();
@@ -240,12 +274,30 @@ impl Registry {
 
     /// Owner-only: pop the calling worker's own deque.
     pub(crate) fn pop_local(&self, index: usize) -> Option<JobRef> {
-        self.deques[index].pop()
+        let job = self.deques[index].pop();
+        if job.is_some() {
+            self.stats[index].jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        job
     }
 
     /// Find any runnable job: the caller's own deque first (LIFO), then
     /// the injector, then round-robin steals from the other deques.
+    ///
+    /// Jobs handed to a pool worker (`local == Some`) are counted in its
+    /// `jobs` stat; foreign help-waiting threads stay uncounted (they have
+    /// no worker slot to charge).
     pub(crate) fn find_work(&self, local: Option<usize>) -> Option<JobRef> {
+        let job = self.find_work_inner(local);
+        if job.is_some() {
+            if let Some(index) = local {
+                self.stats[index].jobs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        job
+    }
+
+    fn find_work_inner(&self, local: Option<usize>) -> Option<JobRef> {
         if let Some(index) = local {
             if let Some(job) = self.deques[index].pop() {
                 return Some(job);
@@ -272,8 +324,16 @@ impl Registry {
                 if Some(victim) == thief {
                     continue;
                 }
+                if let Some(i) = thief {
+                    self.stats[i].steal_attempts.fetch_add(1, Ordering::Relaxed);
+                }
                 match self.deques[victim].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        if let Some(i) = thief {
+                            self.stats[i].steal_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(job);
+                    }
                     Steal::Abort => contended = true,
                     Steal::Empty => {}
                 }
@@ -281,6 +341,23 @@ impl Registry {
             if !contended {
                 return None;
             }
+        }
+    }
+
+    /// Racy `Relaxed` snapshot of the pool's scheduler counters.
+    pub(crate) fn metrics(&self) -> crate::PoolMetrics {
+        crate::PoolMetrics {
+            workers: self
+                .stats
+                .iter()
+                .map(|s| crate::WorkerMetrics {
+                    jobs: s.jobs.load(Ordering::Relaxed),
+                    steal_attempts: s.steal_attempts.load(Ordering::Relaxed),
+                    steal_hits: s.steal_hits.load(Ordering::Relaxed),
+                    parks: s.parks.load(Ordering::Relaxed),
+                })
+                .collect(),
+            injected: self.inject_count.load(Ordering::Relaxed),
         }
     }
 
@@ -302,7 +379,8 @@ impl Registry {
     /// Park an idle worker briefly on the injector condvar. The short
     /// timeout bounds the cost of the benign `notify` race: stealable
     /// deque pushes that missed the sleeper are found on the next scan.
-    fn sleep(&self) {
+    fn sleep(&self, index: usize) {
+        self.stats[index].parks.fetch_add(1, Ordering::Relaxed);
         self.sleepers.fetch_add(1, Ordering::Relaxed);
         // analyze:allow(hotpath-lock, hotpath-unwrap) — idle path only: the worker found no work anywhere
         let q = self.queue.lock().unwrap();
@@ -333,7 +411,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
                 if registry.shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                registry.sleep();
+                registry.sleep(index);
             }
         }
     }
