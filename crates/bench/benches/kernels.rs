@@ -1,0 +1,32 @@
+//! Criterion micro-bench for the SoA distance kernels: the lane kernel
+//! ([`parclust_data::PointBlock::dist_sq_into`]) against the scalar gather
+//! reference, in the BCCP pair-loop and kNN-batch access shapes. CI's
+//! `kernel-bench` leg gates the same workloads through `kernel_bench` /
+//! `compare_bench`; this bench is for local profiling of the kernels
+//! themselves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use parclust_bench::kernels::{bccp_pass, kernel_block, knn_batch_pass};
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let block = kernel_block();
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("bccp_pair_loop/lane", |b| {
+        b.iter(|| black_box(bccp_pass(&block, true)))
+    });
+    g.bench_function("bccp_pair_loop/scalar", |b| {
+        b.iter(|| black_box(bccp_pass(&block, false)))
+    });
+    g.bench_function("knn_batch/lane", |b| {
+        b.iter(|| black_box(knn_batch_pass(&block, true)))
+    });
+    g.bench_function("knn_batch/scalar", |b| {
+        b.iter(|| black_box(knn_batch_pass(&block, false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -11,26 +11,33 @@
 //!     [--tolerance 0.25]
 //! ```
 //!
-//! Gated metrics: table2 speedup ratios and serving assign throughput.
+//! Gated metrics: table2 speedup ratios, serving assign throughput, and
+//! kernel vectorization speedups (`--kernels kernels.json`).
 //! `--min-ratio NUM/DEN=MIN` additionally requires the current run's
 //! `assign_points_per_sec` under label NUM to be at least MIN× the one
-//! under DEN (the binary-vs-JSON protocol gate). Override knobs
-//! (documented in the README):
+//! under DEN (the binary-vs-JSON protocol gate), and
+//! `--kernel-floor NAME=MIN` pins an absolute floor on the current run's
+//! `kernels/NAME/speedup_vs_scalar` (e.g. `bccp_pair_loop=1.3`). Override
+//! knobs (documented in the README):
 //! * `BENCH_GATE_SKIP=1` — skip the gate entirely (emergency landing).
 //! * `BENCH_GATE_TOLERANCE=0.4` — widen/narrow the threshold without a
 //!   workflow edit; the `--tolerance` flag wins over the env var.
 //! * `BENCH_RATIO_MIN=1.2` — override the minimum of every `--min-ratio`.
+//! * `BENCH_KERNEL_MIN=1.1` — override the minimum of every
+//!   `--kernel-floor`.
 
 use parclust_bench::gate::{
-    baseline_json, compare, metrics_from_baseline, metrics_from_loadgen, metrics_from_rows, Metric,
-    RatioCheck, DEFAULT_TOLERANCE,
+    baseline_json, compare, metrics_from_baseline, metrics_from_kernels, metrics_from_loadgen,
+    metrics_from_rows, KernelFloor, Metric, RatioCheck, DEFAULT_TOLERANCE,
 };
 
 struct Opts {
     baseline: std::path::PathBuf,
     rows: Vec<std::path::PathBuf>,
     serving: Vec<(String, std::path::PathBuf)>,
+    kernels: Option<std::path::PathBuf>,
     ratios: Vec<RatioCheck>,
+    kernel_floors: Vec<KernelFloor>,
     tolerance: f64,
     /// Where to write this run's inputs re-assembled as a baseline
     /// document (`BENCH_prN.json` shape) — the refresh candidate CI
@@ -45,7 +52,9 @@ fn parse_args() -> Opts {
         baseline: std::path::PathBuf::new(),
         rows: Vec::new(),
         serving: Vec::new(),
+        kernels: None,
         ratios: Vec::new(),
+        kernel_floors: Vec::new(),
         tolerance: std::env::var("BENCH_GATE_TOLERANCE")
             .ok()
             .and_then(|v| v.trim().parse().ok())
@@ -68,6 +77,20 @@ fn parse_args() -> Opts {
                     .split_once('=')
                     .expect("--serving takes LABEL=FILE (e.g. t4=serving_t4.json)");
                 opts.serving.push((label.to_string(), file.into()));
+            }
+            "--kernels" => {
+                opts.kernels = Some(args.next().expect("--kernels FILE").into());
+            }
+            "--kernel-floor" => {
+                let spec = args.next().expect("--kernel-floor NAME=MIN");
+                let mut floor = KernelFloor::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+                if let Some(min) = std::env::var("BENCH_KERNEL_MIN")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+                {
+                    floor.min = min;
+                }
+                opts.kernel_floors.push(floor);
             }
             "--min-ratio" => {
                 let spec = args.next().expect("--min-ratio NUM/DEN=MIN");
@@ -94,7 +117,8 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: compare_bench --baseline FILE [--rows FILE]... \
-                     [--serving LABEL=FILE]... [--min-ratio NUM/DEN=MIN]... [--tolerance F] \
+                     [--serving LABEL=FILE]... [--kernels FILE] \
+                     [--min-ratio NUM/DEN=MIN]... [--kernel-floor NAME=MIN]... [--tolerance F] \
                      [--write-baseline FILE [--note TEXT]]"
                 );
                 std::process::exit(0);
@@ -130,6 +154,7 @@ fn main() {
         .iter()
         .map(|(label, path)| (label.clone(), load_json(path)))
         .collect();
+    let kernels_blob = opts.kernels.as_deref().map(load_json);
     let mut current: Vec<Metric> = Vec::new();
     for rows in &row_sets {
         current.extend(metrics_from_rows(rows));
@@ -137,12 +162,15 @@ fn main() {
     for (label, blob) in &serving_blobs {
         current.extend(metrics_from_loadgen(label, blob));
     }
+    if let Some(kernels) = &kernels_blob {
+        current.extend(metrics_from_kernels(kernels));
+    }
 
     // Write the refresh candidate before gating: a regressed run's numbers
     // are exactly the ones someone debugging the regression wants to see,
     // and committing a candidate is always a deliberate human step.
     if let Some(path) = &opts.write_baseline {
-        let doc = baseline_json(&opts.note, &row_sets, &serving_blobs);
+        let doc = baseline_json(&opts.note, &row_sets, &serving_blobs, kernels_blob.as_ref());
         std::fs::write(path, doc.to_json_string_pretty())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("compare_bench: wrote baseline candidate {}", path.display());
@@ -207,6 +235,25 @@ fn main() {
         }
     }
     if ratio_failures > 0 {
+        std::process::exit(1);
+    }
+    let mut floor_failures = 0;
+    for floor in &opts.kernel_floors {
+        match floor.evaluate(&current) {
+            Ok(speedup) => println!(
+                "kernel floor {}: {speedup:.2}x vs scalar (floor {:.2}x)  ok",
+                floor.kernel, floor.min
+            ),
+            Err(msg) => {
+                eprintln!(
+                    "compare_bench: kernel floor failed: {msg} \
+                     (set BENCH_KERNEL_MIN to lower, BENCH_GATE_SKIP=1 to bypass)"
+                );
+                floor_failures += 1;
+            }
+        }
+    }
+    if floor_failures > 0 {
         std::process::exit(1);
     }
     println!("compare_bench: gate passed");

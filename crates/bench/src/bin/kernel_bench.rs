@@ -1,0 +1,75 @@
+//! Distance-kernel micro-bench for CI: run the SoA lane kernels against
+//! the scalar gather reference and emit the `kernels` JSON section the
+//! bench gate consumes.
+//!
+//! ```sh
+//! kernel_bench --out bench_results/kernels.json [--reps 7]
+//! ```
+//!
+//! The output maps kernel names to `{lane_secs, scalar_secs,
+//! speedup_vs_scalar}`; `compare_bench --kernels` gates the speedups
+//! against the committed baseline and `--kernel-floor` pins the absolute
+//! minimum (CI uses `bccp_pair_loop=1.3`). Speedups are same-machine
+//! ratios, so they transfer across CI hardware where raw seconds cannot.
+
+use parclust_bench::kernels::kernels_json;
+
+fn main() {
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut reps = 7usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().expect("--out FILE").into()),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps N")
+                    .parse()
+                    .expect("reps must be a positive integer");
+                assert!(reps >= 1, "reps must be at least 1");
+            }
+            "--help" | "-h" => {
+                println!("usage: kernel_bench --out FILE [--reps N]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let doc = kernels_json(reps);
+    let text = doc.to_json_string_pretty();
+    if let Some(map) = doc.as_object() {
+        println!(
+            "{:<20} {:>12} {:>12} {:>8}",
+            "kernel", "lane", "scalar", "speedup"
+        );
+        for (kernel, blob) in map {
+            let f = |k: &str| {
+                blob.get(k)
+                    .and_then(serde_json::Value::as_f64)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{kernel:<20} {:>10.2}ms {:>10.2}ms {:>7.2}x",
+                f("lane_secs") * 1e3,
+                f("scalar_secs") * 1e3,
+                f("speedup_vs_scalar"),
+            );
+        }
+    }
+    match out {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+                }
+            }
+            std::fs::write(&path, text)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            println!("kernel_bench: wrote {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+}

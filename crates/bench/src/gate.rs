@@ -88,9 +88,31 @@ pub fn metrics_from_loadgen(label: &str, v: &Value) -> Vec<Metric> {
     out
 }
 
+/// Extract metrics from a `kernel_bench --out` report: an object mapping
+/// kernel names to `{lane_secs, scalar_secs, speedup_vs_scalar}`. The
+/// speedup is dimensionless (same machine, same run, lane vs scalar), so
+/// it transfers across hardware and is gated.
+pub fn metrics_from_kernels(v: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let Some(map) = v.as_object() else {
+        return out;
+    };
+    for (kernel, blob) in map {
+        if let Some(s) = blob.get("speedup_vs_scalar").and_then(Value::as_f64) {
+            out.push(Metric {
+                key: format!("kernels/{kernel}/speedup_vs_scalar"),
+                value: s,
+                gated: true,
+            });
+        }
+    }
+    out
+}
+
 /// Extract every metric from a committed `BENCH_prN.json` baseline:
-/// a `rows` array (repro rows) and/or a `serving` object mapping labels to
-/// loadgen reports. A bare rows array is also accepted.
+/// a `rows` array (repro rows), a `serving` object mapping labels to
+/// loadgen reports, and/or a `kernels` object of kernel-bench reports. A
+/// bare rows array is also accepted.
 pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
     let mut out = Vec::new();
     if v.as_array().is_some() {
@@ -105,6 +127,9 @@ pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
             out.extend(metrics_from_loadgen(label, blob));
         }
     }
+    if let Some(kernels) = v.get("kernels") {
+        out.extend(metrics_from_kernels(kernels));
+    }
     out
 }
 
@@ -114,18 +139,27 @@ pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
 /// [`metrics_from_baseline`] — CI writes this next to its bench artifacts
 /// so refreshing the committed baseline is download-and-commit, not a
 /// hand-assembled JSON.
-pub fn baseline_json(note: &str, row_sets: &[Value], serving: &[(String, Value)]) -> Value {
+pub fn baseline_json(
+    note: &str,
+    row_sets: &[Value],
+    serving: &[(String, Value)],
+    kernels: Option<&Value>,
+) -> Value {
     let mut rows = Vec::new();
     for set in row_sets {
         if let Some(items) = set.as_array() {
             rows.extend(items.iter().cloned());
         }
     }
-    Value::Object(vec![
+    let mut fields = vec![
         ("note".to_string(), Value::String(note.to_string())),
         ("rows".to_string(), Value::Array(rows)),
         ("serving".to_string(), Value::Object(serving.to_vec())),
-    ])
+    ];
+    if let Some(k) = kernels {
+        fields.push(("kernels".to_string(), k.clone()));
+    }
+    Value::Object(fields)
 }
 
 /// One baseline-vs-current comparison.
@@ -263,6 +297,54 @@ impl RatioCheck {
     }
 }
 
+/// An absolute floor on a kernel's vectorization speedup in the *current*
+/// run: `kernels/NAME/speedup_vs_scalar` must be at least `min`. Unlike
+/// the baseline-relative gate this pins a property the tentpole promises
+/// outright (the SoA lane kernel beats the scalar gather by ≥ `min`×),
+/// so a baseline refresh can never quietly ratchet it away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelFloor {
+    pub kernel: String,
+    pub min: f64,
+}
+
+impl KernelFloor {
+    /// Parse `NAME=MIN` (e.g. `bccp_pair_loop=1.3`).
+    pub fn parse(spec: &str) -> Result<KernelFloor, String> {
+        let (kernel, min) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("kernel floor spec {spec:?} must be NAME=MIN"))?;
+        let min: f64 = min
+            .parse()
+            .map_err(|_| format!("kernel floor minimum {min:?} must be a float"))?;
+        if min.is_nan() || min <= 0.0 {
+            return Err(format!("kernel floor minimum must be positive, got {min}"));
+        }
+        Ok(KernelFloor {
+            kernel: kernel.to_string(),
+            min,
+        })
+    }
+
+    /// Evaluate against the current run's metrics; `Ok(speedup)` when the
+    /// floor holds.
+    pub fn evaluate(&self, current: &[Metric]) -> Result<f64, String> {
+        let key = format!("kernels/{}/speedup_vs_scalar", self.kernel);
+        let speedup = current
+            .iter()
+            .find(|m| m.key == key)
+            .map(|m| m.value)
+            .ok_or_else(|| format!("metric {key} missing from the current run"))?;
+        if speedup < self.min {
+            return Err(format!(
+                "kernel {} is only {speedup:.2}x the scalar reference (floor {:.2}x)",
+                self.kernel, self.min
+            ));
+        }
+        Ok(speedup)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,9 +435,16 @@ mod tests {
             "t4".to_string(),
             json!({"assign_points_per_sec": 1000.0, "requests_per_sec": 10.0}),
         )];
-        let doc = baseline_json("refresh candidate", std::slice::from_ref(&rows), &serving);
+        let kernels = json!({"bccp_pair_loop": json!({"speedup_vs_scalar": 1.7})});
+        let doc = baseline_json(
+            "refresh candidate",
+            std::slice::from_ref(&rows),
+            &serving,
+            Some(&kernels),
+        );
         let mut expected = metrics_from_rows(&rows);
         expected.extend(metrics_from_loadgen("t4", &serving[0].1));
+        expected.extend(metrics_from_kernels(&kernels));
         assert_eq!(metrics_from_baseline(&doc), expected);
         // And it survives an actual serialize/parse cycle.
         let reparsed = crate::gate::tests::reparse(&doc);
@@ -411,6 +500,54 @@ mod tests {
         let out = compare(&base, &cur, 0.25);
         assert_eq!(out.shared_gated, 0);
         assert!(!out.passed(), "broken wiring must not pass silently");
+    }
+
+    #[test]
+    fn kernel_metrics_are_gated_speedups() {
+        let blob = json!({
+            "bccp_pair_loop": json!({
+                "lane_secs": 0.01, "scalar_secs": 0.02, "speedup_vs_scalar": 2.0
+            }),
+            "knn_batch": json!({
+                "lane_secs": 0.01, "scalar_secs": 0.015, "speedup_vs_scalar": 1.5
+            }),
+        });
+        let ms = metrics_from_kernels(&blob);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.gated));
+        assert!(ms
+            .iter()
+            .any(|m| m.key == "kernels/bccp_pair_loop/speedup_vs_scalar" && m.value == 2.0));
+        // A baseline with a kernels section round-trips through the
+        // extractor.
+        let baseline = json!({"note": "x", "kernels": blob});
+        let from_base = metrics_from_baseline(&baseline);
+        assert_eq!(from_base, ms);
+    }
+
+    #[test]
+    fn kernel_floor_parse_and_evaluate() {
+        let floor = KernelFloor::parse("bccp_pair_loop=1.3").unwrap();
+        assert_eq!(
+            floor,
+            KernelFloor {
+                kernel: "bccp_pair_loop".into(),
+                min: 1.3
+            }
+        );
+        for bad in ["bccp_pair_loop", "x=notafloat", "x=-2"] {
+            assert!(KernelFloor::parse(bad).is_err(), "{bad:?}");
+        }
+        let metrics = |s: f64| {
+            metrics_from_kernels(&json!({
+                "bccp_pair_loop": json!({"speedup_vs_scalar": s})
+            }))
+        };
+        assert_eq!(floor.evaluate(&metrics(1.8)).unwrap(), 1.8);
+        assert!(floor.evaluate(&metrics(1.1)).is_err(), "1.1x < 1.3x floor");
+        // A missing kernel metric fails loudly instead of passing
+        // vacuously.
+        assert!(floor.evaluate(&[]).is_err());
     }
 
     #[test]

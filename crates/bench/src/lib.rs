@@ -8,6 +8,7 @@
 //! (DESIGN.md, substitution 2).
 
 pub mod gate;
+pub mod kernels;
 pub mod memory;
 
 use serde::Serialize;

@@ -42,9 +42,9 @@ pub(crate) fn geo_boruvka_mst<const D: usize>(tree: &KdTree<D>, stats: &mut Stat
         Stats::time(&mut stats.wspd, || {
             (0..n as u32).into_par_iter().for_each(|p| {
                 let me = uf.find_shared(p);
-                let q = &tree.points[p as usize];
+                let q = tree.point(p as usize);
                 let mut best = (f64::INFINITY, u32::MAX);
-                nearest_foreign(tree, &uf, &comp, tree.root(), p, q, me, &mut best);
+                nearest_foreign(tree, &uf, &comp, tree.root(), p, &q, me, &mut best);
                 if best.1 != u32::MAX {
                     cands[me as usize].write_min(best.0, (p, best.1));
                 }
@@ -86,14 +86,13 @@ fn nearest_foreign<const D: usize>(
     if c != MIXED && c == me {
         return; // entire subtree is in our component
     }
-    let node = tree.node(node_id);
-    if node.is_leaf() {
-        for pos in node.start..node.end {
+    if tree.is_leaf(node_id) {
+        for pos in tree.node_start(node_id)..tree.node_end(node_id) {
             if pos == p {
                 continue;
             }
             if uf.find_shared(pos) != me {
-                let d = dist_sq(q, &tree.points[pos as usize]);
+                let d = dist_sq(q, &tree.point(pos as usize));
                 if (d, pos) < *best {
                     *best = (d, pos);
                 }
@@ -101,9 +100,9 @@ fn nearest_foreign<const D: usize>(
         }
         return;
     }
-    let (l, r) = (node.left, node.right);
-    let dl = tree.node(l).bbox.dist_sq_to_point(q);
-    let dr = tree.node(r).bbox.dist_sq_to_point(q);
+    let (l, r) = tree.children(node_id);
+    let dl = tree.bbox(l).dist_sq_to_point(q);
+    let dr = tree.bbox(r).dist_sq_to_point(q);
     let (first, d1, second, d2) = if dl <= dr {
         (l, dl, r, dr)
     } else {

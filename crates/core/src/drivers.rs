@@ -74,10 +74,11 @@ pub(crate) fn component_annotation<const D: usize>(tree: &KdTree<D>, uf: &UnionF
         }
     }
     let ann = tree.aggregate_bottom_up(
-        &|node, _pts, _ids| {
-            let mut c = uf.find_shared(node.start);
-            for pos in node.start + 1..node.end {
-                if uf.find_shared(pos) != c {
+        &|id, _ids| {
+            let range = tree.node_range(id);
+            let mut c = uf.find_shared(range.start as u32);
+            for pos in range.skip(1) {
+                if uf.find_shared(pos as u32) != c {
                     c = MIXED;
                     break;
                 }
@@ -184,7 +185,7 @@ pub(crate) fn wspd_mst_gfk<const D: usize, P: SeparationPolicy<D>>(
             .map(|(a, b)| GfkPair {
                 a,
                 b,
-                card: (tree.node(a).size() + tree.node(b).size()) as u32,
+                card: (tree.node_size(a) + tree.node_size(b)) as u32,
                 u: 0,
                 v: 0,
                 w: 0.0,
@@ -308,7 +309,7 @@ pub(crate) fn wspd_mst_memogfk_sched<const D: usize, P: SeparationPolicy<D>>(
                 policy,
                 &|a, b| {
                     same_component(&comp, a, b)
-                        || tree.node(a).size() + tree.node(b).size() <= beta
+                        || tree.node_size(a) + tree.node_size(b) <= beta
                         || policy.lower_bound(tree, a, b) >= rho.load()
                 },
                 &|a, b| {
@@ -335,10 +336,7 @@ pub(crate) fn wspd_mst_memogfk_sched<const D: usize, P: SeparationPolicy<D>>(
                     let r = match cache.get(key) {
                         Some(packed) => {
                             let (u, v) = ((packed >> 32) as u32, packed as u32);
-                            let d = parclust_geom::dist(
-                                &tree.points[u as usize],
-                                &tree.points[v as usize],
-                            );
+                            let d = tree.dist_between(u, v);
                             Bccp {
                                 u,
                                 v,

@@ -57,17 +57,17 @@ pub fn optics_approx<const D: usize>(points: &[Point<D>], min_pts: usize, rho: f
     // Base-graph construction over the s = sqrt(8/ρ) WSPD.
     let policy = GeometricSep::for_optics_rho(rho);
     let weight = |u: u32, v: u32| -> f64 {
-        let d = tree.points[u as usize].dist(&tree.points[v as usize]);
+        let d = tree.dist_between(u, v);
         (d / (1.0 + rho))
             .max(cd_pos[u as usize])
             .max(cd_pos[v as usize])
     };
     // Deterministic pseudo-random representative of a node's point range.
     let representative = |a: parclust_kdtree::NodeId| -> u32 {
-        let node = tree.node(a);
-        let span = node.end - node.start;
+        let (start, end) = (tree.node_start(a), tree.node_end(a));
+        let span = end - start;
         let h = (a as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 33;
-        node.start + (h as u32) % span
+        start + (h as u32) % span
     };
 
     let edges_c: Collector<Edge> = Collector::new();
@@ -75,14 +75,13 @@ pub fn optics_approx<const D: usize>(points: &[Point<D>], min_pts: usize, rho: f
     Stats::time(&mut stats.wspd, || {
         wspd_traverse(&tree, &policy, &|_, _| false, &|a, b| {
             pair_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let (na, nb) = (tree.node(a), tree.node(b));
-            let (sa, sb) = (na.size(), nb.size());
+            let (sa, sb) = (tree.node_size(a), tree.node_size(b));
             // Cases (a)-(d) of Appendix C.
             match (sa >= min_pts, sb >= min_pts) {
                 (false, false) => {
                     // (a): all pairs of points between A and B.
-                    for u in na.start..na.end {
-                        for v in nb.start..nb.end {
+                    for u in tree.node_start(a)..tree.node_end(a) {
+                        for v in tree.node_start(b)..tree.node_end(b) {
                             edges_c.push(Edge::new(u, v, weight(u, v)));
                         }
                     }
@@ -90,14 +89,14 @@ pub fn optics_approx<const D: usize>(points: &[Point<D>], min_pts: usize, rho: f
                 (true, false) => {
                     // (b): representative of A to all of B.
                     let u = representative(a);
-                    for v in nb.start..nb.end {
+                    for v in tree.node_start(b)..tree.node_end(b) {
                         edges_c.push(Edge::new(u, v, weight(u, v)));
                     }
                 }
                 (false, true) => {
                     // (c): symmetric.
                     let v = representative(b);
-                    for u in na.start..na.end {
+                    for u in tree.node_start(a)..tree.node_end(a) {
                         edges_c.push(Edge::new(u, v, weight(u, v)));
                     }
                 }

@@ -5,11 +5,24 @@
 //! k = minPts"). Queries run independently in parallel over all points —
 //! `O(k n log n)` expected work for bounded spread, `O(log n)` depth —
 //! matching the primitive attributed to Callahan and Kosaraju [13].
+//!
+//! Once the descent reaches a subtree of at most [`KNN_BATCH`] points, the
+//! whole permuted range is scanned with the SoA lane kernel
+//! ([`parclust_data::PointBlock::dist_sq_into`]) instead of recursing leaf
+//! by leaf: one vectorized pass over contiguous lanes replaces ~2·B node
+//! visits and B scattered point gathers.
 
-use parclust_geom::{dist_sq, Point};
+use parclust_geom::Point;
 use rayon::prelude::*;
 
 use crate::{KdTree, NodeId};
+
+/// Subtrees of at most this many points are brute-forced with the lane
+/// kernel instead of being descended. Distances are identical either way
+/// (the kernel accumulates in dimension order, matching `dist_sq`); the
+/// batch only *adds* candidates the descent might have pruned, which the
+/// k-smallest heap discards again.
+pub const KNN_BATCH: usize = 16;
 
 /// A fixed-capacity max-heap of `(squared distance, point id)` pairs that
 /// keeps the `k` smallest distances seen.
@@ -95,6 +108,7 @@ impl KnnHeap {
     /// Drain into `(dist_sq, id)` pairs sorted by increasing distance.
     pub fn into_sorted(mut self) -> Vec<(f64, u32)> {
         self.items
+            // analyze:allow(hotpath-unwrap) — distances are squared norms of finite coords, never NaN
             .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
         self.items
     }
@@ -141,23 +155,26 @@ impl<const D: usize> KdTree<D> {
     }
 
     fn knn_recurse(&self, id: NodeId, q: &Point<D>, heap: &mut KnnHeap) {
-        let node = self.node(id);
-        if node.is_leaf() {
-            let ids = self.node_point_ids(id);
-            for (p, &orig) in self.node_points(id).iter().zip(ids) {
-                heap.offer(dist_sq(p, q), orig);
+        let size = self.node_size(id);
+        if size <= KNN_BATCH {
+            // Batched subtree scan: one lane-kernel pass over the contiguous
+            // permuted range (covers the singleton-leaf case too).
+            let start = self.node_start(id) as usize;
+            let mut buf = [0.0f64; KNN_BATCH];
+            self.coords().dist_sq_into(q, start, size, &mut buf);
+            for (&d_sq, &orig) in buf[..size].iter().zip(&self.idx[start..start + size]) {
+                heap.offer(d_sq, orig);
             }
             return;
         }
         // Visit the nearer child first for better pruning.
-        let l = self.node(node.left);
-        let r = self.node(node.right);
-        let dl = l.bbox.dist_sq_to_point(q);
-        let dr = r.bbox.dist_sq_to_point(q);
+        let (l, r) = self.children(id);
+        let dl = self.bbox(l).dist_sq_to_point(q);
+        let dr = self.bbox(r).dist_sq_to_point(q);
         let (first, d_first, second, d_second) = if dl <= dr {
-            (node.left, dl, node.right, dr)
+            (l, dl, r, dr)
         } else {
-            (node.right, dr, node.left, dl)
+            (r, dr, l, dl)
         };
         if d_first < heap.bound() {
             self.knn_recurse(first, q, heap);
@@ -174,8 +191,6 @@ impl<const D: usize> KdTree<D> {
         let k = k.min(n);
         let mut ids = vec![0u32; n * k];
         let mut dist_sq_out = vec![0f64; n * k];
-        // Process queries in permuted order: neighboring queries touch
-        // neighboring subtrees, which is significantly more cache-friendly.
         ids.par_chunks_mut(k)
             .zip(dist_sq_out.par_chunks_mut(k))
             .enumerate()
@@ -200,14 +215,14 @@ impl<const D: usize> KdTree<D> {
     }
 
     /// Lazily-built view of the points in original order (the tree stores
-    /// them permuted).
+    /// them permuted, in SoA blocks).
     pub fn points_by_original(&self) -> &[Point<D>] {
         self.original_points
             .get_or_init(|| {
                 let n = self.len();
                 let mut out = vec![Point::default(); n];
                 for (pos, &orig) in self.idx.iter().enumerate() {
-                    out[orig as usize] = self.points[pos];
+                    out[orig as usize] = self.point(pos);
                 }
                 out
             })
@@ -218,6 +233,7 @@ impl<const D: usize> KdTree<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parclust_geom::dist_sq;
     use rand::prelude::*;
 
     fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
@@ -335,5 +351,18 @@ mod tests {
         assert_eq!(got.len(), 5);
         let all = tree.knn_all(10);
         assert_eq!(all.k, 5);
+    }
+
+    #[test]
+    fn knn_exact_on_batch_boundary_sizes() {
+        // Tree sizes straddling KNN_BATCH exercise both the batched scan and
+        // the descent above it.
+        for n in [KNN_BATCH - 1, KNN_BATCH, KNN_BATCH + 1, 4 * KNN_BATCH + 3] {
+            let pts = random_points::<3>(n, 21 + n as u64);
+            let tree = KdTree::build(&pts);
+            for q in &pts {
+                assert_eq!(tree.knn(q, 3.min(n)), brute_knn(&pts, q, 3.min(n)));
+            }
+        }
     }
 }

@@ -8,29 +8,61 @@
 //! on which the WSPD's exact-pair-cover property rests — holds even for
 //! degenerate inputs.
 //!
-//! Layout: nodes live in a flat arena. A subtree over `k` points owns the
-//! contiguous slab of exactly `2k - 1` slots starting at its own id, which
-//! makes the parallel build allocation-free after one upfront `Vec` and
-//! keeps every subtree's nodes contiguous for cache-friendly traversal.
+//! # Layout
+//!
+//! Nodes live in **implicit BFS order** in parallel flat arrays
+//! ([`FlatNodes`]): the root is node 0, each BFS level is a contiguous id
+//! range, and children are found by *index arithmetic* instead of stored
+//! pointers. A leaf bitmap (`leaf_words`, one bit per node) plus a per-word
+//! prefix-popcount table gives O(1) rank queries, and the children of the
+//! `j`-th internal node (counting internal nodes in BFS order) are nodes
+//! `2j + 1` and `2j + 2`:
+//!
+//! ```text
+//! id:        0   1   2   3   4   5   6  ...
+//! leaf bit:  0   0   1   0   1   1   1  ...
+//! j = id - leaves_before(id)      (rank via bitmap popcount)
+//! children(id) = (2j + 1, 2j + 2) (only defined for internal nodes)
+//! ```
+//!
+//! BFS beats the textbook complete-heap layout here because spatial-median
+//! splits produce arbitrarily unbalanced trees: heap indexing would blow the
+//! array up to `2^depth`, while BFS keeps it at exactly `2n - 1` slots. The
+//! point coordinates live in a [`PointBlock`] — structure-of-arrays lanes in
+//! fixed-size blocks — so leaf-range distance loops auto-vectorize. Both
+//! pieces are position-independent flat arrays, the stepping stone to an
+//! mmap-able out-of-core tree.
 
 pub mod knn;
 pub mod range;
 
+use parclust_data::PointBlock;
 use parclust_geom::{Aabb, Point};
+use rayon::prelude::*;
 
 pub use knn::{AllKnn, KnnHeap};
 
-/// Node identifier within a [`KdTree`] arena.
+/// Node identifier within a [`KdTree`]: the BFS position.
 pub type NodeId = u32;
-/// Marker for "no child".
+/// Marker for "no child" in the pointer-shaped scaffolding ([`PointerNode`]).
 pub const NULL_NODE: NodeId = u32::MAX;
 
 /// Below this subtree size the build recursion runs sequentially.
 const BUILD_GRAIN: usize = 4096;
 
-/// A kd-tree node covering the permuted point range `start..end`.
+/// Below this many nodes, a level of [`KdTree::aggregate_bottom_up`] is
+/// processed sequentially.
+const AGG_GRAIN: usize = 1024;
+
+/// A pointer-shaped kd-tree node covering the permuted point range
+/// `start..end`, with explicit child ids (`NULL_NODE` for leaves).
+///
+/// This is **not** the query-time representation: it exists only as the
+/// parallel build's scaffolding arena and as the wire format of version-1
+/// serve artifacts ([`KdTree::from_legacy_parts`]). Both paths immediately
+/// re-layout into the implicit-BFS [`FlatNodes`] arrays.
 #[derive(Debug, Clone, Copy)]
-pub struct Node<const D: usize> {
+pub struct PointerNode<const D: usize> {
     pub bbox: Aabb<D>,
     pub start: u32,
     pub end: u32,
@@ -38,9 +70,9 @@ pub struct Node<const D: usize> {
     pub right: NodeId,
 }
 
-impl<const D: usize> Default for Node<D> {
+impl<const D: usize> Default for PointerNode<D> {
     fn default() -> Self {
-        Node {
+        PointerNode {
             bbox: Aabb::empty(),
             start: 0,
             end: 0,
@@ -50,7 +82,7 @@ impl<const D: usize> Default for Node<D> {
     }
 }
 
-impl<const D: usize> Node<D> {
+impl<const D: usize> PointerNode<D> {
     #[inline]
     pub fn is_leaf(&self) -> bool {
         self.left == NULL_NODE
@@ -62,22 +94,68 @@ impl<const D: usize> Node<D> {
     }
 }
 
+/// The flat per-node storage of a [`KdTree`], BFS-ordered and
+/// structure-of-arrays: `bbox[id]`/`start[id]`/`end[id]` describe node `id`,
+/// and bit `id` of `leaf_words` marks it as a leaf. Child ids are implicit
+/// (see the crate docs) — there are no pointers to chase or to corrupt.
+///
+/// This is exactly what serve artifacts persist; [`KdTree::from_parts`]
+/// validates one of these into a queryable tree.
+#[derive(Debug, Clone)]
+pub struct FlatNodes<const D: usize> {
+    pub bbox: Vec<Aabb<D>>,
+    pub start: Vec<u32>,
+    pub end: Vec<u32>,
+    /// Leaf bitmap: bit `id % 64` of word `id / 64` is set iff `id` is a leaf.
+    pub leaf_words: Vec<u64>,
+}
+
+/// Per-word prefix popcounts of a leaf bitmap (`table[w]` = leaves strictly
+/// before word `w`).
+fn leaf_rank_table(words: &[u64]) -> Vec<u32> {
+    let mut acc = 0u32;
+    words
+        .iter()
+        .map(|w| {
+            let r = acc;
+            acc += w.count_ones();
+            r
+        })
+        .collect()
+}
+
+/// Number of leaves among nodes `[0, i)`; `i` may equal the node count.
+#[inline]
+fn rank_at(words: &[u64], table: &[u32], i: u32) -> u32 {
+    let w = (i >> 6) as usize;
+    if w == words.len() {
+        return table.last().copied().unwrap_or(0) + words.last().map_or(0, |x| x.count_ones());
+    }
+    table[w] + (words[w] & ((1u64 << (i & 63)) - 1)).count_ones()
+}
+
 /// Parallel spatial-median kd-tree over a point set.
 ///
-/// The tree owns a *permuted copy* of the input points; `idx[i]` maps
-/// permuted position `i` back to the original point index.
+/// The tree owns a *permuted copy* of the input points (SoA blocks, tree
+/// order); `idx[i]` maps permuted position `i` back to the original point
+/// index.
 pub struct KdTree<const D: usize> {
-    pub points: Vec<Point<D>>,
+    block: PointBlock<D>,
     pub idx: Vec<u32>,
-    pub nodes: Vec<Node<D>>,
-    root: NodeId,
+    nodes: FlatNodes<D>,
+    leaf_rank: Vec<u32>,
+    /// BFS level boundaries: level `l` is the id range
+    /// `level_off[l]..level_off[l + 1]`; the last entry is the node count.
+    level_off: Vec<u32>,
     /// Lazily materialized copy of the points in original order.
     pub(crate) original_points: std::sync::OnceLock<Vec<Point<D>>>,
 }
 
 impl<const D: usize> KdTree<D> {
     /// Build the tree in parallel. `O(n log n)` work (bounding boxes are
-    /// recomputed exactly at every level), polylogarithmic depth.
+    /// recomputed exactly at every level), polylogarithmic depth. The
+    /// pointer-shaped build arena is re-laid-out into BFS order before the
+    /// tree is returned.
     pub fn build(input: &[Point<D>]) -> Self {
         let n = input.len();
         assert!(n > 0, "KdTree::build requires at least one point");
@@ -85,32 +163,140 @@ impl<const D: usize> KdTree<D> {
         let _span = parclust_obs::span!("kdtree.build", points = n);
         let mut points = input.to_vec();
         let mut idx: Vec<u32> = (0..n as u32).collect();
-        let mut nodes: Vec<Node<D>> = vec![Node::default(); 2 * n - 1];
-        build_recurse(&mut points, &mut idx, &mut nodes, 0, 0);
-        KdTree {
-            points,
-            idx,
-            nodes,
-            root: 0,
-            original_points: std::sync::OnceLock::new(),
-        }
+        let mut arena: Vec<PointerNode<D>> = vec![PointerNode::default(); 2 * n - 1];
+        build_recurse(&mut points, &mut idx, &mut arena, 0, 0);
+        relayout(points, idx, &arena).expect("freshly built arena is always a valid tree")
     }
 
     /// Reassemble a tree from previously serialized parts (e.g. a
     /// `parclust-serve` model artifact) without re-running the parallel
-    /// build. `points` are the *permuted* points (tree order), `idx` maps
-    /// permuted position to original index, and `nodes` is the arena with
-    /// the root at slot 0 — exactly the public fields of a built tree.
+    /// build. `points` are the *permuted* points (tree order, AoS — they are
+    /// transposed into SoA blocks here), `idx` maps permuted position to
+    /// original index, and `nodes` holds the BFS-ordered flat arrays.
     ///
-    /// Validates the structural invariants the query paths rely on (arena
-    /// shape, child ranges partitioning their parent, in-bounds indices,
+    /// Validates the structural invariants the query paths rely on (array
+    /// lengths, the leaf bitmap's consistency with the implicit-BFS child
+    /// arithmetic, child ranges partitioning their parent, singleton leaves,
     /// `idx` a permutation); returns `Err` with a description on the first
     /// violation so corrupted artifacts are rejected instead of causing
     /// panics or wrong answers deep inside a traversal.
     pub fn from_parts(
         points: Vec<Point<D>>,
         idx: Vec<u32>,
-        nodes: Vec<Node<D>>,
+        nodes: FlatNodes<D>,
+    ) -> Result<Self, String> {
+        let n = points.len();
+        if n == 0 {
+            return Err("tree must hold at least one point".into());
+        }
+        if idx.len() != n {
+            return Err(format!("idx length {} != point count {n}", idx.len()));
+        }
+        let len = 2 * n - 1;
+        if nodes.bbox.len() != len || nodes.start.len() != len || nodes.end.len() != len {
+            return Err(format!(
+                "arena length {}/{}/{} != 2n-1 = {len}",
+                nodes.bbox.len(),
+                nodes.start.len(),
+                nodes.end.len()
+            ));
+        }
+        if nodes.leaf_words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "leaf bitmap has {} words, expected {}",
+                nodes.leaf_words.len(),
+                len.div_ceil(64)
+            ));
+        }
+        let tail_bits = len % 64;
+        if tail_bits != 0 && nodes.leaf_words[len / 64] >> tail_bits != 0 {
+            return Err("leaf bitmap has bits beyond the arena".into());
+        }
+        let leaves: u32 = nodes.leaf_words.iter().map(|w| w.count_ones()).sum();
+        if leaves as usize != n {
+            return Err(format!("leaf bitmap marks {leaves} leaves, expected {n}"));
+        }
+        let mut seen = vec![false; n];
+        for &i in &idx {
+            match seen.get_mut(i as usize) {
+                Some(s) if !*s => *s = true,
+                _ => return Err(format!("idx is not a permutation (index {i})")),
+            }
+        }
+
+        let leaf_rank = leaf_rank_table(&nodes.leaf_words);
+
+        // Derive the BFS level boundaries from the bitmap: each level's
+        // internal nodes contribute exactly two children to the next.
+        let mut level_off: Vec<u32> = vec![0, 1];
+        loop {
+            let lvl = level_off.len() - 2;
+            let (a, b) = (level_off[lvl], level_off[lvl + 1]);
+            let level_leaves = rank_at(&nodes.leaf_words, &leaf_rank, b)
+                - rank_at(&nodes.leaf_words, &leaf_rank, a);
+            let internal = (b - a) - level_leaves;
+            if internal == 0 {
+                break;
+            }
+            let next = b as u64 + 2 * internal as u64;
+            if next > len as u64 {
+                return Err("leaf bitmap is inconsistent with the arena size".into());
+            }
+            level_off.push(next as u32);
+        }
+        if *level_off.last().expect("non-empty") as usize != len {
+            return Err("leaf bitmap leaves unreachable trailing nodes".into());
+        }
+
+        let tree = KdTree {
+            block: PointBlock::from_points(&points),
+            idx,
+            nodes,
+            leaf_rank,
+            level_off,
+            original_points: std::sync::OnceLock::new(),
+        };
+
+        // Per-node structural checks: valid singleton-leaf ranges, children
+        // partitioning their parent's range.
+        if tree.nodes.start[0] != 0 || tree.nodes.end[0] as usize != n {
+            return Err("root range must cover all points".into());
+        }
+        for id in 0..len as NodeId {
+            let (s, e) = (tree.nodes.start[id as usize], tree.nodes.end[id as usize]);
+            if s >= e || e as usize > n {
+                return Err(format!("node {id} has invalid range {s}..{e}"));
+            }
+            if tree.is_leaf(id) {
+                if e - s != 1 {
+                    return Err(format!("leaf {id} covers {} points (must be 1)", e - s));
+                }
+            } else {
+                let (l, r) = tree.children(id);
+                if r as usize >= len {
+                    return Err(format!("node {id} has out-of-bounds children"));
+                }
+                if l <= id {
+                    return Err(format!("node {id} is its own ancestor (child {l})"));
+                }
+                let (ls, le) = (tree.nodes.start[l as usize], tree.nodes.end[l as usize]);
+                let (rs, re) = (tree.nodes.start[r as usize], tree.nodes.end[r as usize]);
+                if ls != s || le != rs || re != e {
+                    return Err(format!("children of node {id} do not partition its range"));
+                }
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Reassemble a tree from a pointer-shaped arena — the version-1 serve
+    /// artifact layout (per-node `left`/`right` ids, root at slot 0). The
+    /// arena is validated with the same invariant walk the old in-memory
+    /// representation used, then re-laid-out into BFS order.
+    pub fn from_legacy_parts(
+        points: Vec<Point<D>>,
+        idx: Vec<u32>,
+        nodes: Vec<PointerNode<D>>,
     ) -> Result<Self, String> {
         let n = points.len();
         if n == 0 {
@@ -179,116 +365,238 @@ impl<const D: usize> KdTree<D> {
         if covered != n {
             return Err(format!("leaves cover {covered} points, expected {n}"));
         }
-        Ok(KdTree {
-            points,
-            idx,
-            nodes,
-            root: 0,
-            original_points: std::sync::OnceLock::new(),
-        })
+        relayout(points, idx, &nodes)
     }
 
+    /// The root node: always id 0 in BFS order.
     #[inline]
     pub fn root(&self) -> NodeId {
-        self.root
+        0
     }
 
+    /// Is `id` a leaf? One bitmap probe.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &Node<D> {
-        &self.nodes[id as usize]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        (self.nodes.leaf_words[(id >> 6) as usize] >> (id & 63)) & 1 == 1
+    }
+
+    /// Number of leaves with an id strictly below `id`.
+    #[inline]
+    fn leaves_before(&self, id: NodeId) -> u32 {
+        let w = (id >> 6) as usize;
+        self.leaf_rank[w] + (self.nodes.leaf_words[w] & ((1u64 << (id & 63)) - 1)).count_ones()
+    }
+
+    /// Children of internal node `id`, by index arithmetic: with `j` the
+    /// number of internal nodes before `id` in BFS order, the children sit
+    /// at `2j + 1` and `2j + 2`. Must not be called on a leaf.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> (NodeId, NodeId) {
+        debug_assert!(!self.is_leaf(id), "leaves have no children");
+        let j = id - self.leaves_before(id);
+        (2 * j + 1, 2 * j + 2)
+    }
+
+    /// Bounding box of node `id`.
+    #[inline]
+    pub fn bbox(&self, id: NodeId) -> &Aabb<D> {
+        &self.nodes.bbox[id as usize]
+    }
+
+    /// First permuted position covered by node `id`.
+    #[inline]
+    pub fn node_start(&self, id: NodeId) -> u32 {
+        self.nodes.start[id as usize]
+    }
+
+    /// One past the last permuted position covered by node `id`.
+    #[inline]
+    pub fn node_end(&self, id: NodeId) -> u32 {
+        self.nodes.end[id as usize]
+    }
+
+    /// Permuted position range covered by node `id`.
+    #[inline]
+    pub fn node_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        self.nodes.start[id as usize] as usize..self.nodes.end[id as usize] as usize
+    }
+
+    /// Number of points covered by node `id`.
+    #[inline]
+    pub fn node_size(&self, id: NodeId) -> usize {
+        (self.nodes.end[id as usize] - self.nodes.start[id as usize]) as usize
     }
 
     /// Number of points in the tree.
     #[inline]
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.block.len()
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.block.is_empty()
     }
 
-    /// Total arena slots (including slack from duplicate-point leaves).
+    /// Total node count (`2n - 1`).
     #[inline]
     pub fn arena_len(&self) -> usize {
-        self.nodes.len()
+        self.nodes.bbox.len()
     }
 
-    /// Permuted points covered by `node` (contiguous).
+    /// Number of BFS levels (tree depth + 1).
     #[inline]
-    pub fn node_points(&self, id: NodeId) -> &[Point<D>] {
-        let n = self.node(id);
-        &self.points[n.start as usize..n.end as usize]
+    pub fn num_levels(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// The SoA coordinate storage (permuted order) — the input to the
+    /// vectorized distance kernels.
+    #[inline]
+    pub fn coords(&self) -> &PointBlock<D> {
+        &self.block
+    }
+
+    /// Gather the point at permuted position `pos`.
+    #[inline]
+    pub fn point(&self, pos: usize) -> Point<D> {
+        self.block.get(pos)
+    }
+
+    /// Euclidean distance between the points at permuted positions `u`, `v`.
+    #[inline]
+    pub fn dist_between(&self, u: u32, v: u32) -> f64 {
+        self.point(u as usize).dist(&self.point(v as usize))
+    }
+
+    /// The flat node arrays (for serialization).
+    #[inline]
+    pub fn flat_nodes(&self) -> &FlatNodes<D> {
+        &self.nodes
     }
 
     /// Original indices of the points covered by `node`.
     #[inline]
     pub fn node_point_ids(&self, id: NodeId) -> &[u32] {
-        let n = self.node(id);
-        &self.idx[n.start as usize..n.end as usize]
+        &self.idx[self.node_range(id)]
     }
 
     /// Bottom-up aggregation: computes a value per node from a leaf function
-    /// over permuted point ranges and a merge function, in parallel. The
-    /// returned vector is indexed by [`NodeId`]; slots not reachable from the
-    /// root keep `T::default()`.
+    /// (given the node id and the original indices of its points) and a merge
+    /// function, in parallel. The returned vector is indexed by [`NodeId`].
+    ///
+    /// BFS levels are processed deepest-first; within a level every node is
+    /// independent, so the result is bit-identical at every pool width.
     pub fn aggregate_bottom_up<T, L, M>(&self, leaf: &L, merge: &M) -> Vec<T>
     where
         T: Default + Clone + Send + Sync,
-        L: Fn(&Node<D>, &[Point<D>], &[u32]) -> T + Sync,
+        L: Fn(NodeId, &[u32]) -> T + Sync,
         M: Fn(&T, &T) -> T + Sync,
     {
-        let mut out: Vec<T> = vec![T::default(); self.nodes.len()];
-        self.aggregate_into(self.root, &mut out[..], self.root as usize, leaf, merge);
-        out
-    }
-
-    fn aggregate_into<T, L, M>(
-        &self,
-        id: NodeId,
-        slab: &mut [T],
-        slab_base: usize,
-        leaf: &L,
-        merge: &M,
-    ) where
-        T: Default + Clone + Send + Sync,
-        L: Fn(&Node<D>, &[Point<D>], &[u32]) -> T + Sync,
-        M: Fn(&T, &T) -> T + Sync,
-    {
-        let node = self.node(id);
-        if node.is_leaf() {
-            slab[id as usize - slab_base] =
-                leaf(node, self.node_points(id), self.node_point_ids(id));
-            return;
-        }
-        let (l, r) = (node.left, node.right);
-        // The arena slab of a subtree is contiguous and the right child's
-        // slab starts exactly at its own id; split the output there so the
-        // children recurse into disjoint slices.
-        let split_at = r as usize - slab_base;
-        let (slab_l, slab_r) = slab.split_at_mut(split_at);
-        if node.size() >= BUILD_GRAIN {
-            rayon::join(
-                || self.aggregate_into(l, slab_l, slab_base, leaf, merge),
-                || self.aggregate_into(r, slab_r, r as usize, leaf, merge),
+        let len = self.arena_len();
+        let mut out: Vec<T> = vec![T::default(); len];
+        for lvl in (0..self.num_levels()).rev() {
+            let (a, b) = (
+                self.level_off[lvl] as usize,
+                self.level_off[lvl + 1] as usize,
             );
-        } else {
-            self.aggregate_into(l, slab_l, slab_base, leaf, merge);
-            self.aggregate_into(r, slab_r, r as usize, leaf, merge);
+            // Children of level `lvl` all live at ids >= b: split there so
+            // the level being written and the deeper results it reads are
+            // disjoint slices.
+            let (head, tail) = out.split_at_mut(b);
+            let tail: &[T] = tail;
+            let compute = |k: usize, slot: &mut T| {
+                let id = (a + k) as NodeId;
+                *slot = if self.is_leaf(id) {
+                    leaf(id, self.node_point_ids(id))
+                } else {
+                    let (l, r) = self.children(id);
+                    merge(&tail[l as usize - b], &tail[r as usize - b])
+                };
+            };
+            let level = &mut head[a..b];
+            if level.len() >= AGG_GRAIN {
+                level
+                    .par_iter_mut()
+                    .enumerate()
+                    .with_min_len(64)
+                    .for_each(|(k, slot)| compute(k, slot));
+            } else {
+                for (k, slot) in level.iter_mut().enumerate() {
+                    compute(k, slot);
+                }
+            }
         }
-        let merged = merge(&slab[l as usize - slab_base], &slab[r as usize - slab_base]);
-        slab[id as usize - slab_base] = merged;
+        out
     }
 }
 
+/// BFS re-layout of a pointer-shaped arena (all slots reachable from slot 0)
+/// into the implicit flat representation. `Err` if the arena's reachable
+/// node count disagrees with its length — callers validating untrusted input
+/// check everything else first.
+fn relayout<const D: usize>(
+    points: Vec<Point<D>>,
+    idx: Vec<u32>,
+    arena: &[PointerNode<D>],
+) -> Result<KdTree<D>, String> {
+    let len = arena.len();
+    let mut nodes = FlatNodes {
+        bbox: Vec::with_capacity(len),
+        start: Vec::with_capacity(len),
+        end: Vec::with_capacity(len),
+        leaf_words: vec![0u64; len.div_ceil(64)],
+    };
+    let mut level_off: Vec<u32> = vec![0];
+    let mut frontier: Vec<NodeId> = vec![0];
+    let mut next: Vec<NodeId> = Vec::new();
+    while !frontier.is_empty() {
+        for &old in &frontier {
+            let node = &arena[old as usize];
+            let new_id = nodes.bbox.len();
+            if new_id >= len {
+                return Err("arena is not a tree (too many reachable nodes)".into());
+            }
+            nodes.bbox.push(node.bbox);
+            nodes.start.push(node.start);
+            nodes.end.push(node.end);
+            if node.is_leaf() {
+                nodes.leaf_words[new_id >> 6] |= 1u64 << (new_id & 63);
+            } else {
+                next.push(node.left);
+                next.push(node.right);
+            }
+        }
+        level_off.push(nodes.bbox.len() as u32);
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    if nodes.bbox.len() != len {
+        return Err(format!(
+            "arena has {} unreachable slots",
+            len - nodes.bbox.len()
+        ));
+    }
+    let leaf_rank = leaf_rank_table(&nodes.leaf_words);
+    Ok(KdTree {
+        block: PointBlock::from_points(&points),
+        idx,
+        nodes,
+        leaf_rank,
+        level_off,
+        original_points: std::sync::OnceLock::new(),
+    })
+}
+
 /// Recursive parallel build over `points[..]`/`idx[..]` (absolute point
-/// offset `point_base`), writing nodes into `nodes[..]` whose slot 0 has
-/// absolute id `node_base`.
+/// offset `point_base`), writing pointer nodes into `nodes[..]` whose slot 0
+/// has absolute id `node_base`. A subtree over `k` points owns the
+/// contiguous slab of exactly `2k - 1` slots starting at its own id, which
+/// keeps the parallel build allocation-free after one upfront `Vec`.
 fn build_recurse<const D: usize>(
     points: &mut [Point<D>],
     idx: &mut [u32],
-    nodes: &mut [Node<D>],
+    nodes: &mut [PointerNode<D>],
     point_base: u32,
     node_base: u32,
 ) {
@@ -297,7 +605,7 @@ fn build_recurse<const D: usize>(
     let bbox = Aabb::from_points(points);
 
     if k == 1 {
-        nodes[0] = Node {
+        nodes[0] = PointerNode {
             bbox,
             start: point_base,
             end: point_base + 1,
@@ -324,7 +632,7 @@ fn build_recurse<const D: usize>(
     // Left subtree: slab [1, 2*split), right subtree: slab [2*split, 2k-1).
     let left_id = node_base + 1;
     let right_id = node_base + 2 * split as u32;
-    nodes[0] = Node {
+    nodes[0] = PointerNode {
         bbox,
         start: point_base,
         end: point_base + k as u32,
@@ -394,30 +702,37 @@ mod tests {
 
     fn check_tree_invariants<const D: usize>(tree: &KdTree<D>) {
         // Every point covered exactly once by leaves; bboxes contain their
-        // points; children partition the parent's range.
+        // points; children partition the parent's range; BFS ids respect
+        // level boundaries.
         let n = tree.len();
+        assert_eq!(tree.arena_len(), 2 * n - 1);
         let mut covered = vec![false; n];
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
-            let node = tree.node(id);
-            assert!(node.size() >= 1);
-            for p in tree.node_points(id) {
-                assert!(node.bbox.contains(p), "bbox must contain node points");
+            assert!(tree.node_size(id) >= 1);
+            for pos in tree.node_range(id) {
+                assert!(
+                    tree.bbox(id).contains(&tree.point(pos)),
+                    "bbox must contain node points"
+                );
             }
-            if node.is_leaf() {
-                assert_eq!(node.size(), 1, "leaves must be singletons");
-                for i in node.start..node.end {
-                    assert!(!covered[i as usize], "point covered twice");
-                    covered[i as usize] = true;
+            if tree.is_leaf(id) {
+                assert_eq!(tree.node_size(id), 1, "leaves must be singletons");
+                for i in tree.node_range(id) {
+                    assert!(!covered[i], "point covered twice");
+                    covered[i] = true;
                 }
             } else {
-                let l = tree.node(node.left);
-                let r = tree.node(node.right);
-                assert_eq!(l.start, node.start);
-                assert_eq!(l.end, r.start);
-                assert_eq!(r.end, node.end);
-                stack.push(node.left);
-                stack.push(node.right);
+                let (l, r) = tree.children(id);
+                assert!(
+                    l > id && r == l + 1,
+                    "children must follow the parent in BFS"
+                );
+                assert_eq!(tree.node_start(l), tree.node_start(id));
+                assert_eq!(tree.node_end(l), tree.node_start(r));
+                assert_eq!(tree.node_end(r), tree.node_end(id));
+                stack.push(l);
+                stack.push(r);
             }
         }
         assert!(covered.iter().all(|&c| c), "all points must be covered");
@@ -427,13 +742,24 @@ mod tests {
             assert!(!seen[i as usize]);
             seen[i as usize] = true;
         }
+        // Level offsets tile the arena and children land one level deeper.
+        assert_eq!(tree.level_off[0], 0);
+        assert_eq!(*tree.level_off.last().unwrap() as usize, tree.arena_len());
+        for lvl in 0..tree.num_levels() {
+            for id in tree.level_off[lvl]..tree.level_off[lvl + 1] {
+                if !tree.is_leaf(id) {
+                    let (l, r) = tree.children(id);
+                    assert!(l >= tree.level_off[lvl + 1] && r < tree.level_off[lvl + 2]);
+                }
+            }
+        }
     }
 
     #[test]
     fn build_single_point() {
         let tree = KdTree::build(&[Point([1.0, 2.0])]);
         assert_eq!(tree.len(), 1);
-        assert!(tree.node(tree.root()).is_leaf());
+        assert!(tree.is_leaf(tree.root()));
         check_tree_invariants(&tree);
     }
 
@@ -445,12 +771,12 @@ mod tests {
         // Singleton leaves for distinct points.
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
-            let node = tree.node(id);
-            if node.is_leaf() {
-                assert_eq!(node.size(), 1);
+            if tree.is_leaf(id) {
+                assert_eq!(tree.node_size(id), 1);
             } else {
-                stack.push(node.left);
-                stack.push(node.right);
+                let (l, r) = tree.children(id);
+                stack.push(l);
+                stack.push(r);
             }
         }
     }
@@ -478,8 +804,8 @@ mod tests {
         // Exact duplicates are split by rank: still one point per leaf.
         let pts = vec![Point([3.0, 3.0]); 64];
         let tree = KdTree::build(&pts);
-        assert!(!tree.node(tree.root()).is_leaf());
-        assert_eq!(tree.node(tree.root()).size(), 64);
+        assert!(!tree.is_leaf(tree.root()));
+        assert_eq!(tree.node_size(tree.root()), 64);
         check_tree_invariants(&tree);
     }
 
@@ -495,16 +821,15 @@ mod tests {
         let pts = random_points::<2>(10_000, 4);
         let tree = KdTree::build(&pts);
         // Aggregate: subtree point counts.
-        let counts =
-            tree.aggregate_bottom_up(&|node, _, _| node.size(), &|a: &usize, b: &usize| a + b);
+        let counts = tree.aggregate_bottom_up(&|_, ids| ids.len(), &|a: &usize, b: &usize| a + b);
         assert_eq!(counts[tree.root() as usize], 10_000);
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
-            let node = tree.node(id);
-            assert_eq!(counts[id as usize], node.size());
-            if !node.is_leaf() {
-                stack.push(node.left);
-                stack.push(node.right);
+            assert_eq!(counts[id as usize], tree.node_size(id));
+            if !tree.is_leaf(id) {
+                let (l, r) = tree.children(id);
+                stack.push(l);
+                stack.push(r);
             }
         }
     }
@@ -513,7 +838,8 @@ mod tests {
     fn from_parts_roundtrips_and_answers_queries() {
         let pts = random_points::<3>(2_000, 8);
         let built = KdTree::build(&pts);
-        let re = KdTree::from_parts(built.points.clone(), built.idx.clone(), built.nodes.clone())
+        let permuted: Vec<Point<3>> = (0..built.len()).map(|i| built.point(i)).collect();
+        let re = KdTree::from_parts(permuted, built.idx.clone(), built.flat_nodes().clone())
             .expect("valid parts");
         check_tree_invariants(&re);
         // Queries against the reassembled tree match the original.
@@ -526,25 +852,97 @@ mod tests {
     fn from_parts_rejects_corrupt_arenas() {
         let pts = random_points::<2>(64, 9);
         let t = KdTree::build(&pts);
+        let permuted: Vec<Point<2>> = (0..t.len()).map(|i| t.point(i)).collect();
+        let nodes = t.flat_nodes().clone();
         // Wrong arena length.
-        assert!(
-            KdTree::from_parts(t.points.clone(), t.idx.clone(), t.nodes[..5].to_vec()).is_err()
-        );
+        let mut short = nodes.clone();
+        short.bbox.truncate(5);
+        short.start.truncate(5);
+        short.end.truncate(5);
+        assert!(KdTree::from_parts(permuted.clone(), t.idx.clone(), short).is_err());
         // idx not a permutation.
         let mut bad_idx = t.idx.clone();
         bad_idx[0] = bad_idx[1];
-        assert!(KdTree::from_parts(t.points.clone(), bad_idx, t.nodes.clone()).is_err());
+        assert!(KdTree::from_parts(permuted.clone(), bad_idx, nodes.clone()).is_err());
         // Child range corruption.
-        let mut bad_nodes = t.nodes.clone();
-        let root_left = bad_nodes[0].left as usize;
-        bad_nodes[root_left].end += 1;
-        assert!(KdTree::from_parts(t.points.clone(), t.idx.clone(), bad_nodes).is_err());
-        // Cycle: root points at itself.
-        let mut cyc = t.nodes.clone();
-        cyc[0].left = 0;
-        assert!(KdTree::from_parts(t.points.clone(), t.idx.clone(), cyc).is_err());
+        let mut bad_nodes = nodes.clone();
+        let (root_left, _) = t.children(t.root());
+        bad_nodes.end[root_left as usize] += 1;
+        assert!(KdTree::from_parts(permuted.clone(), t.idx.clone(), bad_nodes).is_err());
+        // Leaf bitmap corruption: marking an internal node as a leaf breaks
+        // either the leaf count or the child arithmetic.
+        let mut bad_bits = nodes.clone();
+        bad_bits.leaf_words[0] |= 1; // root of a 64-point tree is internal
+        assert!(KdTree::from_parts(permuted.clone(), t.idx.clone(), bad_bits).is_err());
+        // All-zero bitmap (no leaves at all).
+        let mut no_leaves = nodes.clone();
+        no_leaves.leaf_words.iter_mut().for_each(|w| *w = 0);
+        assert!(KdTree::from_parts(permuted.clone(), t.idx.clone(), no_leaves).is_err());
         // Empty tree.
-        assert!(KdTree::<2>::from_parts(Vec::new(), Vec::new(), Vec::new()).is_err());
+        let empty = FlatNodes::<2> {
+            bbox: Vec::new(),
+            start: Vec::new(),
+            end: Vec::new(),
+            leaf_words: Vec::new(),
+        };
+        assert!(KdTree::<2>::from_parts(Vec::new(), Vec::new(), empty).is_err());
+    }
+
+    #[test]
+    fn legacy_parts_roundtrip_and_rejection() {
+        let pts = random_points::<2>(200, 10);
+        let t = KdTree::build(&pts);
+        // Rebuild a pointer arena in preorder (distinct from the BFS ids) by
+        // walking the flat tree, then reassemble through the legacy path.
+        let mut arena: Vec<PointerNode<2>> = vec![PointerNode::default(); t.arena_len()];
+        let mut next_slot = 0u32;
+        fn emit<const D: usize>(
+            t: &KdTree<D>,
+            id: NodeId,
+            arena: &mut Vec<PointerNode<D>>,
+            next: &mut u32,
+        ) -> u32 {
+            let slot = *next;
+            *next += 1;
+            if t.is_leaf(id) {
+                arena[slot as usize] = PointerNode {
+                    bbox: *t.bbox(id),
+                    start: t.node_start(id),
+                    end: t.node_end(id),
+                    left: NULL_NODE,
+                    right: NULL_NODE,
+                };
+            } else {
+                let (l, r) = t.children(id);
+                let ls = emit(t, l, arena, next);
+                let rs = emit(t, r, arena, next);
+                arena[slot as usize] = PointerNode {
+                    bbox: *t.bbox(id),
+                    start: t.node_start(id),
+                    end: t.node_end(id),
+                    left: ls,
+                    right: rs,
+                };
+            }
+            slot
+        }
+        emit(&t, t.root(), &mut arena, &mut next_slot);
+        let permuted: Vec<Point<2>> = (0..t.len()).map(|i| t.point(i)).collect();
+        let re = KdTree::from_legacy_parts(permuted.clone(), t.idx.clone(), arena.clone())
+            .expect("valid legacy arena");
+        check_tree_invariants(&re);
+        for q in pts.iter().step_by(11) {
+            assert_eq!(t.knn(q, 4), re.knn(q, 4));
+        }
+        // Cycle: root points at itself.
+        let mut cyc = arena.clone();
+        cyc[0].left = 0;
+        assert!(KdTree::from_legacy_parts(permuted.clone(), t.idx.clone(), cyc).is_err());
+        // Child range corruption.
+        let mut bad = arena.clone();
+        let rl = bad[0].left as usize;
+        bad[rl].end += 1;
+        assert!(KdTree::from_legacy_parts(permuted, t.idx.clone(), bad).is_err());
     }
 
     #[test]
@@ -559,16 +957,22 @@ mod tests {
             }
         }
         let mins = tree.aggregate_bottom_up(
-            &|_, pts: &[Point<3>], _| MinX(pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min)),
+            &|id, _| {
+                MinX(
+                    tree.node_range(id)
+                        .map(|pos| tree.point(pos)[0])
+                        .fold(f64::INFINITY, f64::min),
+                )
+            },
             &|a: &MinX, b: &MinX| MinX(a.0.min(b.0)),
         );
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
-            let node = tree.node(id);
-            assert_eq!(mins[id as usize].0, node.bbox.lo[0]);
-            if !node.is_leaf() {
-                stack.push(node.left);
-                stack.push(node.right);
+            assert_eq!(mins[id as usize].0, tree.bbox(id).lo[0]);
+            if !tree.is_leaf(id) {
+                let (l, r) = tree.children(id);
+                stack.push(l);
+                stack.push(r);
             }
         }
     }

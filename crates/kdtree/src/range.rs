@@ -4,11 +4,17 @@
 //! kd-tree answers it by pruning subtrees whose bounding boxes are farther
 //! than ε. Used by the direct DBSCAN\* implementation that the bench
 //! harness contrasts with the one-hierarchy-many-ε HDBSCAN\* workflow the
-//! paper advocates.
+//! paper advocates. Small undecided subtrees are scanned with the SoA lane
+//! kernel rather than descended; the output order is unchanged because both
+//! the descent and the batch emit points in ascending permuted order.
 
-use parclust_geom::{dist_sq, Point};
+use parclust_geom::Point;
 
 use crate::{KdTree, NodeId};
+
+/// Subtrees of at most this many points are resolved with one lane-kernel
+/// pass instead of further descent.
+const RANGE_BATCH: usize = 16;
 
 impl<const D: usize> KdTree<D> {
     /// Original indices of all points within Euclidean distance `radius`
@@ -38,25 +44,29 @@ impl<const D: usize> KdTree<D> {
     }
 
     fn range_recurse(&self, id: NodeId, q: &Point<D>, r_sq: f64, out: &mut Vec<u32>) {
-        let node = self.node(id);
-        if node.bbox.dist_sq_to_point(q) > r_sq {
+        if self.bbox(id).dist_sq_to_point(q) > r_sq {
             return;
         }
-        if node.is_leaf() {
-            for (p, &orig) in self.node_points(id).iter().zip(self.node_point_ids(id)) {
-                if dist_sq(p, q) <= r_sq {
+        let size = self.node_size(id);
+        if size <= RANGE_BATCH {
+            let start = self.node_start(id) as usize;
+            let mut buf = [0.0f64; RANGE_BATCH];
+            self.coords().dist_sq_into(q, start, size, &mut buf);
+            for (&d_sq, &orig) in buf[..size].iter().zip(&self.idx[start..start + size]) {
+                if d_sq <= r_sq {
                     out.push(orig);
                 }
             }
             return;
         }
-        self.range_recurse(node.left, q, r_sq, out);
-        self.range_recurse(node.right, q, r_sq, out);
+        let (l, r) = self.children(id);
+        self.range_recurse(l, q, r_sq, out);
+        self.range_recurse(r, q, r_sq, out);
     }
 
     fn range_count_recurse(&self, id: NodeId, q: &Point<D>, r_sq: f64, count: &mut usize) {
-        let node = self.node(id);
-        let d_min = node.bbox.dist_sq_to_point(q);
+        let bbox = self.bbox(id);
+        let d_min = bbox.dist_sq_to_point(q);
         if d_min > r_sq {
             return;
         }
@@ -64,27 +74,28 @@ impl<const D: usize> KdTree<D> {
         let d_max = {
             let mut acc = 0.0;
             for i in 0..D {
-                let lo = (q[i] - node.bbox.lo[i]).abs();
-                let hi = (q[i] - node.bbox.hi[i]).abs();
+                let lo = (q[i] - bbox.lo[i]).abs();
+                let hi = (q[i] - bbox.hi[i]).abs();
                 let d = lo.max(hi);
                 acc += d * d;
             }
             acc
         };
+        let size = self.node_size(id);
         if d_max <= r_sq {
-            *count += node.size();
+            *count += size;
             return;
         }
-        if node.is_leaf() {
-            for p in self.node_points(id) {
-                if dist_sq(p, q) <= r_sq {
-                    *count += 1;
-                }
-            }
+        if size <= RANGE_BATCH {
+            let start = self.node_start(id) as usize;
+            let mut buf = [0.0f64; RANGE_BATCH];
+            self.coords().dist_sq_into(q, start, size, &mut buf);
+            *count += buf[..size].iter().filter(|&&d_sq| d_sq <= r_sq).count();
             return;
         }
-        self.range_count_recurse(node.left, q, r_sq, count);
-        self.range_count_recurse(node.right, q, r_sq, count);
+        let (l, r) = self.children(id);
+        self.range_count_recurse(l, q, r_sq, count);
+        self.range_count_recurse(r, q, r_sq, count);
     }
 }
 

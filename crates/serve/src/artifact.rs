@@ -4,13 +4,13 @@
 //! condensed cluster tree — so one expensive hierarchy build can answer
 //! arbitrarily many cheap queries across process restarts.
 //!
-//! Layout (version 1, all little-endian, built on `parclust_data::io::le`):
+//! Layout (version 2, all little-endian, built on `parclust_data::io::le`):
 //!
 //! ```text
 //! "PCSM" | version u32 | dims u32 | n u64 | min_pts u64 | min_cluster_size u64
 //! points           n·D f64            (original order)
 //! kd-tree          idx u32[],  arena u64 + per-node {bbox 2·D f64, start,
-//!                  end, left, right u32}
+//!                  end}, leaf bitmap u64 + u64[]   (implicit-BFS flat tree)
 //! core distances   f64[]
 //! dendrogram       start u32, root u32, edge_u u32[], edge_v u32[],
 //!                  height f64[], left u32[], right u32[], parent u32[],
@@ -19,6 +19,14 @@
 //!                  size u32[], point_cluster u32[], point_lambda f64[]
 //! checksum         FNV-1a 64 of every preceding byte
 //! ```
+//!
+//! Version 2 replaced the per-node `left`/`right` child pointers of
+//! version 1 with the implicit-BFS layout: nodes are stored in BFS order
+//! and a leaf bitmap drives the child index arithmetic (see
+//! `parclust_kdtree`). Version-1 artifacts still load — the reader parses
+//! the pointer-shaped arena and re-lays it out via
+//! [`KdTree::from_legacy_parts`]; new artifacts are always written as
+//! version 2.
 //!
 //! Versioning contract: the magic and `version` field come first and are
 //! checked before anything else is parsed; readers reject unknown versions
@@ -34,14 +42,16 @@ use parclust::{
 };
 use parclust_data::io::{collect_points, le, PointSource};
 use parclust_geom::{Aabb, Point};
-use parclust_kdtree::{KdTree, Node};
+use parclust_kdtree::{FlatNodes, KdTree, PointerNode};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 /// Artifact magic: "ParClust Serving Model".
 pub const MAGIC: &[u8; 4] = b"PCSM";
-/// Current artifact format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current artifact format version (2: implicit-BFS flat kd-tree).
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest artifact format version the reader still migrates on load.
+pub const MIN_READ_VERSION: u32 = 1;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -156,7 +166,7 @@ impl<const D: usize> ClusterModel<D> {
 
     /// Bounding box of the training points (the kd-tree root box).
     pub fn bbox(&self) -> Aabb<D> {
-        self.tree.node(self.tree.root()).bbox
+        *self.tree.bbox(self.tree.root())
     }
 
     /// Serialize into `w` (no checksum — [`ClusterModel::save`] appends it).
@@ -174,20 +184,23 @@ impl<const D: usize> ClusterModel<D> {
             }
         }
         // kd-tree: the permuted point copy is reconstructed from points +
-        // idx on load, so only idx and the arena are stored.
+        // idx on load, so only idx and the flat BFS arrays are stored.
         le::write_u32_slice(w, &self.tree.idx)?;
-        le::write_u64(w, self.tree.nodes.len() as u64)?;
-        for node in &self.tree.nodes {
-            for &c in node.bbox.lo.coords() {
+        let nodes = self.tree.flat_nodes();
+        le::write_u64(w, nodes.bbox.len() as u64)?;
+        for id in 0..nodes.bbox.len() {
+            for &c in nodes.bbox[id].lo.coords() {
                 le::write_f64(w, c)?;
             }
-            for &c in node.bbox.hi.coords() {
+            for &c in nodes.bbox[id].hi.coords() {
                 le::write_f64(w, c)?;
             }
-            le::write_u32(w, node.start)?;
-            le::write_u32(w, node.end)?;
-            le::write_u32(w, node.left)?;
-            le::write_u32(w, node.right)?;
+            le::write_u32(w, nodes.start[id])?;
+            le::write_u32(w, nodes.end[id])?;
+        }
+        le::write_u64(w, nodes.leaf_words.len() as u64)?;
+        for &word in &nodes.leaf_words {
+            le::write_u64(w, word)?;
         }
         le::write_f64_slice(w, &self.core_distances)?;
         let d = &self.dendrogram;
@@ -248,9 +261,10 @@ impl<const D: usize> ClusterModel<D> {
             return Err(bad("bad artifact magic"));
         }
         let version = le::read_u32(&mut r)?;
-        if version != FORMAT_VERSION {
+        if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(bad(format!(
-                "unsupported artifact version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported artifact version {version} \
+                 (this build reads {MIN_READ_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let dims = le::read_u32(&mut r)?;
@@ -279,44 +293,76 @@ impl<const D: usize> ClusterModel<D> {
         if arena_len != 2 * n - 1 {
             return Err(bad("kd-tree arena length mismatch"));
         }
-        let mut nodes = Vec::with_capacity(arena_len.min(1 << 20));
-        for _ in 0..arena_len {
+        let read_bbox = |r: &mut &[u8]| -> io::Result<Aabb<D>> {
             let mut lo = [0.0; D];
             let mut hi = [0.0; D];
             for slot in lo.iter_mut() {
-                *slot = le::read_f64(&mut r)?;
+                *slot = le::read_f64(r)?;
             }
             for slot in hi.iter_mut() {
-                *slot = le::read_f64(&mut r)?;
+                *slot = le::read_f64(r)?;
             }
-            let start = le::read_u32(&mut r)?;
-            let end = le::read_u32(&mut r)?;
-            let left = le::read_u32(&mut r)?;
-            let right = le::read_u32(&mut r)?;
-            nodes.push(Node {
-                bbox: Aabb {
-                    lo: Point(lo),
-                    hi: Point(hi),
-                },
-                start,
-                end,
-                left,
-                right,
-            });
-        }
-        // Permuted copy: position i holds the point whose original index is
-        // idx[i] (validated as a permutation by from_parts).
-        let permuted: Vec<Point<D>> = idx
-            .iter()
-            .map(|&o| {
-                points
-                    .get(o as usize)
-                    .copied()
-                    .ok_or_else(|| bad("kd-tree idx out of range"))
+            Ok(Aabb {
+                lo: Point(lo),
+                hi: Point(hi),
             })
-            .collect::<io::Result<_>>()?;
-        let tree = KdTree::from_parts(permuted, idx, nodes)
-            .map_err(|e| bad(format!("kd-tree validation failed: {e}")))?;
+        };
+        // Permuted copy: position i holds the point whose original index is
+        // idx[i] (validated as a permutation by the tree reassembly).
+        let permuted = |idx: &[u32]| -> io::Result<Vec<Point<D>>> {
+            idx.iter()
+                .map(|&o| {
+                    points
+                        .get(o as usize)
+                        .copied()
+                        .ok_or_else(|| bad("kd-tree idx out of range"))
+                })
+                .collect()
+        };
+        let tree = if version >= 2 {
+            // Implicit-BFS flat arrays: bbox/start/end per node + leaf bitmap.
+            let mut nodes = FlatNodes {
+                bbox: Vec::with_capacity(arena_len.min(1 << 20)),
+                start: Vec::with_capacity(arena_len.min(1 << 20)),
+                end: Vec::with_capacity(arena_len.min(1 << 20)),
+                leaf_words: Vec::new(),
+            };
+            for _ in 0..arena_len {
+                nodes.bbox.push(read_bbox(&mut r)?);
+                nodes.start.push(le::read_u32(&mut r)?);
+                nodes.end.push(le::read_u32(&mut r)?);
+            }
+            let words = le::read_u64(&mut r)? as usize;
+            if words != arena_len.div_ceil(64) {
+                return Err(bad("kd-tree leaf bitmap length mismatch"));
+            }
+            nodes.leaf_words.reserve_exact(words);
+            for _ in 0..words {
+                nodes.leaf_words.push(le::read_u64(&mut r)?);
+            }
+            KdTree::from_parts(permuted(&idx)?, idx, nodes)
+                .map_err(|e| bad(format!("kd-tree validation failed: {e}")))?
+        } else {
+            // Version 1: pointer-shaped arena; validate and migrate to the
+            // flat layout.
+            let mut nodes = Vec::with_capacity(arena_len.min(1 << 20));
+            for _ in 0..arena_len {
+                let bbox = read_bbox(&mut r)?;
+                let start = le::read_u32(&mut r)?;
+                let end = le::read_u32(&mut r)?;
+                let left = le::read_u32(&mut r)?;
+                let right = le::read_u32(&mut r)?;
+                nodes.push(PointerNode {
+                    bbox,
+                    start,
+                    end,
+                    left,
+                    right,
+                });
+            }
+            KdTree::from_legacy_parts(permuted(&idx)?, idx, nodes)
+                .map_err(|e| bad(format!("kd-tree validation failed: {e}")))?
+        };
 
         let core_distances = le::read_f64_vec(&mut r)?;
         if core_distances.len() != n {
@@ -425,7 +471,7 @@ pub fn peek_dims(path: &Path) -> io::Result<usize> {
         return Err(bad("bad artifact magic"));
     }
     let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(bad(format!("unsupported artifact version {version}")));
     }
     Ok(u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize)
@@ -535,6 +581,171 @@ mod tests {
         let empty: Vec<Point<2>> = Vec::new();
         let mut src = parclust_data::SliceSource::new(&empty, 8);
         assert!(ClusterModel::<2>::build_from_source(&mut src, 4, 6, None).is_err());
+    }
+
+    /// Serialize `model` in the version-1 wire format (pointer-shaped
+    /// kd-tree arena), checksum included. The pointer arena is derived from
+    /// the flat tree: BFS order is a valid legacy node order (root at 0),
+    /// and leaves get `NULL_NODE` children.
+    fn v1_bytes(model: &ClusterModel<2>) -> Vec<u8> {
+        use parclust_kdtree::NULL_NODE;
+        let n = model.points.len();
+        let mut buf = Vec::new();
+        let w = &mut buf;
+        w.extend_from_slice(MAGIC);
+        le::write_u32(w, 1).unwrap();
+        le::write_u32(w, 2).unwrap();
+        le::write_u64(w, n as u64).unwrap();
+        le::write_u64(w, model.min_pts as u64).unwrap();
+        le::write_u64(w, model.min_cluster_size as u64).unwrap();
+        for p in &model.points {
+            for &c in p.coords() {
+                le::write_f64(w, c).unwrap();
+            }
+        }
+        le::write_u32_slice(w, &model.tree.idx).unwrap();
+        let arena_len = model.tree.arena_len();
+        le::write_u64(w, arena_len as u64).unwrap();
+        for id in 0..arena_len as u32 {
+            let bbox = model.tree.bbox(id);
+            for &c in bbox.lo.coords() {
+                le::write_f64(w, c).unwrap();
+            }
+            for &c in bbox.hi.coords() {
+                le::write_f64(w, c).unwrap();
+            }
+            le::write_u32(w, model.tree.node_start(id)).unwrap();
+            le::write_u32(w, model.tree.node_end(id)).unwrap();
+            if model.tree.is_leaf(id) {
+                le::write_u32(w, NULL_NODE).unwrap();
+                le::write_u32(w, NULL_NODE).unwrap();
+            } else {
+                let (l, r) = model.tree.children(id);
+                le::write_u32(w, l).unwrap();
+                le::write_u32(w, r).unwrap();
+            }
+        }
+        le::write_f64_slice(w, &model.core_distances).unwrap();
+        let d = &model.dendrogram;
+        le::write_u32(w, d.start).unwrap();
+        le::write_u32(w, d.root).unwrap();
+        le::write_u32_slice(w, &d.edge_u).unwrap();
+        le::write_u32_slice(w, &d.edge_v).unwrap();
+        le::write_f64_slice(w, &d.height).unwrap();
+        le::write_u32_slice(w, &d.left).unwrap();
+        le::write_u32_slice(w, &d.right).unwrap();
+        le::write_u32_slice(w, &d.parent).unwrap();
+        le::write_u32_slice(w, &d.vertex_dist).unwrap();
+        let ct = &model.condensed;
+        le::write_u32_slice(w, &ct.parent).unwrap();
+        le::write_f64_slice(w, &ct.birth_lambda).unwrap();
+        le::write_f64_slice(w, &ct.stability).unwrap();
+        le::write_u32_slice(w, &ct.size).unwrap();
+        le::write_u32_slice(w, &ct.point_cluster).unwrap();
+        le::write_f64_slice(w, &ct.point_lambda).unwrap();
+        let sum = fnv1a64(&buf);
+        le::write_u64(&mut buf, sum).unwrap();
+        buf
+    }
+
+    #[test]
+    fn version1_artifact_migrates_on_load() {
+        let pts = blobs2(80, 11);
+        let model = ClusterModel::build(&pts, 4, 8);
+        let legacy = v1_bytes(&model);
+        let back = ClusterModel::<2>::from_bytes(&legacy).unwrap();
+        assert_eq!(back.points, model.points);
+        assert_eq!(back.tree.idx, model.tree.idx);
+        assert_eq!(back.core_distances, model.core_distances);
+        assert_eq!(back.dendrogram.parent, model.dendrogram.parent);
+        assert_eq!(back.condensed.point_cluster, model.condensed.point_cluster);
+        // The migrated tree answers identical queries — BFS relayout of a
+        // BFS-ordered arena is the identity, so even node ids line up.
+        for q in pts.iter().step_by(13) {
+            assert_eq!(back.tree.knn(q, 4), model.tree.knn(q, 4));
+        }
+        // A v1 arena with a cycle (node pointing at itself) is rejected by
+        // the legacy validation walk, not a hang or panic.
+        let mut cyclic = v1_bytes(&model);
+        let arena_off = 36 + pts.len() * 16 + 8 + pts.len() * 4 + 8;
+        let node_bytes = 2 * 2 * 8 + 16; // bbox + start/end/left/right
+                                         // Find an internal node and point its left child at itself.
+        let root_left = arena_off + node_bytes - 8;
+        cyclic[root_left..root_left + 4].copy_from_slice(&0u32.to_le_bytes());
+        let plen = cyclic.len() - 8;
+        let sum = fnv1a64(&cyclic[..plen]).to_le_bytes();
+        cyclic[plen..].copy_from_slice(&sum);
+        let err = match ClusterModel::<2>::from_bytes(&cyclic) {
+            Err(e) => e,
+            Ok(_) => panic!("cyclic v1 arena must be rejected"),
+        };
+        assert!(err.to_string().contains("kd-tree"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_prefix() {
+        let pts = blobs2(20, 12);
+        let model = ClusterModel::build(&pts, 3, 4);
+        let mut buf = Vec::new();
+        model.write_to(&mut buf).unwrap();
+        let sum = fnv1a64(&buf);
+        le::write_u64(&mut buf, sum).unwrap();
+        assert!(ClusterModel::<2>::from_bytes(&buf).is_ok());
+        for cut in (0..buf.len()).step_by(7).chain([buf.len() - 1]) {
+            assert!(
+                ClusterModel::<2>::from_bytes(&buf[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn random_bit_flips_are_rejected() {
+        let pts = blobs2(20, 13);
+        let model = ClusterModel::build(&pts, 3, 4);
+        let mut buf = Vec::new();
+        model.write_to(&mut buf).unwrap();
+        let sum = fnv1a64(&buf);
+        le::write_u64(&mut buf, sum).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..64 {
+            let byte = rng.gen_range(0..buf.len());
+            let bit = 1u8 << rng.gen_range(0..8);
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= bit;
+            assert!(
+                ClusterModel::<2>::from_bytes(&corrupt).is_err(),
+                "bit flip at byte {byte} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_bitmap_corruption_fails_structural_validation() {
+        // Flip a leaf bit and *recompute the checksum*, so the structural
+        // validation in `KdTree::from_parts` (not the checksum) must catch
+        // the corruption.
+        let pts = blobs2(40, 14);
+        let model = ClusterModel::build(&pts, 3, 4);
+        let mut buf = Vec::new();
+        model.write_to(&mut buf).unwrap();
+        let n = pts.len();
+        let arena_len = 2 * n - 1;
+        let words_off = 36 // header
+            + n * 16 // points
+            + 8 + n * 4 // idx
+            + 8 + arena_len * (2 * 2 * 8 + 8) // arena count + nodes
+            + 8; // word count
+                 // Root (bit 0 of word 0) is internal for n > 1; marking it a leaf
+                 // breaks the leaf-count/child-arithmetic invariants.
+        buf[words_off] ^= 1;
+        let sum = fnv1a64(&buf);
+        le::write_u64(&mut buf, sum).unwrap();
+        let err = match ClusterModel::<2>::from_bytes(&buf) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt leaf bitmap must be rejected"),
+        };
+        assert!(err.to_string().contains("kd-tree"), "{err}");
     }
 
     #[test]

@@ -7,12 +7,13 @@
 //! point on `p`'s side would be closer to `p` than anything across the
 //! pair). So scanning only the pairs with a singleton side and relaxing
 //! the opposite side through a `WRITE_MIN` per point yields all nearest
-//! neighbors.
+//! neighbors. The relaxation scan runs block-at-a-time through the SoA
+//! lane kernel.
 //!
 //! This is both a useful public API and an independent cross-check of the
 //! WSPD (tests compare against kd-tree kNN with k = 2).
 
-use parclust_geom::dist_sq;
+use parclust_data::BLOCK_LEN;
 use parclust_kdtree::KdTree;
 use parclust_primitives::atomic::AtomicMinPair;
 
@@ -30,16 +31,28 @@ pub fn all_nearest_neighbors<const D: usize>(tree: &KdTree<D>) -> Vec<(u32, f64)
     // well-separated pair, cross distances exceed within-side distances.
     let policy = GeometricSep::PAPER_DEFAULT;
     wspd_traverse(tree, &policy, &|_, _| false, &|a, b| {
-        let (na, nb) = (tree.node(a), tree.node(b));
-        for (single, other) in [(na, nb), (nb, na)] {
-            if single.size() != 1 {
+        for (single, other) in [(a, b), (b, a)] {
+            if tree.node_size(single) != 1 {
                 continue;
             }
-            let p = single.start;
-            let pp = &tree.points[p as usize];
-            for q in other.start..other.end {
-                let d = dist_sq(pp, &tree.points[q as usize]);
-                best[p as usize].write_min(d, q);
+            let p = tree.node_start(single);
+            let pp = tree.point(p as usize);
+            // Relax the opposite side one lane-kernel chunk at a time; the
+            // write_min calls happen in ascending permuted order, exactly as
+            // the old per-point loop did.
+            let (start, end) = (
+                tree.node_start(other) as usize,
+                tree.node_end(other) as usize,
+            );
+            let mut buf = [0.0f64; BLOCK_LEN];
+            let mut q = start;
+            while q < end {
+                let len = (end - q).min(BLOCK_LEN);
+                tree.coords().dist_sq_into(&pp, q, len, &mut buf);
+                for (j, &d_sq) in buf[..len].iter().enumerate() {
+                    best[p as usize].write_min(d_sq, (q + j) as u32);
+                }
+                q += len;
             }
         }
     });
@@ -48,6 +61,7 @@ pub fn all_nearest_neighbors<const D: usize>(tree: &KdTree<D>) -> Vec<(u32, f64)
         .map(|p| {
             let (d_sq, q_pos) = best[p]
                 .get()
+                // analyze:allow(hotpath-unwrap) — WSPD covers all pairs, so every singleton side is hit
                 .expect("every point appears as a singleton side in some pair");
             (tree.idx[q_pos as usize], d_sq.sqrt())
         })

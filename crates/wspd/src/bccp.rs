@@ -4,9 +4,9 @@
 //! metric: Euclidean distance for EMST (BCCP) or mutual reachability
 //! distance for HDBSCAN\* (BCCP\*, Section 2.3). Branch-and-bound over the
 //! tree structure: descend the larger node first, prune with the policy's
-//! node-pair lower bound, and brute-force small leaf blocks.
+//! node-pair lower bound, and brute-force small leaf blocks — the inner
+//! scan runs lane-wise over the SoA point storage so it auto-vectorizes.
 
-use parclust_geom::dist;
 use parclust_kdtree::{KdTree, NodeId};
 
 use crate::policy::SeparationPolicy;
@@ -35,8 +35,8 @@ pub fn bccp<const D: usize, P: SeparationPolicy<D>>(
 ) -> Bccp {
     // Seed with the first-point pair so pruning has a finite bound from the
     // start.
-    let (pa, pb) = (tree.node(a).start, tree.node(b).start);
-    let seed_d = dist(&tree.points[pa as usize], &tree.points[pb as usize]);
+    let (pa, pb) = (tree.node_start(a), tree.node_start(b));
+    let seed_d = tree.dist_between(pa, pb);
     let mut best = Bccp {
         u: pa,
         v: pb,
@@ -53,13 +53,18 @@ fn bccp_recurse<const D: usize, P: SeparationPolicy<D>>(
     b: NodeId,
     best: &mut Bccp,
 ) {
-    let (na, nb) = (tree.node(a), tree.node(b));
-    if na.size() * nb.size() <= BRUTE_FORCE_PRODUCT {
-        for u in na.start..na.end {
-            let pu = &tree.points[u as usize];
-            for v in nb.start..nb.end {
-                let d = dist(pu, &tree.points[v as usize]);
-                let w = policy.point_weight(u, v, d);
+    let (sa, sb) = (tree.node_size(a), tree.node_size(b));
+    if sa * sb <= BRUTE_FORCE_PRODUCT {
+        // Lane-kernel brute force: for each u ∈ A, one vectorized pass over
+        // B's contiguous permuted range. `sb <= 64` because `sa >= 1`.
+        let b_start = tree.node_start(b) as usize;
+        let mut buf = [0.0f64; BRUTE_FORCE_PRODUCT];
+        for u in tree.node_start(a)..tree.node_end(a) {
+            let pu = tree.point(u as usize);
+            tree.coords().dist_sq_into(&pu, b_start, sb, &mut buf);
+            for (j, &d_sq) in buf[..sb].iter().enumerate() {
+                let v = (b_start + j) as u32;
+                let w = policy.point_weight(u, v, d_sq.sqrt());
                 if w < best.w || (w == best.w && (u, v) < (best.u, best.v)) {
                     *best = Bccp { u, v, w };
                 }
@@ -70,18 +75,20 @@ fn bccp_recurse<const D: usize, P: SeparationPolicy<D>>(
     // Split the node with the larger diameter (fall back to the larger
     // cardinality for ties) and visit the child pair with the smaller lower
     // bound first — the classic dual-tree descent order.
-    let (da, db) = (na.bbox.diag_sq(), nb.bbox.diag_sq());
-    let split_a = if na.is_leaf() {
+    let (da, db) = (tree.bbox(a).diag_sq(), tree.bbox(b).diag_sq());
+    let split_a = if tree.is_leaf(a) {
         false
-    } else if nb.is_leaf() {
+    } else if tree.is_leaf(b) {
         true
     } else {
-        da > db || (da == db && na.size() >= nb.size())
+        da > db || (da == db && sa >= sb)
     };
     let candidates = if split_a {
-        [(na.left, b), (na.right, b)]
+        let (l, r) = tree.children(a);
+        [(l, b), (r, b)]
     } else {
-        [(a, nb.left), (a, nb.right)]
+        let (l, r) = tree.children(b);
+        [(a, l), (a, r)]
     };
     let bounds = candidates.map(|(x, y)| policy.lower_bound(tree, x, y));
     let order = if bounds[0] <= bounds[1] {
@@ -124,31 +131,30 @@ mod tests {
         let pts = random_points(400, 21);
         let tree = KdTree::build(&pts);
         let policy = GeometricSep::PAPER_DEFAULT;
-        let root = tree.node(tree.root());
+        let (rl, rr) = tree.children(tree.root());
         // Test on several internal node pairs.
-        let mut pairs = vec![(root.left, root.right)];
-        let l = tree.node(root.left);
-        let r = tree.node(root.right);
-        if !l.is_leaf() && !r.is_leaf() {
-            pairs.push((l.left, r.right));
-            pairs.push((l.right, r.left));
+        let mut pairs = vec![(rl, rr)];
+        if !tree.is_leaf(rl) && !tree.is_leaf(rr) {
+            let (ll, lr) = tree.children(rl);
+            let (rl2, rr2) = tree.children(rr);
+            pairs.push((ll, rr2));
+            pairs.push((lr, rl2));
         }
         for (a, b) in pairs {
             let got = bccp(&tree, &policy, a, b);
             // Brute force oracle over permuted positions.
-            let (na, nb) = (tree.node(a), tree.node(b));
             let mut want = f64::INFINITY;
-            for u in na.start..na.end {
-                for v in nb.start..nb.end {
-                    want = want.min(dist(&tree.points[u as usize], &tree.points[v as usize]));
+            for u in tree.node_start(a)..tree.node_end(a) {
+                for v in tree.node_start(b)..tree.node_end(b) {
+                    want = want.min(tree.dist_between(u, v));
                 }
             }
             assert_eq!(got.w, want);
             // The returned endpoints realize the weight.
-            let realized = dist(&tree.points[got.u as usize], &tree.points[got.v as usize]);
+            let realized = tree.dist_between(got.u, got.v);
             assert_eq!(realized, got.w);
-            assert!(got.u >= na.start && got.u < na.end);
-            assert!(got.v >= nb.start && got.v < nb.end);
+            assert!(got.u >= tree.node_start(a) && got.u < tree.node_end(a));
+            assert!(got.v >= tree.node_start(b) && got.v < tree.node_end(b));
         }
     }
 
@@ -161,14 +167,12 @@ mod tests {
         let cd: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..40.0)).collect();
         let (cd_min, cd_max) = core_distance_annotations(&tree, &cd);
         let policy = MutualReachSep::new(SepMode::Combined, &cd, &cd_min, &cd_max);
-        let root = tree.node(tree.root());
-        let (a, b) = (root.left, root.right);
+        let (a, b) = tree.children(tree.root());
         let got = bccp(&tree, &policy, a, b);
-        let (na, nb) = (tree.node(a), tree.node(b));
         let mut want = f64::INFINITY;
-        for u in na.start..na.end {
-            for v in nb.start..nb.end {
-                let d = dist(&tree.points[u as usize], &tree.points[v as usize]);
+        for u in tree.node_start(a)..tree.node_end(a) {
+            for v in tree.node_start(b)..tree.node_end(b) {
+                let d = tree.dist_between(u, v);
                 want = want.min(d.max(cd[u as usize]).max(cd[v as usize]));
             }
         }
@@ -179,8 +183,8 @@ mod tests {
     fn bccp_of_singletons() {
         let pts = vec![Point([0.0, 0.0, 0.0]), Point([3.0, 4.0, 0.0])];
         let tree = KdTree::build(&pts);
-        let root = tree.node(tree.root());
-        let got = bccp(&tree, &GeometricSep::PAPER_DEFAULT, root.left, root.right);
+        let (l, r) = tree.children(tree.root());
+        let got = bccp(&tree, &GeometricSep::PAPER_DEFAULT, l, r);
         assert_eq!(got.w, 5.0);
     }
 
@@ -193,14 +197,14 @@ mod tests {
         ];
         let tree = KdTree::build(&pts);
         // Find the node pair that covers the duplicate pair.
-        let root = tree.node(tree.root());
-        let got = bccp(&tree, &GeometricSep::PAPER_DEFAULT, root.left, root.right);
+        let (l, r) = tree.children(tree.root());
+        let got = bccp(&tree, &GeometricSep::PAPER_DEFAULT, l, r);
         // Whichever split happened, the closest cross pair is >= 0; with the
         // duplicates split apart it is exactly 0.
         let mut best = f64::INFINITY;
-        for u in tree.node_points(root.left) {
-            for v in tree.node_points(root.right) {
-                best = best.min(u.dist(v));
+        for u in tree.node_range(l) {
+            for v in tree.node_range(r) {
+                best = best.min(tree.point(u).dist(&tree.point(v)));
             }
         }
         assert_eq!(got.w, best);

@@ -53,17 +53,17 @@ impl GeometricSep {
 impl<const D: usize> SeparationPolicy<D> for GeometricSep {
     #[inline]
     fn well_separated(&self, tree: &KdTree<D>, a: NodeId, b: NodeId) -> bool {
-        tree.node(a).bbox.well_separated(&tree.node(b).bbox, self.s)
+        tree.bbox(a).well_separated(tree.bbox(b), self.s)
     }
 
     #[inline]
     fn lower_bound(&self, tree: &KdTree<D>, a: NodeId, b: NodeId) -> f64 {
-        tree.node(a).bbox.min_dist_sq(&tree.node(b).bbox).sqrt()
+        tree.bbox(a).min_dist_sq(tree.bbox(b)).sqrt()
     }
 
     #[inline]
     fn upper_bound(&self, tree: &KdTree<D>, a: NodeId, b: NodeId) -> f64 {
-        tree.node(a).bbox.max_dist_sq(&tree.node(b).bbox).sqrt()
+        tree.bbox(a).max_dist_sq(tree.bbox(b)).sqrt()
     }
 
     #[inline]
@@ -106,7 +106,7 @@ impl<'a> MutualReachSep<'a> {
 
 impl<'a, const D: usize> SeparationPolicy<D> for MutualReachSep<'a> {
     fn well_separated(&self, tree: &KdTree<D>, a: NodeId, b: NodeId) -> bool {
-        let (ba, bb) = (&tree.node(a).bbox, &tree.node(b).bbox);
+        let (ba, bb) = (tree.bbox(a), tree.bbox(b));
         match self.mode {
             SepMode::Standard => ba.well_separated(bb, 2.0),
             SepMode::Combined => {
@@ -127,13 +127,13 @@ impl<'a, const D: usize> SeparationPolicy<D> for MutualReachSep<'a> {
 
     #[inline]
     fn lower_bound(&self, tree: &KdTree<D>, a: NodeId, b: NodeId) -> f64 {
-        let d = tree.node(a).bbox.min_dist_sq(&tree.node(b).bbox).sqrt();
+        let d = tree.bbox(a).min_dist_sq(tree.bbox(b)).sqrt();
         d.max(self.cd_min[a as usize]).max(self.cd_min[b as usize])
     }
 
     #[inline]
     fn upper_bound(&self, tree: &KdTree<D>, a: NodeId, b: NodeId) -> f64 {
-        let d = tree.node(a).bbox.max_dist_sq(&tree.node(b).bbox).sqrt();
+        let d = tree.bbox(a).max_dist_sq(tree.bbox(b)).sqrt();
         d.max(self.cd_max[a as usize]).max(self.cd_max[b as usize])
     }
 
@@ -158,10 +158,10 @@ pub fn core_distance_annotations<const D: usize>(
         }
     }
     let agg = tree.aggregate_bottom_up(
-        &|node, _pts, _ids| {
+        &|id, _ids| {
             let mut mm = MinMax::default();
-            for pos in node.start..node.end {
-                let c = cd_by_pos[pos as usize];
+            for pos in tree.node_range(id) {
+                let c = cd_by_pos[pos];
                 mm.0 = mm.0.min(c);
                 mm.1 = mm.1.max(c);
             }
@@ -191,14 +191,13 @@ mod tests {
         let tree = grid_tree();
         let policy = GeometricSep::PAPER_DEFAULT;
         // Check lower <= actual min distance <= upper for sibling subtrees.
-        let root = tree.node(tree.root());
-        let (a, b) = (root.left, root.right);
+        let (a, b) = tree.children(tree.root());
         let lo = SeparationPolicy::<2>::lower_bound(&policy, &tree, a, b);
         let hi = SeparationPolicy::<2>::upper_bound(&policy, &tree, a, b);
         let mut min_d = f64::INFINITY;
-        for p in tree.node_points(a) {
-            for q in tree.node_points(b) {
-                min_d = min_d.min(p.dist(q));
+        for p in tree.node_range(a) {
+            for q in tree.node_range(b) {
+                min_d = min_d.min(tree.point(p).dist(&tree.point(q)));
             }
         }
         assert!(lo <= min_d && min_d <= hi, "lo={lo} min={min_d} hi={hi}");
@@ -237,18 +236,20 @@ mod tests {
         // Each node's annotation is the min/max over its position range.
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
-            let node = tree.node(id);
-            let want_min = (node.start..node.end)
+            let want_min = tree
+                .node_range(id)
                 .map(|p| p as f64)
                 .fold(f64::INFINITY, f64::min);
-            let want_max = (node.start..node.end)
+            let want_max = tree
+                .node_range(id)
                 .map(|p| p as f64)
                 .fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(cd_min[id as usize], want_min);
             assert_eq!(cd_max[id as usize], want_max);
-            if !node.is_leaf() {
-                stack.push(node.left);
-                stack.push(node.right);
+            if !tree.is_leaf(id) {
+                let (l, r) = tree.children(id);
+                stack.push(l);
+                stack.push(r);
             }
         }
     }
@@ -262,13 +263,13 @@ mod tests {
         let cd = vec![100.0; n];
         let (cd_min, cd_max) = core_distance_annotations(&tree, &cd);
         let combined = MutualReachSep::new(SepMode::Combined, &cd, &cd_min, &cd_max);
-        let root = tree.node(tree.root());
+        let (rl, rr) = tree.children(tree.root());
         assert!(SeparationPolicy::<2>::well_separated(
-            &combined, &tree, root.left, root.right
+            &combined, &tree, rl, rr
         ));
         let standard = MutualReachSep::new(SepMode::Standard, &cd, &cd_min, &cd_max);
         assert!(!SeparationPolicy::<2>::well_separated(
-            &standard, &tree, root.left, root.right
+            &standard, &tree, rl, rr
         ));
     }
 }

@@ -105,11 +105,10 @@ fn stream_node<const D: usize, P, F>(
     P: SeparationPolicy<D>,
     F: FnMut(&mut Vec<NodePair>),
 {
-    let node = tree.node(a);
-    if node.is_leaf() {
+    if tree.is_leaf(a) {
         return;
     }
-    let (l, r) = (node.left, node.right);
+    let (l, r) = tree.children(a);
     stream_node(tree, policy, cap, buf, on_batch, l);
     stream_node(tree, policy, cap, buf, on_batch, r);
     stream_pair(tree, policy, cap, buf, on_batch, l, r);
@@ -138,12 +137,11 @@ fn stream_pair<const D: usize, P, F>(
     // Same split rule as `traverse::find_pair` (shared helper) so the
     // streamed pair set matches the materialized one exactly.
     let (a, b) = crate::traverse::split_order(tree, a, b);
-    let node_a = tree.node(a);
     debug_assert!(
-        !node_a.is_leaf(),
+        !tree.is_leaf(a),
         "two leaves are always well-separated; cannot split a singleton"
     );
-    let (l, r) = (node_a.left, node_a.right);
+    let (l, r) = tree.children(a);
     stream_pair(tree, policy, cap, buf, on_batch, l, b);
     stream_pair(tree, policy, cap, buf, on_batch, r, b);
 }
@@ -224,28 +222,28 @@ where
         for &task in &tasks {
             match task {
                 Task::Node(a) => {
-                    let node = tree.node(a);
-                    if node.is_leaf() {
+                    if tree.is_leaf(a) {
                         changed = true; // drop: a leaf emits nothing
-                    } else if node.size() < TASK_GRAIN {
+                    } else if tree.node_size(a) < TASK_GRAIN {
                         next.push(task);
                     } else {
-                        next.push(Task::Node(node.left));
-                        next.push(Task::Node(node.right));
-                        next.push(Task::Pair(node.left, node.right));
+                        let (l, r) = tree.children(a);
+                        next.push(Task::Node(l));
+                        next.push(Task::Node(r));
+                        next.push(Task::Pair(l, r));
                         changed = true;
                     }
                 }
                 Task::Pair(a, b) => {
                     if policy.well_separated(tree, a, b) {
                         next.push(task); // terminal: emits exactly one pair
-                    } else if tree.node(a).size() + tree.node(b).size() < TASK_GRAIN {
+                    } else if tree.node_size(a) + tree.node_size(b) < TASK_GRAIN {
                         next.push(task);
                     } else {
                         let (s, o) = crate::traverse::split_order(tree, a, b);
-                        let node_s = tree.node(s);
-                        next.push(Task::Pair(node_s.left, o));
-                        next.push(Task::Pair(node_s.right, o));
+                        let (l, r) = tree.children(s);
+                        next.push(Task::Pair(l, o));
+                        next.push(Task::Pair(r, o));
                         changed = true;
                     }
                 }
@@ -264,11 +262,10 @@ fn collect_node<const D: usize, P>(tree: &KdTree<D>, policy: &P, a: NodeId, out:
 where
     P: SeparationPolicy<D>,
 {
-    let node = tree.node(a);
-    if node.is_leaf() {
+    if tree.is_leaf(a) {
         return;
     }
-    let (l, r) = (node.left, node.right);
+    let (l, r) = tree.children(a);
     collect_node(tree, policy, l, out);
     collect_node(tree, policy, r, out);
     collect_pair(tree, policy, l, r, out);
@@ -289,13 +286,13 @@ fn collect_pair<const D: usize, P>(
         return;
     }
     let (a, b) = crate::traverse::split_order(tree, a, b);
-    let node_a = tree.node(a);
     debug_assert!(
-        !node_a.is_leaf(),
+        !tree.is_leaf(a),
         "two leaves are always well-separated; cannot split a singleton"
     );
-    collect_pair(tree, policy, node_a.left, b, out);
-    collect_pair(tree, policy, node_a.right, b, out);
+    let (l, r) = tree.children(a);
+    collect_pair(tree, policy, l, b, out);
+    collect_pair(tree, policy, r, b, out);
 }
 
 #[cfg(test)]

@@ -45,12 +45,11 @@ fn wspd_node<const D: usize, P, Pr, V>(
     Pr: Fn(NodeId, NodeId) -> bool + Sync,
     V: Fn(NodeId, NodeId) + Sync,
 {
-    let node = tree.node(a);
-    if node.is_leaf() {
+    if tree.is_leaf(a) {
         return;
     }
-    let (l, r) = (node.left, node.right);
-    if node.size() >= PAIR_GRAIN {
+    let (l, r) = tree.children(a);
+    if tree.node_size(a) >= PAIR_GRAIN {
         rayon::join(
             || wspd_node(tree, policy, prune, visit, l),
             || wspd_node(tree, policy, prune, visit, r),
@@ -73,8 +72,8 @@ pub(crate) fn split_order<const D: usize>(
     a: NodeId,
     b: NodeId,
 ) -> (NodeId, NodeId) {
-    let (da, db) = (tree.node(a).bbox.diag_sq(), tree.node(b).bbox.diag_sq());
-    if da < db || (da == db && tree.node(a).size() < tree.node(b).size()) {
+    let (da, db) = (tree.bbox(a).diag_sq(), tree.bbox(b).diag_sq());
+    if da < db || (da == db && tree.node_size(a) < tree.node_size(b)) {
         (b, a)
     } else {
         (a, b)
@@ -101,13 +100,12 @@ fn find_pair<const D: usize, P, Pr, V>(
         return;
     }
     let (a, b) = split_order(tree, a, b);
-    let node_a = tree.node(a);
     debug_assert!(
-        !node_a.is_leaf(),
+        !tree.is_leaf(a),
         "two leaves are always well-separated; cannot split a singleton"
     );
-    let (l, r) = (node_a.left, node_a.right);
-    if node_a.size() + tree.node(b).size() >= PAIR_GRAIN {
+    let (l, r) = tree.children(a);
+    if tree.node_size(a) + tree.node_size(b) >= PAIR_GRAIN {
         rayon::join(
             || find_pair(tree, policy, prune, visit, l, b),
             || find_pair(tree, policy, prune, visit, r, b),
@@ -162,7 +160,7 @@ mod tests {
         let mut count = vec![0u32; n * n];
         for &(a, b) in pairs {
             assert!(
-                tree.node(a).bbox.well_separated(&tree.node(b).bbox, 2.0),
+                tree.bbox(a).well_separated(tree.bbox(b), 2.0),
                 "pair must be well-separated"
             );
             for &u in tree.node_point_ids(a) {
