@@ -11,8 +11,9 @@
 //!     [--tolerance 0.25]
 //! ```
 //!
-//! Gated metrics: table2 speedup ratios, serving assign throughput, and
-//! kernel vectorization speedups (`--kernels kernels.json`).
+//! Gated metrics: table2 speedup ratios, serving assign throughput,
+//! kernel vectorization speedups (`--kernels kernels.json`), and
+//! incremental-mutation throughput (`--dynamic dyn.json`).
 //! `--min-ratio NUM/DEN=MIN` additionally requires the current run's
 //! `assign_points_per_sec` under label NUM to be at least MIN× the one
 //! under DEN (the binary-vs-JSON protocol gate), and
@@ -27,8 +28,8 @@
 //!   `--kernel-floor`.
 
 use parclust_bench::gate::{
-    baseline_json, compare, metrics_from_baseline, metrics_from_kernels, metrics_from_loadgen,
-    metrics_from_rows, KernelFloor, Metric, RatioCheck, DEFAULT_TOLERANCE,
+    baseline_json, compare, metrics_from_baseline, metrics_from_dynamic, metrics_from_kernels,
+    metrics_from_loadgen, metrics_from_rows, KernelFloor, Metric, RatioCheck, DEFAULT_TOLERANCE,
 };
 
 struct Opts {
@@ -36,6 +37,7 @@ struct Opts {
     rows: Vec<std::path::PathBuf>,
     serving: Vec<(String, std::path::PathBuf)>,
     kernels: Option<std::path::PathBuf>,
+    dynamic: Option<std::path::PathBuf>,
     ratios: Vec<RatioCheck>,
     kernel_floors: Vec<KernelFloor>,
     tolerance: f64,
@@ -53,6 +55,7 @@ fn parse_args() -> Opts {
         rows: Vec::new(),
         serving: Vec::new(),
         kernels: None,
+        dynamic: None,
         ratios: Vec::new(),
         kernel_floors: Vec::new(),
         tolerance: std::env::var("BENCH_GATE_TOLERANCE")
@@ -80,6 +83,9 @@ fn parse_args() -> Opts {
             }
             "--kernels" => {
                 opts.kernels = Some(args.next().expect("--kernels FILE").into());
+            }
+            "--dynamic" => {
+                opts.dynamic = Some(args.next().expect("--dynamic FILE").into());
             }
             "--kernel-floor" => {
                 let spec = args.next().expect("--kernel-floor NAME=MIN");
@@ -117,7 +123,7 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: compare_bench --baseline FILE [--rows FILE]... \
-                     [--serving LABEL=FILE]... [--kernels FILE] \
+                     [--serving LABEL=FILE]... [--kernels FILE] [--dynamic FILE] \
                      [--min-ratio NUM/DEN=MIN]... [--kernel-floor NAME=MIN]... [--tolerance F] \
                      [--write-baseline FILE [--note TEXT]]"
                 );
@@ -155,6 +161,7 @@ fn main() {
         .map(|(label, path)| (label.clone(), load_json(path)))
         .collect();
     let kernels_blob = opts.kernels.as_deref().map(load_json);
+    let dynamic_blob = opts.dynamic.as_deref().map(load_json);
     let mut current: Vec<Metric> = Vec::new();
     for rows in &row_sets {
         current.extend(metrics_from_rows(rows));
@@ -165,12 +172,21 @@ fn main() {
     if let Some(kernels) = &kernels_blob {
         current.extend(metrics_from_kernels(kernels));
     }
+    if let Some(dynamic) = &dynamic_blob {
+        current.extend(metrics_from_dynamic(dynamic));
+    }
 
     // Write the refresh candidate before gating: a regressed run's numbers
     // are exactly the ones someone debugging the regression wants to see,
     // and committing a candidate is always a deliberate human step.
     if let Some(path) = &opts.write_baseline {
-        let doc = baseline_json(&opts.note, &row_sets, &serving_blobs, kernels_blob.as_ref());
+        let doc = baseline_json(
+            &opts.note,
+            &row_sets,
+            &serving_blobs,
+            kernels_blob.as_ref(),
+            dynamic_blob.as_ref(),
+        );
         std::fs::write(path, doc.to_json_string_pretty())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("compare_bench: wrote baseline candidate {}", path.display());

@@ -1,0 +1,205 @@
+//! Incremental-mutation micro-bench for CI: stream insert batches through
+//! a [`parclust_dyn::DynamicModel`] under the Auto rebuild-vs-merge
+//! policy and emit the `dynamic` JSON section the bench gate consumes.
+//!
+//! ```sh
+//! dyn_bench --out bench_results/dynamic.json \
+//!     [--n 4000] [--batches 32] [--batch-size 64] [--min-pts 5] \
+//!     [--threads 4] [--seed 42]
+//! ```
+//!
+//! The headline metric is `insert_pts_per_s` — inserted points divided by
+//! total apply time — which `compare_bench --dynamic` gates against the
+//! committed baseline. The merge/rebuild batch split is reported
+//! ungated: it describes how the Auto policy routed this workload, and a
+//! deliberate policy retune should show up as a diff here without
+//! failing the gate by itself.
+
+use parclust_bench::gate::metrics_from_dynamic;
+use parclust_dyn::{DynConfig, DynamicModel, MutationBatch, MutationPath};
+use parclust_geom::Point;
+use rand::prelude::*;
+use std::time::Instant;
+
+struct Opts {
+    n: usize,
+    batches: usize,
+    batch_size: usize,
+    min_pts: usize,
+    min_cluster_size: usize,
+    threads: usize,
+    seed: u64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        n: 4000,
+        batches: 32,
+        batch_size: 64,
+        min_pts: 5,
+        min_cluster_size: 5,
+        threads: 0,
+        seed: 42,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut usize_arg = |what: &str| -> usize {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} N"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{what} takes a non-negative integer"))
+        };
+        match a.as_str() {
+            "--n" => opts.n = usize_arg("--n"),
+            "--batches" => opts.batches = usize_arg("--batches"),
+            "--batch-size" => opts.batch_size = usize_arg("--batch-size"),
+            "--min-pts" => opts.min_pts = usize_arg("--min-pts"),
+            "--min-cluster-size" => opts.min_cluster_size = usize_arg("--min-cluster-size"),
+            "--threads" => opts.threads = usize_arg("--threads"),
+            "--seed" => opts.seed = usize_arg("--seed") as u64,
+            "--out" => opts.out = Some(args.next().expect("--out FILE").into()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: dyn_bench [--n N] [--batches N] [--batch-size N] [--min-pts N] \
+                     [--min-cluster-size N] [--threads N] [--seed N] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(opts.n >= opts.min_pts.max(2), "--n too small to cluster");
+    assert!(opts.batch_size >= 1, "--batch-size must be at least 1");
+    opts
+}
+
+fn blob_points(n: usize, rng: &mut StdRng) -> Vec<Point<2>> {
+    let centers = [(0.0, 0.0), (60.0, 0.0), (0.0, 60.0), (60.0, 60.0)];
+    (0..n)
+        .map(|i| {
+            let (cx, cy) = centers[i % centers.len()];
+            Point([cx + rng.gen_range(-4.0..4.0), cy + rng.gen_range(-4.0..4.0)])
+        })
+        .collect()
+}
+
+fn run(opts: &Opts) -> serde_json::Value {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let base = blob_points(opts.n, &mut rng);
+    let mut model = DynamicModel::new(
+        &base,
+        opts.min_pts,
+        opts.min_cluster_size,
+        DynConfig::default(),
+    );
+
+    // Pre-generate every batch so the timed loop measures apply() alone.
+    let batches: Vec<MutationBatch<2>> = (0..opts.batches)
+        .map(|_| MutationBatch {
+            inserts: blob_points(opts.batch_size, &mut rng),
+            deletes: Vec::new(),
+        })
+        .collect();
+
+    let mut merge_batches = 0usize;
+    let mut rebuild_batches = 0usize;
+    let mut recomputed = 0usize;
+    let apply_all = |model: &mut DynamicModel<2>,
+                     merge: &mut usize,
+                     rebuild: &mut usize,
+                     recomputed: &mut usize| {
+        for batch in &batches {
+            let report = model.apply(batch).expect("bench batches are valid");
+            match report.path {
+                MutationPath::Merge => *merge += 1,
+                MutationPath::Rebuild => *rebuild += 1,
+            }
+            *recomputed += report.recomputed;
+        }
+    };
+    let t0 = Instant::now();
+    if opts.threads > 0 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(opts.threads)
+            .build()
+            .expect("thread pool");
+        pool.install(|| {
+            apply_all(
+                &mut model,
+                &mut merge_batches,
+                &mut rebuild_batches,
+                &mut recomputed,
+            )
+        });
+    } else {
+        apply_all(
+            &mut model,
+            &mut merge_batches,
+            &mut rebuild_batches,
+            &mut recomputed,
+        );
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let inserted = opts.batches * opts.batch_size;
+    serde_json::json!({
+        "n_initial": opts.n as u64,
+        "n_final": model.len() as u64,
+        "batches": opts.batches as u64,
+        "batch_size": opts.batch_size as u64,
+        "min_pts": opts.min_pts as u64,
+        "threads": opts.threads as u64,
+        "seed": opts.seed,
+        "seconds": seconds,
+        "insert_pts_per_s": inserted as f64 / seconds.max(1e-12),
+        "merge_batches": merge_batches as u64,
+        "rebuild_batches": rebuild_batches as u64,
+        "recomputed_core_distances": recomputed as u64,
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let doc = run(&opts);
+    let f = |k: &str| {
+        doc.get(k)
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "dyn_bench: {} batches of {} inserts over n={} in {:.3}s \
+         ({:.0} pts/s; {} merge / {} rebuild)",
+        opts.batches,
+        opts.batch_size,
+        opts.n,
+        f("seconds"),
+        f("insert_pts_per_s"),
+        f("merge_batches"),
+        f("rebuild_batches"),
+    );
+    // Sanity-check the report feeds the gate (catches schema drift here
+    // rather than in a green-looking CI run with zero shared metrics).
+    assert!(
+        metrics_from_dynamic(&doc)
+            .iter()
+            .any(|m| m.gated && m.key == "dynamic/insert_pts_per_s"),
+        "dyn_bench output no longer yields the gated throughput metric"
+    );
+    let text = doc.to_json_string_pretty();
+    match opts.out {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+                }
+            }
+            std::fs::write(&path, text)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            println!("dyn_bench: wrote {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+}

@@ -109,10 +109,37 @@ pub fn metrics_from_kernels(v: &Value) -> Vec<Metric> {
     out
 }
 
+/// Extract metrics from a `dyn_bench --out` report: incremental-mutation
+/// throughput plus the merge/rebuild path split. Throughput is gated —
+/// it is the quantity the rebuild-vs-merge policy exists to protect; the
+/// path counts are informational (they describe the workload, and a
+/// policy retune should not fail the gate by itself).
+pub fn metrics_from_dynamic(v: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(x) = v.get("insert_pts_per_s").and_then(Value::as_f64) {
+        out.push(Metric {
+            key: "dynamic/insert_pts_per_s".to_string(),
+            value: x,
+            gated: true,
+        });
+    }
+    for field in ["merge_batches", "rebuild_batches"] {
+        if let Some(x) = v.get(field).and_then(Value::as_f64) {
+            out.push(Metric {
+                key: format!("dynamic/{field}"),
+                value: x,
+                gated: false,
+            });
+        }
+    }
+    out
+}
+
 /// Extract every metric from a committed `BENCH_prN.json` baseline:
 /// a `rows` array (repro rows), a `serving` object mapping labels to
-/// loadgen reports, and/or a `kernels` object of kernel-bench reports. A
-/// bare rows array is also accepted.
+/// loadgen reports, a `kernels` object of kernel-bench reports, and/or a
+/// `dynamic` object holding a dyn-bench report. A bare rows array is also
+/// accepted.
 pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
     let mut out = Vec::new();
     if v.as_array().is_some() {
@@ -130,6 +157,9 @@ pub fn metrics_from_baseline(v: &Value) -> Vec<Metric> {
     if let Some(kernels) = v.get("kernels") {
         out.extend(metrics_from_kernels(kernels));
     }
+    if let Some(dynamic) = v.get("dynamic") {
+        out.extend(metrics_from_dynamic(dynamic));
+    }
     out
 }
 
@@ -144,6 +174,7 @@ pub fn baseline_json(
     row_sets: &[Value],
     serving: &[(String, Value)],
     kernels: Option<&Value>,
+    dynamic: Option<&Value>,
 ) -> Value {
     let mut rows = Vec::new();
     for set in row_sets {
@@ -158,6 +189,9 @@ pub fn baseline_json(
     ];
     if let Some(k) = kernels {
         fields.push(("kernels".to_string(), k.clone()));
+    }
+    if let Some(d) = dynamic {
+        fields.push(("dynamic".to_string(), d.clone()));
     }
     Value::Object(fields)
 }
@@ -436,15 +470,22 @@ mod tests {
             json!({"assign_points_per_sec": 1000.0, "requests_per_sec": 10.0}),
         )];
         let kernels = json!({"bccp_pair_loop": json!({"speedup_vs_scalar": 1.7})});
+        let dynamic = json!({
+            "insert_pts_per_s": 50_000.0,
+            "merge_batches": 28.0,
+            "rebuild_batches": 4.0,
+        });
         let doc = baseline_json(
             "refresh candidate",
             std::slice::from_ref(&rows),
             &serving,
             Some(&kernels),
+            Some(&dynamic),
         );
         let mut expected = metrics_from_rows(&rows);
         expected.extend(metrics_from_loadgen("t4", &serving[0].1));
         expected.extend(metrics_from_kernels(&kernels));
+        expected.extend(metrics_from_dynamic(&dynamic));
         assert_eq!(metrics_from_baseline(&doc), expected);
         // And it survives an actual serialize/parse cycle.
         let reparsed = crate::gate::tests::reparse(&doc);
@@ -523,6 +564,32 @@ mod tests {
         let baseline = json!({"note": "x", "kernels": blob});
         let from_base = metrics_from_baseline(&baseline);
         assert_eq!(from_base, ms);
+    }
+
+    #[test]
+    fn dynamic_metrics_gate_throughput_only() {
+        let blob = json!({
+            "insert_pts_per_s": 42_000.0,
+            "merge_batches": 30.0,
+            "rebuild_batches": 2.0,
+            "n_final": 10_000.0,
+        });
+        let ms = metrics_from_dynamic(&blob);
+        let thr = ms
+            .iter()
+            .find(|m| m.key == "dynamic/insert_pts_per_s")
+            .unwrap();
+        assert!(thr.gated);
+        assert_eq!(thr.value, 42_000.0);
+        for key in ["dynamic/merge_batches", "dynamic/rebuild_batches"] {
+            let m = ms.iter().find(|m| m.key == key).unwrap();
+            assert!(!m.gated, "{key} describes the workload, never gates");
+        }
+        // n_final is report-only, not a baseline metric.
+        assert!(!ms.iter().any(|m| m.key.contains("n_final")));
+        // A baseline with a dynamic section round-trips.
+        let baseline = json!({"note": "x", "dynamic": blob});
+        assert_eq!(metrics_from_baseline(&baseline), ms);
     }
 
     #[test]

@@ -78,6 +78,16 @@ fn hdbscan_driver<const D: usize>(
     mode: SepMode,
     engine: MstEngine,
 ) -> HdbscanMst {
+    hdbscan_driver_with(points, min_pts, mode, engine, None)
+}
+
+fn hdbscan_driver_with<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    mode: SepMode,
+    engine: MstEngine,
+    precomputed_cd: Option<&[f64]>,
+) -> HdbscanMst {
     assert!(min_pts >= 1, "minPts must be at least 1");
     let t0 = std::time::Instant::now();
     let mut stats = Stats::default();
@@ -97,9 +107,19 @@ fn hdbscan_driver<const D: usize>(
 
     // Core distances (original order), remapped to permuted positions for
     // the policy, plus the per-node min/max annotations of §3.2.2.
-    let cd_orig = Stats::time(&mut stats.core_dist, || {
-        core_distances_with_tree(&tree, min_pts)
-    });
+    let cd_orig = match precomputed_cd {
+        Some(cd) => {
+            assert_eq!(
+                cd.len(),
+                n,
+                "precomputed core distances must cover all points"
+            );
+            cd.to_vec()
+        }
+        None => Stats::time(&mut stats.core_dist, || {
+            core_distances_with_tree(&tree, min_pts)
+        }),
+    };
     let (cd_pos, cd_min, cd_max) = Stats::time(&mut stats.core_dist, || {
         let cd_pos: Vec<f64> = tree.idx.iter().map(|&o| cd_orig[o as usize]).collect();
         let (cd_min, cd_max) = core_distance_annotations(&tree, &cd_pos);
@@ -170,6 +190,52 @@ pub fn hdbscan_gantao_streaming<const D: usize>(
 /// Compute the HDBSCAN\* MST. Alias for [`hdbscan_memogfk`].
 pub fn hdbscan<const D: usize>(points: &[Point<D>], min_pts: usize) -> HdbscanMst {
     hdbscan_memogfk(points, min_pts)
+}
+
+/// [`hdbscan_memogfk`] with caller-supplied core distances — the
+/// incremental-update entry point (`parclust-dyn` reuses the core distances
+/// of points a mutation provably cannot affect).
+///
+/// Contract: `core_distances[i]` must equal, **bit for bit**, the value
+/// [`core_distances`](crate::core_distances)`(points, min_pts)[i]` would
+/// produce. Core distances are a property of the point *multiset* (the
+/// k-th smallest computed squared distance, then one `sqrt`), independent
+/// of kd-tree shape or visit order, so values carried over from a previous
+/// build satisfy this whenever the mutation left the point's k-NN distance
+/// unchanged. Feeding values that violate the contract yields an MST of a
+/// different mutual-reachability graph — consistent, but not HDBSCAN\* of
+/// `points`.
+pub fn hdbscan_memogfk_with_cds<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    core_distances: &[f64],
+) -> HdbscanMst {
+    hdbscan_driver_with(
+        points,
+        min_pts,
+        SepMode::Combined,
+        MstEngine::Memo,
+        Some(core_distances),
+    )
+}
+
+/// [`hdbscan_streaming`] with caller-supplied core distances; the same
+/// contract as [`hdbscan_memogfk_with_cds`]. Pair batches are capped at
+/// `max_batch_pairs` live pairs and merged through the streaming Kruskal
+/// forest, so incremental updates inherit the bounded-memory pipeline.
+pub fn hdbscan_streaming_with_cds<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    max_batch_pairs: usize,
+    core_distances: &[f64],
+) -> HdbscanMst {
+    hdbscan_driver_with(
+        points,
+        min_pts,
+        SepMode::Combined,
+        MstEngine::Streaming(max_batch_pairs),
+        Some(core_distances),
+    )
 }
 
 #[cfg(test)]
@@ -330,6 +396,25 @@ mod tests {
                     }
                     assert_eq!(got.core_distances, want.core_distances);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_cds_reproduce_the_standard_driver_bitwise() {
+        let pts = random_points::<2>(300, 77);
+        for min_pts in [1usize, 4, 16] {
+            let want = hdbscan_memogfk(&pts, min_pts);
+            let cds = core_distances(&pts, min_pts);
+            assert_eq!(cds, want.core_distances);
+            let memo = hdbscan_memogfk_with_cds(&pts, min_pts, &cds);
+            let stream = hdbscan_streaming_with_cds(&pts, min_pts, 23, &cds);
+            for got in [&memo, &stream] {
+                assert_eq!(got.edges.len(), want.edges.len());
+                for (a, b) in got.edges.iter().zip(&want.edges) {
+                    assert_eq!((a.u, a.v, a.w.to_bits()), (b.u, b.v, b.w.to_bits()));
+                }
+                assert_eq!(got.core_distances, want.core_distances);
             }
         }
     }

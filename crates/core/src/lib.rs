@@ -61,7 +61,7 @@ pub use extract::{
 };
 pub use hdbscan::{
     core_distances, hdbscan, hdbscan_gantao, hdbscan_gantao_streaming, hdbscan_memogfk,
-    hdbscan_streaming, HdbscanMst,
+    hdbscan_memogfk_with_cds, hdbscan_streaming, hdbscan_streaming_with_cds, HdbscanMst,
 };
 pub use optics::optics_approx;
 pub use stats::Stats;

@@ -1,0 +1,743 @@
+//! # parclust-dyn — incremental insert/delete on HDBSCAN\* models
+//!
+//! A [`DynamicModel`] holds a live point set plus its HDBSCAN\* hierarchy
+//! (core distances → mutual-reachability MST → ordered dendrogram →
+//! condensed tree) and applies batched [`MutationBatch`]es of inserts and
+//! deletes, keeping the invariant that the published hierarchy is **bit
+//! identical** to a from-scratch build over the current live points —
+//! pinned for arbitrary mutation interleavings by
+//! `tests/incremental_semantics.rs`.
+//!
+//! ## What is (and is not) reused across a mutation
+//!
+//! **Core distances are reused; MST edges are not.** The split is forced by
+//! how each quantity depends on the kd-tree:
+//!
+//! * A core distance is a property of the point *multiset*: the `minPts`-th
+//!   smallest computed squared distance from the point, then one `sqrt`.
+//!   Squared distances are accumulated in dimension order by both the
+//!   scalar and the lane kernels, so the value is independent of tree
+//!   shape, permutation, and visit order. A mutation at `q` can change
+//!   `cd(p)` only if `q`'s distance enters or leaves the k-smallest set:
+//!   an insert `b` affects `p` iff `d²(p, b) < cd²(p)` (strict — an exact
+//!   tie duplicates the k-th statistic without moving it), a delete `q`
+//!   affects `p` iff `d²(p, q) ≤ cd²(p)` (inclusive — removing a tie *at*
+//!   the k-th value can raise it). Both predicates are evaluated on the raw
+//!   squared distances ([`parclust_kdtree::KdTree::stab_radii_into`]), so
+//!   reuse is exact, ties and duplicates included.
+//!
+//! * MST *edge sets* under the total order `(w, u, v)` are **not**
+//!   tree-independent when exact weight ties exist. Counterexample (unit
+//!   square): points `p0=(0,0), p1=(0,1)` in one WSPD side and
+//!   `q0=(1,0), q1=(1,1)` in the other. The lexicographic MST of the
+//!   complete graph keeps two unit cross edges, but any driver that
+//!   represents the well-separated pair by a single BCCP edge keeps one
+//!   cross edge and closes the square along the far side — same total
+//!   weight, different edge set, and *which* edge set appears depends on
+//!   how the tree decomposed the square. Merging forest edges harvested
+//!   from an old tree into candidates streamed from a new tree can
+//!   therefore flip tie outcomes and change the dendrogram bit pattern.
+//!   So the merge path restreams all WSPD pair batches of the *new* tree
+//!   through a fresh streaming Kruskal forest
+//!   ([`parclust_mst::StreamingForest`] via
+//!   [`parclust::hdbscan_streaming_with_cds`]) instead of splicing edges
+//!   across trees; what it saves is the dominant core-distance phase.
+//!
+//! ## Rebuild vs merge
+//!
+//! [`apply`](DynamicModel::apply) stabs the affected neighborhoods and
+//! routes by the invalidated fraction: above
+//! [`DynConfig::rebuild_fraction`] the carried values would not pay for the
+//! stab + selective kNN, so everything is recomputed ("rebuild"); below it,
+//! unaffected core distances are carried over and only the affected ∪
+//! inserted points are re-queried ("merge"). Because both paths end in the
+//! same exact pipeline over the same exact core-distance values, the policy
+//! is purely a performance lever — correctness never depends on which path
+//! ran. A changed effective `k = min(minPts, n)` (tiny models, or deletes
+//! crossing `minPts`) invalidates every carried value, so it forces the
+//! rebuild path regardless of policy.
+
+use parclust::{
+    condense_tree, dendrogram_par, hdbscan_memogfk_with_cds, hdbscan_streaming_with_cds,
+    CondensedTree, Dendrogram, HdbscanMst,
+};
+use parclust_geom::Point;
+use parclust_kdtree::KdTree;
+use rayon::prelude::*;
+
+/// How [`DynamicModel::apply`] chooses between its two update paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MutationPolicy {
+    /// Cost model: merge below [`DynConfig::rebuild_fraction`], rebuild
+    /// above it.
+    #[default]
+    Auto,
+    /// Always recompute every core distance (the reference path).
+    AlwaysRebuild,
+    /// Always carry unaffected core distances, whatever the fraction.
+    /// (A changed effective `k` still forces a rebuild — carried values
+    /// would be values of a different statistic.)
+    ForceMerge,
+}
+
+/// Tuning for a [`DynamicModel`]. The defaults match the batch pipeline:
+/// in-memory MemoGFK restreams and a 25% invalidation threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct DynConfig {
+    pub policy: MutationPolicy,
+    /// `Auto` rebuilds when more than this fraction of the new live set
+    /// had its core distance invalidated (affected survivors + inserts).
+    pub rebuild_fraction: f64,
+    /// `Some(cap)` routes the MST restream through the bounded-memory
+    /// streaming pipeline (at most `cap` live WSPD pairs per batch);
+    /// `None` uses MemoGFK. Both are bit-identical.
+    pub max_live_pairs: Option<usize>,
+}
+
+impl Default for DynConfig {
+    fn default() -> Self {
+        DynConfig {
+            policy: MutationPolicy::Auto,
+            rebuild_fraction: 0.25,
+            max_live_pairs: None,
+        }
+    }
+}
+
+/// One batch of mutations. Deletes name *current live indices* (positions
+/// in [`DynamicModel::points`] before this batch); survivors keep their
+/// relative order and inserts append after them, so live order stays
+/// insertion order compacted by deletions.
+#[derive(Debug, Clone, Default)]
+pub struct MutationBatch<const D: usize> {
+    pub inserts: Vec<Point<D>>,
+    pub deletes: Vec<usize>,
+}
+
+impl<const D: usize> MutationBatch<D> {
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Which path [`DynamicModel::apply`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationPath {
+    Merge,
+    Rebuild,
+}
+
+impl MutationPath {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MutationPath::Merge => "merge",
+            MutationPath::Rebuild => "rebuild",
+        }
+    }
+}
+
+/// What one [`DynamicModel::apply`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyReport {
+    pub path: MutationPath,
+    /// Points whose core distance was recomputed (= live size on rebuild).
+    pub recomputed: usize,
+    pub inserted: usize,
+    pub deleted: usize,
+    /// Live points after the batch.
+    pub n: usize,
+    /// Model version after the batch (bumps by one per apply).
+    pub version: u64,
+}
+
+/// A mutable HDBSCAN\* model: live points plus the exact hierarchy over
+/// them, updated in place by [`DynamicModel::apply`].
+pub struct DynamicModel<const D: usize> {
+    min_pts: usize,
+    min_cluster_size: usize,
+    cfg: DynConfig,
+    version: u64,
+    points: Vec<Point<D>>,
+    /// Raw squared `minPts`-th-NN distance per live point — the exact
+    /// statistic the affected-set predicates compare against.
+    cd_sq: Vec<f64>,
+    /// `cd_sq.sqrt()` — the core distances the hierarchy is built from.
+    core_distances: Vec<f64>,
+    dendrogram: Dendrogram,
+    condensed: CondensedTree,
+}
+
+impl<const D: usize> DynamicModel<D> {
+    /// Build a dynamic model from scratch (version 1).
+    pub fn new(
+        points: &[Point<D>],
+        min_pts: usize,
+        min_cluster_size: usize,
+        cfg: DynConfig,
+    ) -> Self {
+        assert!(!points.is_empty(), "dynamic model needs at least one point");
+        assert!(min_pts >= 1, "minPts must be at least 1");
+        let (cd_sq, cd) = full_core_distances(points, min_pts);
+        let (dendrogram, condensed) = build_hierarchy(points, min_pts, min_cluster_size, &cd, &cfg);
+        DynamicModel {
+            min_pts,
+            min_cluster_size,
+            cfg,
+            version: 1,
+            points: points.to_vec(),
+            cd_sq,
+            core_distances: cd,
+            dendrogram,
+            condensed,
+        }
+    }
+
+    /// Reassemble a dynamic model from persisted pieces (an artifact's
+    /// point set + hierarchy). The raw squared k-NN distances are not
+    /// persisted, so they are recomputed here and cross-checked against the
+    /// supplied core distances — a mismatch means the pieces were not built
+    /// by this pipeline over these points.
+    pub fn from_parts(
+        points: Vec<Point<D>>,
+        min_pts: usize,
+        min_cluster_size: usize,
+        cfg: DynConfig,
+        core_distances: Vec<f64>,
+        dendrogram: Dendrogram,
+        condensed: CondensedTree,
+        version: u64,
+    ) -> Result<Self, String> {
+        let n = points.len();
+        if n == 0 {
+            return Err("dynamic model needs at least one point".into());
+        }
+        if min_pts < 1 {
+            return Err("minPts must be at least 1".into());
+        }
+        if core_distances.len() != n {
+            return Err(format!(
+                "core-distance length {} does not match {n} points",
+                core_distances.len()
+            ));
+        }
+        if dendrogram.n != n || condensed.point_cluster.len() != n {
+            return Err("hierarchy does not cover the point set".into());
+        }
+        if version == 0 {
+            return Err("model versions start at 1".into());
+        }
+        let (cd_sq, cd) = full_core_distances(&points, min_pts);
+        if cd != core_distances {
+            return Err(
+                "supplied core distances disagree with the point set (wrong minPts or \
+                 foreign pipeline)"
+                    .into(),
+            );
+        }
+        Ok(DynamicModel {
+            min_pts,
+            min_cluster_size,
+            cfg,
+            version,
+            points,
+            cd_sq,
+            core_distances,
+            dendrogram,
+            condensed,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    pub fn min_cluster_size(&self) -> usize {
+        self.min_cluster_size
+    }
+
+    pub fn config(&self) -> &DynConfig {
+        &self.cfg
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Live points, insertion order compacted by deletions.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    pub fn core_distances(&self) -> &[f64] {
+        &self.core_distances
+    }
+
+    pub fn dendrogram(&self) -> &Dendrogram {
+        &self.dendrogram
+    }
+
+    pub fn condensed(&self) -> &CondensedTree {
+        &self.condensed
+    }
+
+    /// Apply one mutation batch: deletes first (by pre-batch live index),
+    /// then inserts appended. Errors leave the model untouched.
+    pub fn apply(&mut self, batch: &MutationBatch<D>) -> Result<ApplyReport, String> {
+        self.apply_inner(batch, false)
+    }
+
+    /// Force a full recomputation (the compaction primitive): equivalent to
+    /// applying an empty batch down the rebuild path. Bumps the version.
+    pub fn rebuild(&mut self) -> ApplyReport {
+        self.apply_inner(&MutationBatch::default(), true)
+            .expect("empty rebuild batch cannot fail")
+    }
+
+    fn apply_inner(
+        &mut self,
+        batch: &MutationBatch<D>,
+        force_rebuild: bool,
+    ) -> Result<ApplyReport, String> {
+        let n_old = self.points.len();
+        let mut deletes = batch.deletes.clone();
+        deletes.sort_unstable();
+        deletes.dedup();
+        if deletes.len() != batch.deletes.len() {
+            return Err("duplicate delete indices in batch".into());
+        }
+        if let Some(&bad) = deletes.iter().find(|&&i| i >= n_old) {
+            return Err(format!("delete index {bad} out of range (n = {n_old})"));
+        }
+        let n_new = n_old - deletes.len() + batch.inserts.len();
+        if n_new == 0 {
+            return Err("batch would delete every live point".into());
+        }
+
+        // Survivors, old→new index map, and the new live order.
+        let n_surv = n_old - deletes.len();
+        let mut deleted = vec![false; n_old];
+        for &i in &deletes {
+            deleted[i] = true;
+        }
+        let mut new_points: Vec<Point<D>> = Vec::with_capacity(n_new);
+        let mut carried_cd_sq: Vec<f64> = Vec::with_capacity(n_new);
+        let mut carried_cd: Vec<f64> = Vec::with_capacity(n_new);
+        for i in 0..n_old {
+            if !deleted[i] {
+                new_points.push(self.points[i]);
+                carried_cd_sq.push(self.cd_sq[i]);
+                carried_cd.push(self.core_distances[i]);
+            }
+        }
+        new_points.extend_from_slice(&batch.inserts);
+
+        // A changed effective k makes every carried value a different
+        // statistic; only the rebuild path is sound then.
+        let k_unchanged = self.min_pts.min(n_old) == self.min_pts.min(n_new);
+        let want_merge = !force_rebuild
+            && k_unchanged
+            && !matches!(self.cfg.policy, MutationPolicy::AlwaysRebuild);
+
+        let (path, recomputed, cd_sq, cd) = if want_merge {
+            let tree = KdTree::build(&new_points);
+            // Stab radii: survivors carry their old squared core distance;
+            // inserts can never be stabbed (they are recomputed anyway).
+            let mut radii_sq = carried_cd_sq.clone();
+            radii_sq.resize(n_new, f64::NEG_INFINITY);
+            let ann = tree.max_radius_sq_annotation(&radii_sq);
+            let mut affected = vec![false; n_new];
+            for a in affected.iter_mut().skip(n_surv) {
+                *a = true;
+            }
+            let mut hits = Vec::new();
+            for b in &batch.inserts {
+                // Strict: an insert tying the k-th distance leaves it alone.
+                tree.stab_radii_into(b, &radii_sq, &ann, false, &mut hits);
+            }
+            for &i in &deletes {
+                // Inclusive: removing a tie at the k-th distance can raise it.
+                tree.stab_radii_into(&self.points[i], &radii_sq, &ann, true, &mut hits);
+            }
+            for &i in &hits {
+                affected[i as usize] = true;
+            }
+            let recomputed = affected.iter().filter(|&&a| a).count();
+            let fraction = recomputed as f64 / n_new as f64;
+            let merge = match self.cfg.policy {
+                MutationPolicy::ForceMerge => true,
+                MutationPolicy::Auto => fraction <= self.cfg.rebuild_fraction,
+                MutationPolicy::AlwaysRebuild => unreachable!("filtered above"),
+            };
+            if merge {
+                let mut cd_sq = carried_cd_sq;
+                cd_sq.resize(n_new, 0.0);
+                let mut cd = carried_cd;
+                cd.resize(n_new, 0.0);
+                let idx: Vec<usize> = (0..n_new).filter(|&i| affected[i]).collect();
+                let fresh: Vec<(usize, f64)> = idx
+                    .par_iter()
+                    .map(|&i| {
+                        let knn = tree.knn(&new_points[i], self.min_pts);
+                        // knn clamps k to n internally; the last entry is the
+                        // effective-k-th neighbor (self included).
+                        (i, knn.last().expect("non-empty tree").0)
+                    })
+                    .collect();
+                for (i, d_sq) in fresh {
+                    cd_sq[i] = d_sq;
+                    cd[i] = d_sq.sqrt();
+                }
+                (MutationPath::Merge, recomputed, cd_sq, cd)
+            } else {
+                let (cd_sq, cd) = full_core_distances(&new_points, self.min_pts);
+                (MutationPath::Rebuild, n_new, cd_sq, cd)
+            }
+        } else {
+            let (cd_sq, cd) = full_core_distances(&new_points, self.min_pts);
+            (MutationPath::Rebuild, n_new, cd_sq, cd)
+        };
+
+        let (dendrogram, condensed) = build_hierarchy(
+            &new_points,
+            self.min_pts,
+            self.min_cluster_size,
+            &cd,
+            &self.cfg,
+        );
+        self.points = new_points;
+        self.cd_sq = cd_sq;
+        self.core_distances = cd;
+        self.dendrogram = dendrogram;
+        self.condensed = condensed;
+        self.version += 1;
+        Ok(ApplyReport {
+            path,
+            recomputed,
+            inserted: batch.inserts.len(),
+            deleted: deletes.len(),
+            n: self.points.len(),
+            version: self.version,
+        })
+    }
+}
+
+/// All core distances from one all-points kNN pass: the raw squared k-th
+/// distances plus their roots, bitwise what `parclust::core_distances`
+/// produces.
+fn full_core_distances<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let tree = KdTree::build(points);
+    let knn = tree.knn_all(min_pts);
+    let cd_sq: Vec<f64> = (0..points.len()).map(|i| knn.kth_dist_sq(i)).collect();
+    let cd: Vec<f64> = cd_sq.iter().map(|d| d.sqrt()).collect();
+    (cd_sq, cd)
+}
+
+/// MST restream over exact core distances, then dendrogram + condensed
+/// tree — the shared tail of both mutation paths, identical to the batch
+/// pipeline (`ClusterModel::build` shape).
+fn build_hierarchy<const D: usize>(
+    points: &[Point<D>],
+    min_pts: usize,
+    min_cluster_size: usize,
+    cd: &[f64],
+    cfg: &DynConfig,
+) -> (Dendrogram, CondensedTree) {
+    let h: HdbscanMst = match cfg.max_live_pairs {
+        Some(cap) => hdbscan_streaming_with_cds(points, min_pts, cap, cd),
+        None => hdbscan_memogfk_with_cds(points, min_pts, cd),
+    };
+    let dendrogram = dendrogram_par(points.len(), &h.edges, 0);
+    let condensed = condense_tree(&dendrogram, min_cluster_size);
+    (dendrogram, condensed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parclust::hdbscan_memogfk;
+    use rand::prelude::*;
+
+    fn scratch<const D: usize>(
+        pts: &[Point<D>],
+        min_pts: usize,
+        mcs: usize,
+    ) -> (Vec<f64>, Dendrogram, CondensedTree) {
+        let h = hdbscan_memogfk(pts, min_pts);
+        let d = dendrogram_par(pts.len(), &h.edges, 0);
+        let c = condense_tree(&d, mcs);
+        (h.core_distances, d, c)
+    }
+
+    fn assert_matches_scratch<const D: usize>(m: &DynamicModel<D>, what: &str) {
+        let (cd, d, c) = scratch(m.points(), m.min_pts(), m.min_cluster_size());
+        assert_eq!(m.core_distances(), &cd[..], "{what}: core distances");
+        let dm = m.dendrogram();
+        assert_eq!(dm.height, d.height, "{what}: heights");
+        assert_eq!(dm.left, d.left, "{what}: left");
+        assert_eq!(dm.right, d.right, "{what}: right");
+        assert_eq!(dm.parent, d.parent, "{what}: parent");
+        assert_eq!(dm.edge_u, d.edge_u, "{what}: edge_u");
+        assert_eq!(dm.edge_v, d.edge_v, "{what}: edge_v");
+        let cm = m.condensed();
+        assert_eq!(cm.parent, c.parent, "{what}: condensed parent");
+        assert_eq!(cm.point_cluster, c.point_cluster, "{what}: labels");
+        assert_eq!(cm.point_lambda, c.point_lambda, "{what}: lambdas");
+    }
+
+    fn grid_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        // Tie-heavy: integer grid coordinates produce many exact-equal
+        // distances, the regime where cross-tree edge reuse would break.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point([rng.gen_range(0..12) as f64, rng.gen_range(0..12) as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn inserts_match_scratch_on_tie_heavy_grids() {
+        let pts = grid_points(120, 1);
+        for policy in [
+            MutationPolicy::Auto,
+            MutationPolicy::AlwaysRebuild,
+            MutationPolicy::ForceMerge,
+        ] {
+            let cfg = DynConfig {
+                policy,
+                ..DynConfig::default()
+            };
+            let mut m = DynamicModel::new(&pts[..100], 4, 4, cfg);
+            for chunk in pts[100..].chunks(7) {
+                let report = m
+                    .apply(&MutationBatch {
+                        inserts: chunk.to_vec(),
+                        deletes: vec![],
+                    })
+                    .unwrap();
+                assert_eq!(report.inserted, chunk.len());
+                assert_matches_scratch(&m, &format!("{policy:?} insert"));
+            }
+            assert_eq!(m.len(), 120);
+        }
+    }
+
+    #[test]
+    fn deletes_and_mixed_batches_match_scratch() {
+        let pts = grid_points(150, 2);
+        let cfg = DynConfig {
+            policy: MutationPolicy::ForceMerge,
+            ..DynConfig::default()
+        };
+        let mut m = DynamicModel::new(&pts, 5, 3, cfg);
+        let report = m
+            .apply(&MutationBatch {
+                inserts: vec![],
+                deletes: vec![0, 7, 149, 33],
+            })
+            .unwrap();
+        assert_eq!(report.deleted, 4);
+        assert_eq!(m.len(), 146);
+        assert_matches_scratch(&m, "pure delete");
+        let report = m
+            .apply(&MutationBatch {
+                inserts: grid_points(9, 3),
+                deletes: vec![2, 100],
+            })
+            .unwrap();
+        assert_eq!((report.inserted, report.deleted, report.n), (9, 2, 153));
+        assert_matches_scratch(&m, "mixed batch");
+    }
+
+    #[test]
+    fn live_order_is_insertion_order_compacted_by_deletes() {
+        let pts: Vec<Point<2>> = (0..6).map(|i| Point([i as f64, 0.0])).collect();
+        let mut m = DynamicModel::new(&pts, 2, 2, DynConfig::default());
+        m.apply(&MutationBatch {
+            inserts: vec![Point([10.0, 0.0])],
+            deletes: vec![1, 4],
+        })
+        .unwrap();
+        let want = [0.0, 2.0, 3.0, 5.0, 10.0];
+        let got: Vec<f64> = m.points().iter().map(|p| p[0]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn policy_is_only_a_performance_lever() {
+        let pts = grid_points(90, 5);
+        let batch = MutationBatch {
+            inserts: grid_points(11, 6),
+            deletes: vec![3, 50, 88],
+        };
+        let mut results = Vec::new();
+        for policy in [
+            MutationPolicy::AlwaysRebuild,
+            MutationPolicy::ForceMerge,
+            MutationPolicy::Auto,
+        ] {
+            let cfg = DynConfig {
+                policy,
+                ..DynConfig::default()
+            };
+            let mut m = DynamicModel::new(&pts, 6, 4, cfg);
+            m.apply(&batch).unwrap();
+            results.push((
+                m.core_distances().to_vec(),
+                m.dendrogram().height.clone(),
+                m.condensed().point_cluster.clone(),
+            ));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn auto_routes_small_batches_to_merge_and_avalanches_to_rebuild() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Spread-out points so one far-away insert affects almost nobody.
+        let pts: Vec<Point<2>> = (0..200)
+            .map(|_| Point([rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0)]))
+            .collect();
+        let mut m = DynamicModel::new(&pts, 3, 3, DynConfig::default());
+        let report = m
+            .apply(&MutationBatch {
+                inserts: vec![Point([10_000.0, 10_000.0])],
+                deletes: vec![],
+            })
+            .unwrap();
+        assert_eq!(report.path, MutationPath::Merge);
+        assert!(report.recomputed < 10, "recomputed {}", report.recomputed);
+        // Deleting most of the set invalidates everything.
+        let report = m
+            .apply(&MutationBatch {
+                inserts: vec![],
+                deletes: (0..150).collect(),
+            })
+            .unwrap();
+        assert_eq!(report.path, MutationPath::Rebuild);
+        assert_matches_scratch(&m, "after avalanche");
+    }
+
+    #[test]
+    fn effective_k_change_forces_rebuild_even_under_force_merge() {
+        let pts = grid_points(4, 11);
+        let cfg = DynConfig {
+            policy: MutationPolicy::ForceMerge,
+            ..DynConfig::default()
+        };
+        // minPts = 8 > n: effective k is n and moves with every mutation.
+        let mut m = DynamicModel::new(&pts, 8, 2, cfg);
+        let report = m
+            .apply(&MutationBatch {
+                inserts: grid_points(3, 12),
+                deletes: vec![],
+            })
+            .unwrap();
+        assert_eq!(report.path, MutationPath::Rebuild);
+        assert_matches_scratch(&m, "k-clamp insert");
+    }
+
+    #[test]
+    fn bad_batches_error_and_leave_the_model_untouched() {
+        let pts = grid_points(10, 13);
+        let mut m = DynamicModel::new(&pts, 3, 2, DynConfig::default());
+        let before = m.core_distances().to_vec();
+        assert!(m
+            .apply(&MutationBatch {
+                inserts: vec![],
+                deletes: vec![10],
+            })
+            .is_err());
+        assert!(m
+            .apply(&MutationBatch {
+                inserts: vec![],
+                deletes: vec![1, 1],
+            })
+            .is_err());
+        assert!(m
+            .apply(&MutationBatch {
+                inserts: vec![],
+                deletes: (0..10).collect(),
+            })
+            .is_err());
+        assert_eq!(m.version(), 1);
+        assert_eq!(m.core_distances(), &before[..]);
+    }
+
+    #[test]
+    fn versions_are_monotone_and_rebuild_bumps_them() {
+        let pts = grid_points(30, 14);
+        let mut m = DynamicModel::new(&pts, 3, 2, DynConfig::default());
+        assert_eq!(m.version(), 1);
+        m.apply(&MutationBatch {
+            inserts: grid_points(2, 15),
+            deletes: vec![],
+        })
+        .unwrap();
+        assert_eq!(m.version(), 2);
+        let report = m.rebuild();
+        assert_eq!(report.path, MutationPath::Rebuild);
+        assert_eq!(m.version(), 3);
+        assert_matches_scratch(&m, "after compact rebuild");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_rejects_foreign_pieces() {
+        let pts = grid_points(60, 16);
+        let m = DynamicModel::new(&pts, 4, 3, DynConfig::default());
+        let back = DynamicModel::from_parts(
+            m.points().to_vec(),
+            4,
+            3,
+            DynConfig::default(),
+            m.core_distances().to_vec(),
+            m.dendrogram().clone(),
+            m.condensed().clone(),
+            m.version(),
+        )
+        .unwrap();
+        assert_eq!(back.core_distances(), m.core_distances());
+        // Wrong minPts: the recomputed statistic disagrees.
+        assert!(DynamicModel::from_parts(
+            m.points().to_vec(),
+            5,
+            3,
+            DynConfig::default(),
+            m.core_distances().to_vec(),
+            m.dendrogram().clone(),
+            m.condensed().clone(),
+            m.version(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn streaming_restream_is_bit_identical_to_memo() {
+        let pts = grid_points(100, 17);
+        let cfg_stream = DynConfig {
+            max_live_pairs: Some(37),
+            ..DynConfig::default()
+        };
+        let mut a = DynamicModel::new(&pts, 4, 4, DynConfig::default());
+        let mut b = DynamicModel::new(&pts, 4, 4, cfg_stream);
+        let batch = MutationBatch {
+            inserts: grid_points(8, 18),
+            deletes: vec![4, 40],
+        };
+        a.apply(&batch).unwrap();
+        b.apply(&batch).unwrap();
+        assert_eq!(a.core_distances(), b.core_distances());
+        assert_eq!(a.dendrogram().height, b.dendrogram().height);
+        assert_eq!(a.condensed().point_cluster, b.condensed().point_cluster);
+    }
+}

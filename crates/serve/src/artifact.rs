@@ -223,12 +223,20 @@ impl<const D: usize> ClusterModel<D> {
         Ok(())
     }
 
-    /// Write the artifact to `path` (payload + trailing checksum).
-    pub fn save(&self, path: &Path) -> io::Result<()> {
+    /// Serialize the artifact to bytes (payload + trailing checksum) —
+    /// exactly what [`ClusterModel::save`] writes to disk. The dynamic
+    /// wrapper format embeds these bytes as its base section.
+    pub fn to_bytes(&self) -> io::Result<Vec<u8>> {
         let mut buf = Vec::new();
         self.write_to(&mut buf)?;
         let sum = fnv1a64(&buf);
         le::write_u64(&mut buf, sum)?;
+        Ok(buf)
+    }
+
+    /// Write the artifact to `path` (payload + trailing checksum).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let buf = self.to_bytes()?;
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;

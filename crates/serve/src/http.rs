@@ -21,8 +21,17 @@
 //! | `POST /models/{id}/eom` (alias `/eom`) | `{"cluster_selection_epsilon": f?}` | EOM labeling |
 //! | `POST /models/{id}/assign` (alias `/assign`) | `{"points": [[..]..], "labeling"?, "max_dist"?}` | out-of-sample labels |
 //! | `POST /models/{id}/assign_binary` (alias `/assign_binary`) | [`proto`](crate::proto) request frame | response frame |
-//! | `POST /admin/load` | `{"id": s, "path": s, "default"?: bool}` | load an artifact |
+//! | `POST /models/{id}/insert` | `{"points"?: [[..]..], "deletes"?: [n..]}` | mutate a dynamic model |
+//! | `POST /admin/load` | `{"id": s, "path": s, "default"?: bool, "dynamic"?: bool, ...}` | load an artifact |
 //! | `POST /admin/unload` | `{"id": s}` | drop a model |
+//! | `POST /admin/compact` | `{"id": s, "save_path"?: s}` | rebuild + rebase a dynamic model |
+//!
+//! `/admin/load` with `"dynamic": true` wraps a `.pcsm` artifact as a
+//! mutable model (optional knobs: `"policy"` of `"auto"`/`"rebuild"`/
+//! `"merge"`, `"rebuild_fraction"`, `"max_live_pairs"`); `.pcdy` dynamic
+//! wrappers load as dynamic either way. Each `insert` batch applies the
+//! incremental pipeline and publishes a new immutable model version —
+//! concurrent queries keep reading the version they resolved.
 //!
 //! JSON labels are integers with noise as `-1`; pass `"include_labels":
 //! false` to `/cut` / `/eom` for counts only. `/assign_binary` answers
@@ -202,6 +211,12 @@ fn handle_connection(
                     &Body::Json(serde_json::json!({"error": format!("{e}")})),
                     false,
                 );
+                // Closing while the client is still sending (a body we
+                // never read, an oversized line) leaves unread data in the
+                // socket buffer, which makes the kernel answer with RST —
+                // destroying the queued 400 before the peer can read it.
+                // Drain a bounded tail first so the error actually arrives.
+                drain_request_tail(&mut reader);
                 break;
             }
         };
@@ -250,6 +265,7 @@ fn classify(registry: &ModelRegistry, req: &Request) -> (usize, String) {
         ("GET", ["metrics"]) => (route_index("metrics"), NO_MODEL.to_string()),
         ("GET", ["models"]) => (route_index("models"), NO_MODEL.to_string()),
         ("POST", ["admin", ..]) => (route_index("admin"), NO_MODEL.to_string()),
+        ("POST", ["models", id, "insert"]) => (route_index("insert"), known(id)),
         ("GET", ["model"]) => (route_index("info"), default_id()),
         ("GET", ["models", id]) => (route_index("info"), known(id)),
         ("POST", [action @ ("cut" | "eom" | "assign" | "assign_binary")]) => {
@@ -259,6 +275,25 @@ fn classify(registry: &ModelRegistry, req: &Request) -> (usize, String) {
             (route_index(action), known(id))
         }
         _ => (route_index("other"), NO_MODEL.to_string()),
+    }
+}
+
+/// After a framing error the connection is torn down; this reads (and
+/// discards) what the client is still sending — bounded in bytes and
+/// time — so the close sends FIN, not RST, and the 400 written above
+/// survives to the peer. Best-effort: any read error just ends the drain.
+fn drain_request_tail(reader: &mut BufReader<TcpStream>) {
+    const DRAIN_MAX: usize = 256 << 10;
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(200)));
+    let mut budget = DRAIN_MAX;
+    let mut buf = [0u8; 4096];
+    while budget > 0 {
+        match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
     }
 }
 
@@ -414,6 +449,10 @@ fn route(
             ("GET", ["models"]) => return (200, models_index(&snapshot)),
             ("POST", ["admin", "load"]) => return admin_load(registry, &req.body),
             ("POST", ["admin", "unload"]) => return admin_unload(registry, &req.body),
+            ("POST", ["admin", "compact"]) => return admin_compact(registry, &req.body),
+            ("POST", ["models", id, "insert"]) => {
+                return insert_handler(registry, id, &req.body);
+            }
             // Legacy single-model aliases → the default model.
             ("GET", ["model"]) => match snapshot.default_handle() {
                 Some((id, h)) => Some((id, Some(h), "info")),
@@ -489,7 +528,15 @@ fn admin_load(registry: &ModelRegistry, body: &[u8]) -> (u16, Body) {
     ) else {
         return (400, json_err("pass \"id\" and \"path\""));
     };
-    if let Err(e) = registry.load_path(id, std::path::Path::new(path)) {
+    let load_result = if v.get("dynamic").and_then(Value::as_bool) == Some(true) {
+        match dyn_config_from_json(&v) {
+            Ok(cfg) => load_dynamic(registry, id, std::path::Path::new(path), cfg),
+            Err(msg) => return (400, json_err(msg)),
+        }
+    } else {
+        registry.load_path(id, std::path::Path::new(path))
+    };
+    if let Err(e) = load_result {
         return (400, json_err(format!("load {path:?}: {e}")));
     }
     if v.get("default").and_then(Value::as_bool) == Some(true) {
@@ -522,6 +569,158 @@ fn admin_unload(registry: &ModelRegistry, body: &[u8]) -> (u16, Body) {
             serde_json::json!({"unloaded": id, "models": registry.snapshot().models.len() as u64}),
         ),
     )
+}
+
+/// Parse `[[f64; dims], ...]` into row-major flat coordinates (shared by
+/// `/assign` and `/models/{id}/insert`).
+fn parse_flat_points(raw: &[Value], dims: usize) -> Result<Vec<f64>, String> {
+    let mut flat = Vec::with_capacity(raw.len() * dims);
+    for (i, p) in raw.iter().enumerate() {
+        let coords = p
+            .as_array()
+            // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
+            .ok_or_else(|| format!("points[{i}] must be an array"))?;
+        if coords.len() != dims {
+            // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
+            return Err(format!(
+                "points[{i}] has {} coordinates, model is {dims}-dimensional",
+                coords.len()
+            ));
+        }
+        for c in coords {
+            flat.push(finite_f64(c, "coordinate")?);
+        }
+    }
+    Ok(flat)
+}
+
+/// Rebuild-vs-merge knobs from an `/admin/load` body.
+fn dyn_config_from_json(v: &Value) -> Result<parclust_dyn::DynConfig, String> {
+    let mut cfg = parclust_dyn::DynConfig::default();
+    if let Some(p) = v.get("policy") {
+        let p = p.as_str().ok_or("policy must be a string")?;
+        cfg.policy = crate::dynamic::policy_from_str(p)?;
+    }
+    if let Some(f) = v.get("rebuild_fraction") {
+        let f = finite_f64(f, "rebuild_fraction")?;
+        if f < 0.0 {
+            return Err("rebuild_fraction must be non-negative".to_string());
+        }
+        cfg.rebuild_fraction = f;
+    }
+    if let Some(c) = v.get("max_live_pairs") {
+        let c = c
+            .as_u64()
+            .ok_or("max_live_pairs must be a non-negative integer")?;
+        cfg.max_live_pairs = if c == 0 { None } else { Some(c as usize) };
+    }
+    Ok(cfg)
+}
+
+/// `/admin/load` with `"dynamic": true`: wrap a base artifact with the
+/// requested knobs, or — if the file is already a dynamic wrapper — load
+/// it (the wrapper carries its own knobs).
+fn load_dynamic(
+    registry: &ModelRegistry,
+    id: &str,
+    path: &std::path::Path,
+    cfg: parclust_dyn::DynConfig,
+) -> io::Result<()> {
+    let mut head = [0u8; 4];
+    std::fs::File::open(path)?.read_exact(&mut head)?;
+    if &head == crate::dynamic::DYN_MAGIC {
+        return registry.load_path(id, path);
+    }
+    let dh = crate::dynamic::wrap_artifact_path(path, cfg)?;
+    registry
+        .insert_dynamic(id, dh)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Resolve the mutation handle for `id`, distinguishing "not loaded"
+/// (404) from "loaded, but read-only" (400).
+fn dynamic_handle(
+    registry: &ModelRegistry,
+    id: &str,
+) -> Result<Arc<dyn crate::dynamic::DynModelHandle>, (u16, Body)> {
+    match registry.dynamic(id) {
+        Some(dh) => Ok(dh),
+        None if registry.snapshot().get(id).is_some() => Err((
+            400,
+            json_err(format!("model {id:?} was not loaded as dynamic")),
+        )),
+        None => Err((404, json_err(format!("no model {id:?} loaded")))),
+    }
+}
+
+fn insert_handler(registry: &ModelRegistry, id: &str, body: &[u8]) -> (u16, Body) {
+    let dh = match dynamic_handle(registry, id) {
+        Ok(dh) => dh,
+        Err(resp) => return resp,
+    };
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(msg) => return (400, json_err(msg)),
+    };
+    let flat = match v.get("points") {
+        Some(raw) => {
+            let Some(raw) = raw.as_array() else {
+                return (
+                    400,
+                    json_err("points must be an array of coordinate arrays"),
+                );
+            };
+            match parse_flat_points(raw, dh.dims()) {
+                Ok(flat) => flat,
+                Err(msg) => return (400, json_err(msg)),
+            }
+        }
+        None => Vec::new(),
+    };
+    let mut deletes = Vec::new();
+    if let Some(raw) = v.get("deletes") {
+        let Some(raw) = raw.as_array() else {
+            return (400, json_err("deletes must be an array of live indices"));
+        };
+        for (i, d) in raw.iter().enumerate() {
+            match d.as_u64() {
+                Some(x) => deletes.push(x as usize),
+                None => {
+                    return (
+                        400,
+                        // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
+                        json_err(format!("deletes[{i}] must be a non-negative integer")),
+                    );
+                }
+            }
+        }
+    }
+    match dh.mutate(registry, id, &flat, &deletes) {
+        Ok(report) => (200, Body::Json(report)),
+        Err(msg) => (400, json_err(msg)),
+    }
+}
+
+fn admin_compact(registry: &ModelRegistry, body: &[u8]) -> (u16, Body) {
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(msg) => return (400, json_err(msg)),
+    };
+    let Some(id) = v.get("id").and_then(Value::as_str) else {
+        return (400, json_err("pass \"id\""));
+    };
+    let dh = match dynamic_handle(registry, id) {
+        Ok(dh) => dh,
+        Err(resp) => return resp,
+    };
+    let save_path = v
+        .get("save_path")
+        .and_then(Value::as_str)
+        .map(std::path::PathBuf::from);
+    match dh.compact(registry, id, save_path.as_deref()) {
+        Ok(report) => (200, Body::Json(report)),
+        Err(msg) => (400, json_err(msg)),
+    }
 }
 
 fn parse_body(body: &[u8]) -> Result<Value, String> {
@@ -660,23 +859,7 @@ fn assign_handler(
         .get("points")
         .and_then(Value::as_array)
         .ok_or("points must be an array of coordinate arrays")?;
-    let mut flat = Vec::with_capacity(raw.len() * dims);
-    for (i, p) in raw.iter().enumerate() {
-        let coords = p
-            .as_array()
-            // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
-            .ok_or_else(|| format!("points[{i}] must be an array"))?;
-        if coords.len() != dims {
-            // analyze:allow(hotpath-alloc-in-loop) — cold path: the message only materializes on a 400
-            return Err(format!(
-                "points[{i}] has {} coordinates, model is {dims}-dimensional",
-                coords.len()
-            ));
-        }
-        for c in coords {
-            flat.push(finite_f64(c, "coordinate")?);
-        }
-    }
+    let flat = parse_flat_points(raw, dims)?;
     let assignments = handle.assign_flat(&flat, spec, max_dist, pool);
     let labels: Vec<u32> = assignments.iter().map(|a| a.label).collect();
     let neighbors: Vec<u64> = assignments.iter().map(|a| a.neighbor as u64).collect();

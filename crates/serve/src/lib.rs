@@ -48,8 +48,16 @@
 //! via the checksummed binary batch protocol in [`proto`]. Both the
 //! labeling cache and the registry publish immutable snapshots through
 //! [`snapshot::SnapshotCell`], so the query hot path never takes a lock.
+//!
+//! Models loaded as **dynamic** ([`dynamic`]) additionally accept batched
+//! inserts/deletes (`POST /models/{id}/insert`) and compaction
+//! (`POST /admin/compact`): every mutation runs the incremental
+//! rebuild-vs-merge pipeline from `parclust-dyn` and republishes a fresh
+//! immutable model version through the registry snapshot — readers never
+//! block and never observe a partially mutated model.
 
 pub mod artifact;
+pub mod dynamic;
 pub mod engine;
 pub mod http;
 pub mod metrics;
@@ -58,6 +66,7 @@ pub mod registry;
 pub mod snapshot;
 
 pub use artifact::{peek_dims, ClusterModel, FORMAT_VERSION};
+pub use dynamic::{DynEntry, DynModelHandle, DYN_FORMAT_VERSION, DYN_MAGIC};
 pub use engine::{Assignment, LabelCache, Labeling, LabelingSpec, QueryEngine};
 pub use http::{start, Client, Server, ServerConfig};
 pub use metrics::Metrics;

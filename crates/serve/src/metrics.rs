@@ -12,7 +12,7 @@
 //! `Relaxed` snapshots — the standard Prometheus contract.
 //!
 //! Label cardinality is bounded by construction: routes are a fixed
-//! 10-entry set, and the model label only takes values the caller
+//! 11-entry set, and the model label only takes values the caller
 //! resolved against the registry (unknown ids fold into
 //! [`NO_MODEL`]), so a scanner probing random paths cannot grow the
 //! metric surface.
@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 /// The fixed route label set. Every request maps to exactly one entry;
 /// unrecognized paths fold into `"other"`.
-pub const ROUTES: [&str; 10] = [
+pub const ROUTES: [&str; 11] = [
     "healthz",
     "models",
     "info",
@@ -32,6 +32,7 @@ pub const ROUTES: [&str; 10] = [
     "eom",
     "assign",
     "assign_binary",
+    "insert",
     "admin",
     "metrics",
     "other",

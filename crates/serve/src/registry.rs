@@ -20,6 +20,7 @@
 //!   `{"models": [{"id": "a", "path": "a.pcsm"}, ...], "default": "a"}`.
 
 use crate::artifact::{peek_dims, ClusterModel};
+use crate::dynamic::DynModelHandle;
 use crate::engine::{Assignment, Labeling, LabelingSpec, QueryEngine};
 use crate::snapshot::SnapshotCell;
 use crate::with_model_dims;
@@ -181,6 +182,11 @@ impl RegistrySnapshot {
 /// lookups are lock-free snapshot reads.
 pub struct ModelRegistry {
     snap: SnapshotCell<RegistrySnapshot>,
+    /// Mutation-capable side table: ids whose query handles are
+    /// republished by a [`DynModelHandle`]. Same copy-on-write discipline
+    /// as the model map; the insert/compact routes look dynamics up here
+    /// while query traffic keeps resolving through `snap`.
+    dynamics: SnapshotCell<Vec<(String, Arc<dyn DynModelHandle>)>>,
 }
 
 impl Default for ModelRegistry {
@@ -193,6 +199,7 @@ impl ModelRegistry {
     pub fn new() -> Self {
         ModelRegistry {
             snap: SnapshotCell::new(RegistrySnapshot::default()),
+            dynamics: SnapshotCell::new(Vec::new()),
         }
     }
 
@@ -219,10 +226,44 @@ impl ModelRegistry {
         })
     }
 
+    /// Register `id` as dynamic and publish its current query handle.
+    /// Subsequent mutations through the handle republish `id` themselves.
+    pub fn insert_dynamic(&self, id: &str, dh: Arc<dyn DynModelHandle>) -> Result<(), String> {
+        validate_model_id(id)?;
+        self.insert(id, dh.query_handle())?;
+        self.dynamics.update(|cur| {
+            let mut list = cur.to_vec();
+            match list.binary_search_by(|(mid, _)| mid.as_str().cmp(id)) {
+                Ok(i) => list[i].1 = dh,
+                Err(i) => list.insert(i, (id.to_string(), dh)),
+            }
+            (Some(Arc::new(list)), ())
+        });
+        Ok(())
+    }
+
+    /// The mutation handle behind `id`, if it was loaded as dynamic.
+    pub fn dynamic(&self, id: &str) -> Option<Arc<dyn DynModelHandle>> {
+        let list = self.dynamics.load();
+        list.binary_search_by(|(mid, _)| mid.as_str().cmp(id))
+            .ok()
+            .map(|i| Arc::clone(&list[i].1))
+    }
+
     /// Remove a model; in-flight queries holding its handle finish
     /// unharmed. Removing the default clears (or reassigns) the default to
     /// the first remaining id.
     pub fn remove(&self, id: &str) -> bool {
+        self.dynamics.update(
+            |cur| match cur.binary_search_by(|(mid, _)| mid.as_str().cmp(id)) {
+                Ok(i) => {
+                    let mut list = cur.to_vec();
+                    list.remove(i);
+                    (Some(Arc::new(list)), ())
+                }
+                Err(_) => (None, ()),
+            },
+        );
         self.snap.update(|cur| {
             let Ok(i) = cur.models.binary_search_by(|(mid, _)| mid.as_str().cmp(id)) else {
                 return (None, false);
@@ -257,9 +298,19 @@ impl ModelRegistry {
     }
 
     /// Load one artifact under `id`, dispatching on the artifact's stored
-    /// dimensionality.
+    /// dimensionality. `"PCDY"` dynamic wrappers register as dynamic
+    /// models (journal replayed); plain `"PCSM"` artifacts load read-only.
     pub fn load_path(&self, id: &str, path: &Path) -> io::Result<()> {
         validate_model_id(id).map_err(invalid)?;
+        let mut head = [0u8; 4];
+        {
+            use std::io::Read as _;
+            std::fs::File::open(path)?.read_exact(&mut head)?;
+        }
+        if &head == crate::dynamic::DYN_MAGIC {
+            let dh = crate::dynamic::load_dynamic_path(path)?;
+            return self.insert_dynamic(id, dh).map_err(invalid);
+        }
         let dims = peek_dims(path)?;
         // Guard before the macro: with_model_dims! panics on dimensions the
         // workspace doesn't monomorphize, but a hot-load of a corrupt or

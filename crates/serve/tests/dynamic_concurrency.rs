@@ -1,0 +1,135 @@
+//! Concurrency pinning for dynamic models: one mutator thread applies
+//! insert batches through a [`DynModelHandle`] while reader threads keep
+//! routing queries through registry snapshots. The contract under test is
+//! the one the HTTP layer relies on:
+//!
+//! * readers only ever observe **complete** published versions — never a
+//!   half-applied batch (every observed point count is exactly one the
+//!   mutation sequence produces, and the handle's labeling agrees with
+//!   its point count);
+//! * each reader sees point counts advance **monotonically** (publishes
+//!   happen under the mutation lock, in version order);
+//! * a **held** handle is immutable: later publishes never change what an
+//!   old snapshot answers.
+
+use parclust::Point;
+use parclust_dyn::DynConfig;
+use parclust_serve::dynamic::wrap_artifact_path;
+use parclust_serve::{ClusterModel, LabelingSpec, ModelRegistry};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const BASE_N: usize = 60;
+const STEPS: usize = 24;
+const INSERTS_PER_STEP: usize = 2;
+const READERS: usize = 4;
+
+fn blob_points(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point([rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]))
+        .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("parclust-dynconc-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn readers_see_only_complete_monotone_versions_while_a_mutator_runs() {
+    let registry = Arc::new(ModelRegistry::new());
+    let base = ClusterModel::build(&blob_points(BASE_N, 11), 4, 3);
+    let path = tmp("base.pcsm");
+    base.save(&path).unwrap();
+    let entry = wrap_artifact_path(&path, DynConfig::default()).unwrap();
+    std::fs::remove_file(&path).ok();
+    registry.insert_dynamic("m", Arc::clone(&entry)).unwrap();
+
+    let spec = LabelingSpec::Eom {
+        cluster_selection_epsilon: 0.0,
+    };
+
+    // Held-snapshot baseline, captured before any mutation.
+    let held = registry.snapshot().get("m").unwrap();
+    let held_n = held.num_points();
+    let held_labels = held.labeling(spec).labels.clone();
+    assert_eq!(held_n, BASE_N);
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // The only writer: insert-only batches, so the live count is
+        // strictly increasing and every complete version has a count of
+        // the form BASE_N + step * INSERTS_PER_STEP.
+        let mutator = {
+            let registry = Arc::clone(&registry);
+            let entry = Arc::clone(&entry);
+            let done = &done;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xD7_CAFE);
+                for _ in 0..STEPS {
+                    let flat: Vec<f64> = (0..INSERTS_PER_STEP * 2)
+                        .map(|_| rng.gen_range(-5.0..5.0))
+                        .collect();
+                    let before = entry.version();
+                    entry
+                        .mutate(&registry, "m", &flat, &[])
+                        .expect("insert batch");
+                    assert_eq!(entry.version(), before + 1, "versions bump by one");
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let registry = Arc::clone(&registry);
+                let done = &done;
+                s.spawn(move || {
+                    let mut last_n = 0usize;
+                    let mut observed = 0usize;
+                    while !done.load(Ordering::Acquire) || observed == 0 {
+                        let handle = registry.snapshot().get("m").expect("model stays loaded");
+                        let n = handle.num_points();
+                        // Complete versions only: the count is one the
+                        // insert-only sequence actually produces...
+                        assert_eq!(
+                            (n - BASE_N) % INSERTS_PER_STEP,
+                            0,
+                            "reader {r} saw a torn point count {n}"
+                        );
+                        assert!(n <= BASE_N + STEPS * INSERTS_PER_STEP);
+                        // ...and the handle is internally consistent: its
+                        // labeling covers exactly its own points.
+                        assert_eq!(
+                            handle.labeling(spec).labels.len(),
+                            n,
+                            "reader {r}: labeling and point count disagree"
+                        );
+                        // Publishes happen in version order, so each
+                        // reader's view only moves forward.
+                        assert!(n >= last_n, "reader {r} went backwards: {last_n} -> {n}");
+                        last_n = n;
+                        observed += 1;
+                    }
+                })
+            })
+            .collect();
+
+        mutator.join().unwrap();
+        for h in readers {
+            h.join().unwrap();
+        }
+    });
+
+    // Every batch landed and was published.
+    let final_handle = registry.snapshot().get("m").unwrap();
+    assert_eq!(final_handle.num_points(), BASE_N + STEPS * INSERTS_PER_STEP);
+    assert_eq!(entry.version(), 1 + STEPS as u64);
+
+    // The snapshot held across all of it is untouched.
+    assert_eq!(held.num_points(), held_n);
+    assert_eq!(held.labeling(spec).labels, held_labels);
+}

@@ -86,6 +86,13 @@ pub enum SepMode {
 /// Mutual-reachability metric over a tree annotated with per-point core
 /// distances (`cd`, indexed by permuted position) and per-node min/max core
 /// distances (`cd_min`/`cd_max`, indexed by [`NodeId`]).
+///
+/// The policy is a pure function of `(coordinates, cd)` — it does not care
+/// *how* the core distances were produced. The dynamic-model merge path
+/// (`crates/dyn`) leans on exactly this: core distances a mutation provably
+/// cannot change are carried over from the previous version, the rest are
+/// recomputed, and the hierarchy built through this policy is bit-identical
+/// to a from-scratch run as long as the `cd` values themselves are.
 pub struct MutualReachSep<'a> {
     pub cd: &'a [f64],
     pub cd_min: &'a [f64],
